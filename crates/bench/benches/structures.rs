@@ -1,0 +1,162 @@
+//! Criterion wall-clock microbenchmarks: one group per structure family.
+//!
+//! These complement the I/O-count experiment harness (`experiments` bin):
+//! the paper's claims are about page transfers, but wall-clock numbers
+//! confirm the implementations are also computationally reasonable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pc_bench::{to_intervals, to_points};
+use pc_btree::BTree;
+use pc_intervaltree::ExternalIntervalTree;
+use pc_pagestore::PageStore;
+use pc_pst::{NaivePst, SegmentedPst, ThreeSided, ThreeSidedPst, TwoLevelPst, TwoSided};
+use pc_segtree::{CachedSegmentTree, NaiveSegmentTree};
+use pc_workloads::{
+    gen_intervals, gen_points, gen_range_1d, gen_stabbing, gen_three_sided, gen_two_sided,
+    IntervalDist, PointDist,
+};
+
+const PAGE: usize = 4096;
+const N: usize = 100_000;
+
+fn bench_btree(c: &mut Criterion) {
+    let store = PageStore::in_memory(PAGE);
+    let keys: Vec<i64> = (0..N as i64).map(|k| k * 3).collect();
+    let entries: Vec<(i64, u64)> = keys.iter().map(|&k| (k, k as u64)).collect();
+    let tree = BTree::bulk_build(&store, &entries).unwrap();
+    let ranges = gen_range_1d(&keys, 64, 2_000, 1);
+
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("point_get", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            tree.get(&store, &keys[i]).unwrap()
+        })
+    });
+    g.bench_function("range_2k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ranges.len();
+            tree.range(&store, &ranges[i].lo, &ranges[i].hi).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_segment_trees(c: &mut Criterion) {
+    let raw = gen_intervals(N / 2, IntervalDist::UniformLen { max_len: 20_000 }, 2);
+    let intervals = to_intervals(&raw);
+    let store = PageStore::in_memory(PAGE);
+    let naive = NaiveSegmentTree::build(&store, &intervals).unwrap();
+    let cached = CachedSegmentTree::build(&store, &intervals).unwrap();
+    let itree = ExternalIntervalTree::build(&store, &intervals).unwrap();
+    let stabs = gen_stabbing(&raw, 64, 3);
+
+    let mut g = c.benchmark_group("stabbing");
+    g.bench_function("segtree_naive", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % stabs.len();
+            naive.stab(&store, stabs[i].q).unwrap()
+        })
+    });
+    g.bench_function("segtree_cached", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % stabs.len();
+            cached.stab(&store, stabs[i].q).unwrap()
+        })
+    });
+    g.bench_function("interval_tree", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % stabs.len();
+            itree.stab(&store, stabs[i].q).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_pst_variants(c: &mut Criterion) {
+    let raw = gen_points(N, PointDist::Uniform, 4);
+    let points = to_points(&raw);
+    let store = PageStore::in_memory(PAGE);
+    let naive = NaivePst::build(&store, &points).unwrap();
+    let seg = SegmentedPst::build(&store, &points).unwrap();
+    let two = TwoLevelPst::build(&store, &points).unwrap();
+    let queries = gen_two_sided(&raw, 64, 2_000, 5);
+
+    let mut g = c.benchmark_group("two_sided");
+    g.bench_with_input(BenchmarkId::new("naive", N), &queries, |b, qs| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % qs.len();
+            naive.query(&store, TwoSided { x0: qs[i].x0, y0: qs[i].y0 }).unwrap()
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("segmented", N), &queries, |b, qs| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % qs.len();
+            seg.query(&store, TwoSided { x0: qs[i].x0, y0: qs[i].y0 }).unwrap()
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("two_level", N), &queries, |b, qs| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % qs.len();
+            two.query(&store, TwoSided { x0: qs[i].x0, y0: qs[i].y0 }).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_three_sided(c: &mut Criterion) {
+    let raw = gen_points(N, PointDist::Uniform, 6);
+    let points = to_points(&raw);
+    let store = PageStore::in_memory(PAGE);
+    let pst = ThreeSidedPst::build(&store, &points).unwrap();
+    let queries = gen_three_sided(&raw, 64, 2_000, 7);
+
+    c.bench_function("three_sided/query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            pst.query(
+                &store,
+                ThreeSided { x1: queries[i].x1, x2: queries[i].x2, y0: queries[i].y0 },
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_dynamic_updates(c: &mut Criterion) {
+    use pc_pagestore::Point;
+    use pc_pst::DynamicPst;
+    let raw = gen_points(50_000, PointDist::Uniform, 8);
+    let points = to_points(&raw);
+    let store = PageStore::in_memory(PAGE);
+    let mut pst = DynamicPst::build(&store, &points).unwrap();
+    let mut next_id = 10_000_000u64;
+    let mut seed = 0x1234_5678u64;
+    c.bench_function("dynamic/insert", |b| {
+        b.iter(|| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let p = Point::new((seed % 1_000_000) as i64, ((seed >> 20) % 1_000_000) as i64, next_id);
+            next_id += 1;
+            pst.insert(&store, p).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_btree, bench_segment_trees, bench_pst_variants, bench_three_sided, bench_dynamic_updates
+}
+criterion_main!(benches);

@@ -1,0 +1,752 @@
+//! The paper-experiment harness: one sub-command per experiment in
+//! DESIGN.md's index (E1–E17), each regenerating the measurements recorded
+//! in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p pc-bench --bin experiments            # all
+//! cargo run --release -p pc-bench --bin experiments -- e7 e12  # subset
+//! ```
+//!
+//! All measurements are page-transfer counts in the strict I/O model
+//! (pool-less [`PageStore`]); the paper's bounds are printed alongside.
+
+use pc_bench::{f1, f2, log_base, to_intervals, to_points, Table};
+use pc_btree::BTree;
+use pc_intervaltree::ExternalIntervalTree;
+use pc_pagestore::{PageStore, Point};
+use pc_pst::{
+    BasicPst, DynamicPst, DynamicThreeSidedPst, MultilevelPst, NaivePst, SegmentedPst,
+    ThreeSided, ThreeSidedPst, TwoLevelPst, TwoSided,
+};
+use pc_segtree::{CachedSegmentTree, NaiveSegmentTree};
+use pc_workloads::{
+    gen_intervals, gen_points, gen_range_1d, gen_stabbing, gen_three_sided, gen_two_sided,
+    IntervalDist, PointDist,
+};
+
+const PAGE: usize = 4096;
+/// Points per block at PAGE bytes (the paper's B for 24-byte records).
+const B: f64 = 170.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+        "e14", "e15", "e16", "e17",
+    ];
+    let selected: Vec<&str> = if args.is_empty() {
+        all.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for exp in selected {
+        match exp {
+            "e1" => e1_btree_baseline(),
+            "e2" => e2_wasteful_ios(),
+            "e3" => e3_segment_tree(),
+            "e4" => e4_interval_tree(),
+            "e5" => e5_basic_pst(),
+            "e6" => e6_segmented_pst(),
+            "e7" => e7_two_level_pst(),
+            "e8" => e8_multilevel_space(),
+            "e9" => e9_three_sided(),
+            "e10" => e10_dynamic_pst(),
+            "e11" => e11_dynamic_three_sided(),
+            "e12" => e12_naive_vs_cached(),
+            "e13" => e13_interval_management(),
+            "e14" => e14_tradeoff_table(),
+            "e15" => e15_parallel_throughput(),
+            "e16" => e16_buffer_pool(),
+            "e17" => e17_page_size_ablation(),
+            other => eprintln!("unknown experiment {other}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E1: B+-tree 1-d optimality (the bar the paper matches in 2-d)
+// ---------------------------------------------------------------------------
+fn e1_btree_baseline() {
+    println!("## E1 — B+-tree: 1-d range search baseline (§1)\n");
+    println!("point/update I/O vs ceil(log_B n); range I/O vs log_B n + t/B\n");
+    let mut table = Table::new(&[
+        "n", "log_B n", "point I/O", "update I/O", "t", "range I/O", "t/B",
+    ]);
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let store = PageStore::in_memory(PAGE);
+        let keys: Vec<i64> = (0..n as i64).map(|k| k * 3).collect();
+        let entries: Vec<(i64, u64)> = keys.iter().map(|&k| (k, k as u64)).collect();
+        let mut tree = BTree::bulk_build(&store, &entries).unwrap();
+
+        let t_target = 20_000.min(n / 2);
+        let queries = gen_range_1d(&keys, 50, t_target, 1);
+        store.reset_stats();
+        let mut t_total = 0usize;
+        for q in &queries {
+            t_total += tree.range(&store, &q.lo, &q.hi).unwrap().len();
+        }
+        let range_io = store.stats().reads as f64 / queries.len() as f64;
+        let t_avg = t_total as f64 / queries.len() as f64;
+
+        store.reset_stats();
+        for i in 0..50i64 {
+            tree.get(&store, &(i * 97 % n as i64)).unwrap();
+        }
+        let point_io = store.stats().reads as f64 / 50.0;
+
+        store.reset_stats();
+        for i in 0..50i64 {
+            tree.insert(&store, i * 3 + 1, 7).unwrap();
+        }
+        let update_io = store.stats().total_io() as f64 / 50.0;
+
+        // Leaf entries are (i64, u64): B_leaf = (4096-19)/16 = 254.
+        let b_leaf = 254.0;
+        table.row(vec![
+            n.to_string(),
+            f1(log_base(n as f64, b_leaf)),
+            f1(point_io),
+            f1(update_io),
+            f1(t_avg),
+            f1(range_io),
+            f1(t_avg / b_leaf),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E2: Figure 3 — wasteful vs useful I/Os, naive vs path-cached segment tree
+// ---------------------------------------------------------------------------
+fn e2_wasteful_ios() {
+    println!("## E2 — Figure 3: underfull cover-lists cause wasteful I/Os (§2)\n");
+    let mut table = Table::new(&[
+        "n", "variant", "search I/O", "useful I/O", "wasteful I/O", "t",
+    ]);
+    for n in [10_000usize, 50_000, 200_000] {
+        let raw = gen_intervals(n, IntervalDist::UniformLen { max_len: 40_000 }, 2);
+        let intervals = to_intervals(&raw);
+        let store = PageStore::in_memory(PAGE);
+        let naive = NaiveSegmentTree::build(&store, &intervals).unwrap();
+        let cached = CachedSegmentTree::build(&store, &intervals).unwrap();
+        let stabs = gen_stabbing(&raw, 100, 3);
+        for (label, is_cached) in [("naive", false), ("cached", true)] {
+            let (mut search, mut useful, mut wasteful, mut t) = (0u64, 0u64, 0u64, 0usize);
+            for q in &stabs {
+                let p = if is_cached {
+                    cached.stab_profiled(&store, q.q).unwrap()
+                } else {
+                    naive.stab_profiled(&store, q.q).unwrap()
+                };
+                search += p.search_ios;
+                useful += p.useful_ios;
+                wasteful += p.wasteful_ios;
+                t += p.results.len();
+            }
+            let nq = stabs.len() as f64;
+            table.row(vec![
+                n.to_string(),
+                label.to_string(),
+                f1(search as f64 / nq),
+                f1(useful as f64 / nq),
+                f1(wasteful as f64 / nq),
+                f1(t as f64 / nq),
+            ]);
+        }
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E3: Theorem 3.4 — external segment tree bounds
+// ---------------------------------------------------------------------------
+fn e3_segment_tree() {
+    println!("## E3 — Theorem 3.4: path-cached segment tree\n");
+    println!("query O(log_B n + t/B); space O((n/B) log n) blocks\n");
+    let mut table = Table::new(&[
+        "n", "pages", "(n/B)·log2 n", "avg t", "avg query I/O", "log_B n + t/B",
+    ]);
+    for n in [10_000usize, 50_000, 200_000] {
+        let raw = gen_intervals(n, IntervalDist::UniformLen { max_len: 20_000 }, 4);
+        let intervals = to_intervals(&raw);
+        let store = PageStore::in_memory(PAGE);
+        let tree = CachedSegmentTree::build(&store, &intervals).unwrap();
+        let pages = store.live_pages();
+        let stabs = gen_stabbing(&raw, 100, 5);
+        store.reset_stats();
+        let mut t_total = 0usize;
+        for q in &stabs {
+            t_total += tree.stab(&store, q.q).unwrap().len();
+        }
+        let io = store.stats().reads as f64 / stabs.len() as f64;
+        let t_avg = t_total as f64 / stabs.len() as f64;
+        table.row(vec![
+            n.to_string(),
+            pages.to_string(),
+            f1(n as f64 / B * (n as f64).log2()),
+            f1(t_avg),
+            f1(io),
+            f1(log_base(n as f64, B) + t_avg / B),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E4: Theorem 3.5 — external interval tree bounds
+// ---------------------------------------------------------------------------
+fn e4_interval_tree() {
+    println!("## E4 — Theorem 3.5: path-cached interval tree\n");
+    println!("query O(log_B n + t/B); space O((n/B) log B) blocks\n");
+    let mut table = Table::new(&[
+        "n", "pages", "(n/B)·log2 B", "avg t", "avg query I/O", "log_B n + t/B",
+    ]);
+    for n in [10_000usize, 50_000, 200_000] {
+        let raw = gen_intervals(n, IntervalDist::UniformLen { max_len: 20_000 }, 6);
+        let intervals = to_intervals(&raw);
+        let store = PageStore::in_memory(PAGE);
+        let tree = ExternalIntervalTree::build(&store, &intervals).unwrap();
+        let pages = store.live_pages();
+        let stabs = gen_stabbing(&raw, 100, 7);
+        store.reset_stats();
+        let mut t_total = 0usize;
+        for q in &stabs {
+            t_total += tree.stab(&store, q.q).unwrap().len();
+        }
+        let io = store.stats().reads as f64 / stabs.len() as f64;
+        let t_avg = t_total as f64 / stabs.len() as f64;
+        table.row(vec![
+            n.to_string(),
+            pages.to_string(),
+            f1(n as f64 / B * B.log2()),
+            f1(t_avg),
+            f1(io),
+            f1(log_base(n as f64, B) + t_avg / B),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// Shared 2-sided PST experiment body
+// ---------------------------------------------------------------------------
+fn pst_experiment<F, I>(build: F, space_label: &str, space_pred: fn(f64) -> f64)
+where
+    F: Fn(&PageStore, &[Point]) -> I,
+    I: PstLike,
+{
+    let mut table = Table::new(&[
+        "n", "pages", space_label, "avg t", "avg query I/O", "log_B n + t/B",
+    ]);
+    for n in [20_000usize, 100_000, 400_000] {
+        let raw = gen_points(n, PointDist::Uniform, 8);
+        let points = to_points(&raw);
+        let store = PageStore::in_memory(PAGE);
+        let pst = build(&store, &points);
+        let pages = store.live_pages();
+        let queries = gen_two_sided(&raw, 100, n / 50, 9);
+        store.reset_stats();
+        let mut t_total = 0usize;
+        for q in &queries {
+            t_total += pst.run(&store, TwoSided { x0: q.x0, y0: q.y0 });
+        }
+        let io = store.stats().reads as f64 / queries.len() as f64;
+        let t_avg = t_total as f64 / queries.len() as f64;
+        table.row(vec![
+            n.to_string(),
+            pages.to_string(),
+            f1(space_pred(n as f64)),
+            f1(t_avg),
+            f1(io),
+            f1(log_base(n as f64, B) + t_avg / B),
+        ]);
+    }
+    table.print();
+}
+
+trait PstLike {
+    fn run(&self, store: &PageStore, q: TwoSided) -> usize;
+}
+macro_rules! pst_like {
+    ($t:ty) => {
+        impl PstLike for $t {
+            fn run(&self, store: &PageStore, q: TwoSided) -> usize {
+                self.query(store, q).unwrap().len()
+            }
+        }
+    };
+}
+pst_like!(NaivePst);
+pst_like!(BasicPst);
+pst_like!(SegmentedPst);
+pst_like!(TwoLevelPst);
+pst_like!(MultilevelPst);
+pst_like!(DynamicPst);
+
+fn e5_basic_pst() {
+    println!("## E5 — Lemma 3.1: basic PST, full-path A/S caches\n");
+    println!("query O(log_B n + t/B); space O((n/B) log n) blocks\n");
+    pst_experiment(
+        |s, p| BasicPst::build(s, p).unwrap(),
+        "(n/B)·log2 n",
+        |n| n / B * n.log2(),
+    );
+}
+
+fn e6_segmented_pst() {
+    println!("## E6 — Theorem 3.2: segmented PST, log B-sized cache segments\n");
+    println!("query O(log_B n + t/B); space O((n/B) log B) blocks\n");
+    pst_experiment(
+        |s, p| SegmentedPst::build(s, p).unwrap(),
+        "(n/B)·log2 B",
+        |n| n / B * B.log2(),
+    );
+}
+
+fn e7_two_level_pst() {
+    println!("## E7 — Theorem 4.3: two-level recursive PST\n");
+    println!("query O(log_B n + t/B); space O((n/B) loglog B) blocks\n");
+    pst_experiment(
+        |s, p| TwoLevelPst::build(s, p).unwrap(),
+        "(n/B)·loglog2 B",
+        |n| n / B * B.log2().log2(),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// E8: Theorem 4.4 — multilevel space scaling
+// ---------------------------------------------------------------------------
+fn e8_multilevel_space() {
+    println!("## E8 — Theorem 4.4: multilevel scheme, space vs level count\n");
+    println!("levels 1 (basic, log n) .. k (log^(k) B), saturating at log* B\n");
+    let n = 200_000usize;
+    let raw = gen_points(n, PointDist::Uniform, 10);
+    let points = to_points(&raw);
+    let queries = gen_two_sided(&raw, 60, n / 50, 11);
+    let mut table =
+        Table::new(&["levels", "pages", "pages/(n/B)", "avg query I/O", "avg t"]);
+    for levels in 1..=4u32 {
+        let store = PageStore::in_memory(PAGE);
+        let pst = MultilevelPst::build(&store, &points, levels).unwrap();
+        let pages = store.live_pages();
+        store.reset_stats();
+        let mut t_total = 0usize;
+        for q in &queries {
+            t_total += pst.query(&store, TwoSided { x0: q.x0, y0: q.y0 }).unwrap().len();
+        }
+        let io = store.stats().reads as f64 / queries.len() as f64;
+        table.row(vec![
+            levels.to_string(),
+            pages.to_string(),
+            f2(pages as f64 / (n as f64 / B)),
+            f1(io),
+            f1(t_total as f64 / queries.len() as f64),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E9: Theorem 3.3 — 3-sided queries
+// ---------------------------------------------------------------------------
+fn e9_three_sided() {
+    println!("## E9 — Theorem 3.3: 3-sided PST\n");
+    println!("query O(log_B n + t/B); space O((n/B) log^2 B) blocks\n");
+    let mut table = Table::new(&[
+        "n", "pages", "(n/B)·log2²B", "avg t", "avg query I/O", "log_B n + t/B",
+    ]);
+    for n in [20_000usize, 100_000, 400_000] {
+        let raw = gen_points(n, PointDist::Uniform, 12);
+        let points = to_points(&raw);
+        let store = PageStore::in_memory(PAGE);
+        let pst = ThreeSidedPst::build(&store, &points).unwrap();
+        let pages = store.live_pages();
+        let queries = gen_three_sided(&raw, 100, n / 50, 13);
+        store.reset_stats();
+        let mut t_total = 0usize;
+        for q in &queries {
+            t_total += pst
+                .query(&store, ThreeSided { x1: q.x1, x2: q.x2, y0: q.y0 })
+                .unwrap()
+                .len();
+        }
+        let io = store.stats().reads as f64 / queries.len() as f64;
+        let t_avg = t_total as f64 / queries.len() as f64;
+        table.row(vec![
+            n.to_string(),
+            pages.to_string(),
+            f1(n as f64 / B * B.log2() * B.log2()),
+            f1(t_avg),
+            f1(io),
+            f1(log_base(n as f64, B) + t_avg / B),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E10: Theorem 5.1 — dynamic PST
+// ---------------------------------------------------------------------------
+fn e10_dynamic_pst() {
+    println!("## E10 — Theorem 5.1: dynamic two-level PST\n");
+    println!("amortized update O(log_B n); queries stay O(log_B n + t/B) under churn\n");
+    let mut table = Table::new(&[
+        "n", "insert I/O", "delete I/O", "log_B n", "query I/O (dirty)", "avg t", "pages/(n/B)",
+    ]);
+    for n in [20_000usize, 100_000, 400_000] {
+        let raw = gen_points(n, PointDist::Uniform, 14);
+        let points = to_points(&raw);
+        let store = PageStore::in_memory(PAGE);
+        let mut pst = DynamicPst::build(&store, &points).unwrap();
+
+        let updates = (n / 10).clamp(1_000, 20_000);
+        let extra = to_points(&gen_points(updates, PointDist::Uniform, 15));
+        store.reset_stats();
+        for (i, p) in extra.iter().enumerate() {
+            pst.insert(&store, Point::new(p.x, p.y, 10_000_000 + i as u64)).unwrap();
+        }
+        let ins_io = store.stats().total_io() as f64 / updates as f64;
+
+        store.reset_stats();
+        for (i, p) in extra.iter().enumerate() {
+            pst.delete(&store, Point::new(p.x, p.y, 10_000_000 + i as u64)).unwrap();
+        }
+        let del_io = store.stats().total_io() as f64 / updates as f64;
+
+        // Queries against the churned structure (buffers non-empty).
+        let queries = gen_two_sided(&raw, 60, n / 50, 16);
+        store.reset_stats();
+        let mut t_total = 0usize;
+        for q in &queries {
+            t_total += pst.query(&store, TwoSided { x0: q.x0, y0: q.y0 }).unwrap().len();
+        }
+        let q_io = store.stats().reads as f64 / queries.len() as f64;
+        table.row(vec![
+            n.to_string(),
+            f1(ins_io),
+            f1(del_io),
+            f1(log_base(n as f64, B)),
+            f1(q_io),
+            f1(t_total as f64 / queries.len() as f64),
+            f2(store.live_pages() as f64 / (n as f64 / B)),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E11: Theorem 5.2 — dynamic 3-sided
+// ---------------------------------------------------------------------------
+fn e11_dynamic_three_sided() {
+    println!("## E11 — Theorem 5.2: dynamic 3-sided PST\n");
+    println!("queries optimal; amortized update cost reported (buffer+rebuild scheme)\n");
+    let mut table =
+        Table::new(&["n", "update I/O", "query I/O", "avg t", "paper bound log_B n·log²B"]);
+    for n in [20_000usize, 100_000] {
+        let raw = gen_points(n, PointDist::Uniform, 17);
+        let points = to_points(&raw);
+        let store = PageStore::in_memory(PAGE);
+        let mut pst = DynamicThreeSidedPst::build(&store, &points).unwrap();
+        let updates = 2_000usize;
+        let extra = to_points(&gen_points(updates, PointDist::Uniform, 18));
+        store.reset_stats();
+        for (i, p) in extra.iter().enumerate() {
+            pst.insert(&store, Point::new(p.x, p.y, 20_000_000 + i as u64)).unwrap();
+        }
+        let upd_io = store.stats().total_io() as f64 / updates as f64;
+        let queries = gen_three_sided(&raw, 40, n / 50, 19);
+        store.reset_stats();
+        let mut t_total = 0usize;
+        for q in &queries {
+            t_total += pst
+                .query(&store, ThreeSided { x1: q.x1, x2: q.x2, y0: q.y0 })
+                .unwrap()
+                .len();
+        }
+        let q_io = store.stats().reads as f64 / queries.len() as f64;
+        table.row(vec![
+            n.to_string(),
+            f1(upd_io),
+            f1(q_io),
+            f1(t_total as f64 / queries.len() as f64),
+            f1(log_base(n as f64, B) * B.log2() * B.log2()),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E12: naive [IKO] vs path-cached — the headline comparison
+// ---------------------------------------------------------------------------
+fn e12_naive_vs_cached() {
+    println!("## E12 — naive [IKO] vs path-cached PST: the log n vs log_B n gap\n");
+    println!("small-t queries at growing n; output terms cancel, navigation dominates\n");
+    let mut table = Table::new(&[
+        "n", "t", "naive I/O", "segmented I/O", "two-level I/O", "log2(n/B)", "log_B n",
+    ]);
+    for n in [50_000usize, 200_000, 800_000] {
+        let raw = gen_points(n, PointDist::Uniform, 20);
+        let points = to_points(&raw);
+        let store = PageStore::in_memory(PAGE);
+        let naive = NaivePst::build(&store, &points).unwrap();
+        let seg = SegmentedPst::build(&store, &points).unwrap();
+        let two = TwoLevelPst::build(&store, &points).unwrap();
+        // Deep corner, empty output: x0 beyond the domain, y0 = 0.
+        let queries: Vec<TwoSided> =
+            (0..30).map(|i| TwoSided { x0: 1_000_001 + i, y0: 0 }).collect();
+        let mut ios = Vec::new();
+        let mut t_avg = 0.0;
+        for pst in [&naive as &dyn PstLike, &seg, &two] {
+            store.reset_stats();
+            let mut t_total = 0usize;
+            for q in &queries {
+                t_total += pst.run(&store, *q);
+            }
+            ios.push(store.stats().reads as f64 / queries.len() as f64);
+            t_avg = t_total as f64 / queries.len() as f64;
+        }
+        table.row(vec![
+            n.to_string(),
+            f1(t_avg),
+            f1(ios[0]),
+            f1(ios[1]),
+            f1(ios[2]),
+            f1((n as f64 / B).log2()),
+            f1(log_base(n as f64, B)),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E13: interval management end-to-end (§1 application)
+// ---------------------------------------------------------------------------
+fn e13_interval_management() {
+    println!("## E13 — dynamic interval management: stabbing query shoot-out (§1)\n");
+    println!("PST reduction vs B-tree-on-lo scan vs full scan\n");
+    let n = 200_000usize;
+    let raw = gen_intervals(n, IntervalDist::LongTail, 21);
+    let intervals = to_intervals(&raw);
+    let stabs = gen_stabbing(&raw, 50, 22);
+
+    // Path-cached (KRV reduction over the segmented PST, static build).
+    let store = PageStore::in_memory(PAGE);
+    let points: Vec<Point> =
+        intervals.iter().map(|iv| Point::new(-iv.lo, iv.hi, iv.id)).collect();
+    let pst = SegmentedPst::build(&store, &points).unwrap();
+    store.reset_stats();
+    let mut t_total = 0usize;
+    for q in &stabs {
+        t_total += pst.query(&store, TwoSided { x0: -q.q, y0: q.q }).unwrap().len();
+    }
+    let pst_io = store.stats().reads as f64 / stabs.len() as f64;
+    let t_avg = t_total as f64 / stabs.len() as f64;
+
+    // B-tree on lo: scan every interval with lo <= q, filter hi >= q.
+    let store2 = PageStore::in_memory(PAGE);
+    let mut entries: Vec<(i64, u64)> = Vec::new();
+    {
+        // Make keys unique by packing the id into low bits.
+        for iv in &intervals {
+            entries.push((iv.lo * (n as i64 + 1) + iv.id as i64, iv.id));
+        }
+        entries.sort_unstable();
+    }
+    let btree = BTree::bulk_build(&store2, &entries).unwrap();
+    store2.reset_stats();
+    for q in &stabs {
+        let hi_key = (q.q + 1) * (n as i64 + 1) - 1;
+        let _hits = btree.range(&store2, &i64::MIN, &hi_key).unwrap();
+    }
+    let btree_io = store2.stats().reads as f64 / stabs.len() as f64;
+
+    // Full scan: n/B pages per query by definition.
+    let scan_io = n as f64 / B;
+
+    let mut table = Table::new(&["method", "avg stab I/O", "avg t", "t/B"]);
+    table.row(vec!["path-cached PST".into(), f1(pst_io), f1(t_avg), f1(t_avg / B)]);
+    table.row(vec!["B-tree on lo (scan+filter)".into(), f1(btree_io), f1(t_avg), f1(t_avg / B)]);
+    table.row(vec!["full scan".into(), f1(scan_io), f1(t_avg), f1(t_avg / B)]);
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E14: the space/time trade-off table (§6)
+// ---------------------------------------------------------------------------
+fn e14_tradeoff_table() {
+    println!("## E14 — space/time trade-offs across all variants (§6)\n");
+    let n = 200_000usize;
+    let raw = gen_points(n, PointDist::Uniform, 23);
+    let points = to_points(&raw);
+    let queries = gen_two_sided(&raw, 60, n / 50, 24);
+    let mut table = Table::new(&[
+        "variant", "paper space", "pages", "blocks/point·B", "avg query I/O", "avg t",
+    ]);
+    type Builder = Box<dyn Fn(&PageStore) -> Box<dyn PstLike>>;
+    let builders: Vec<(&str, &str, Builder)> = vec![
+        ("naive [IKO]", "n/B", Box::new(|s: &PageStore| {
+            Box::new(NaivePst::build(s, &to_points(&gen_points(200_000, PointDist::Uniform, 23))).unwrap()) as Box<dyn PstLike>
+        })),
+        ("basic (Lem 3.1)", "(n/B)·log n", Box::new(|s: &PageStore| {
+            Box::new(BasicPst::build(s, &to_points(&gen_points(200_000, PointDist::Uniform, 23))).unwrap())
+        })),
+        ("segmented (Thm 3.2)", "(n/B)·log B", Box::new(|s: &PageStore| {
+            Box::new(SegmentedPst::build(s, &to_points(&gen_points(200_000, PointDist::Uniform, 23))).unwrap())
+        })),
+        ("two-level (Thm 4.3)", "(n/B)·loglog B", Box::new(|s: &PageStore| {
+            Box::new(TwoLevelPst::build(s, &to_points(&gen_points(200_000, PointDist::Uniform, 23))).unwrap())
+        })),
+        ("3-level (Thm 4.4)", "(n/B)·log*B", Box::new(|s: &PageStore| {
+            Box::new(MultilevelPst::build(s, &to_points(&gen_points(200_000, PointDist::Uniform, 23)), 3).unwrap())
+        })),
+    ];
+    let _ = &points;
+    for (label, paper, build) in builders {
+        let store = PageStore::in_memory(PAGE);
+        let pst = build(&store);
+        let pages = store.live_pages();
+        store.reset_stats();
+        let mut t_total = 0usize;
+        for q in &queries {
+            t_total += pst.run(&store, TwoSided { x0: q.x0, y0: q.y0 });
+        }
+        let io = store.stats().reads as f64 / queries.len() as f64;
+        table.row(vec![
+            label.to_string(),
+            paper.to_string(),
+            pages.to_string(),
+            f2(pages as f64 / (n as f64 / B)),
+            f1(io),
+            f1(t_total as f64 / queries.len() as f64),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E15: parallel query throughput (beyond the paper: the substrate is Sync)
+// ---------------------------------------------------------------------------
+fn e15_parallel_throughput() {
+    println!("## E15 — parallel query throughput (substrate extension)\n");
+    println!("the paper's model is single-threaded; this checks the engineering\n");
+    let n = 200_000usize;
+    let raw = gen_points(n, PointDist::Uniform, 25);
+    let points = to_points(&raw);
+    let store = PageStore::in_memory(PAGE);
+    let pst = TwoLevelPst::build(&store, &points).unwrap();
+    let queries = gen_two_sided(&raw, 256, n / 100, 26);
+    let mut table = Table::new(&["threads", "queries/s", "speedup"]);
+    let mut base = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let start = std::time::Instant::now();
+        let rounds = 4usize;
+        crossbeam::thread::scope(|s| {
+            for tid in 0..threads {
+                let pst = &pst;
+                let store = &store;
+                let queries = &queries;
+                s.spawn(move |_| {
+                    for r in 0..rounds {
+                        for (i, q) in queries.iter().enumerate() {
+                            if (i + r + tid) % threads == tid {
+                                pst.query(store, TwoSided { x0: q.x0, y0: q.y0 }).unwrap();
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let total = (queries.len() * rounds) as f64;
+        let qps = total / start.elapsed().as_secs_f64();
+        if threads == 1 {
+            base = qps;
+        }
+        table.row(vec![threads.to_string(), f1(qps), f2(qps / base)]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E16: buffer pool vs the strict model (substrate extension)
+// ---------------------------------------------------------------------------
+fn e16_buffer_pool() {
+    println!("## E16 — buffer pool vs strict model (substrate extension)\n");
+    println!("hot pages (skeletal roots, caches) absorb backend reads\n");
+    let n = 200_000usize;
+    let raw = gen_points(n, PointDist::Uniform, 27);
+    let points = to_points(&raw);
+    let queries = gen_two_sided(&raw, 200, n / 100, 28);
+    let mut table =
+        Table::new(&["pool pages", "backend reads/query", "hits/query", "hit rate"]);
+    for pool in [0usize, 64, 256, 1024, 4096] {
+        let store = if pool == 0 {
+            PageStore::in_memory(PAGE)
+        } else {
+            PageStore::in_memory_pooled(PAGE, pool)
+        };
+        let pst = SegmentedPst::build(&store, &points).unwrap();
+        store.reset_stats();
+        for q in &queries {
+            pst.query(&store, TwoSided { x0: q.x0, y0: q.y0 }).unwrap();
+        }
+        let s = store.stats();
+        let nq = queries.len() as f64;
+        let rate = if s.reads + s.cache_hits > 0 {
+            s.cache_hits as f64 / (s.reads + s.cache_hits) as f64
+        } else {
+            0.0
+        };
+        table.row(vec![
+            pool.to_string(),
+            f1(s.reads as f64 / nq),
+            f1(s.cache_hits as f64 / nq),
+            f2(rate),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E17: ablation — how the block size B shifts the naive/cached gap
+// ---------------------------------------------------------------------------
+fn e17_page_size_ablation() {
+    println!("## E17 — ablation: page size B vs the naive/cached navigation gap\n");
+    println!("t = 0 deep-corner queries. naive pays ~log2(n/B); cached pays a few\n\
+              reads per skeletal segment, and segments hold ~log2(B) binary levels —\n\
+              so the cached advantage grows with B\n");
+    let n = 200_000usize;
+    let raw = gen_points(n, PointDist::Uniform, 29);
+    let points = to_points(&raw);
+    let mut table = Table::new(&[
+        "page bytes", "B", "naive I/O", "segmented I/O", "gap", "segmented pages",
+    ]);
+    for page in [512usize, 1024, 2048, 4096, 8192] {
+        let store = PageStore::in_memory(page);
+        let naive = NaivePst::build(&store, &points).unwrap();
+        let seg_store = PageStore::in_memory(page);
+        let seg = SegmentedPst::build(&seg_store, &points).unwrap();
+        let queries: Vec<TwoSided> =
+            (0..20).map(|i| TwoSided { x0: 1_000_001 + i, y0: 0 }).collect();
+        store.reset_stats();
+        for q in &queries {
+            naive.query(&store, *q).unwrap();
+        }
+        let naive_io = store.stats().reads as f64 / queries.len() as f64;
+        seg_store.reset_stats();
+        for q in &queries {
+            seg.query(&seg_store, *q).unwrap();
+        }
+        let seg_io = seg_store.stats().reads as f64 / queries.len() as f64;
+        let b = (page - 22) / 24;
+        table.row(vec![
+            page.to_string(),
+            b.to_string(),
+            f1(naive_io),
+            f1(seg_io),
+            f2(naive_io / seg_io),
+            seg_store.live_pages().to_string(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,73 @@
+//! Shared utilities for the experiment harness and Criterion benches.
+
+use pc_pagestore::{Interval, Point};
+use pc_workloads::{RawInterval, RawPoint};
+
+/// Converts generator output to storage points.
+pub fn to_points(raw: &[RawPoint]) -> Vec<Point> {
+    raw.iter().map(|&(x, y, id)| Point::new(x, y, id)).collect()
+}
+
+/// Converts generator output to storage intervals.
+pub fn to_intervals(raw: &[RawInterval]) -> Vec<Interval> {
+    raw.iter().map(|&(lo, hi, id)| Interval::new(lo, hi, id)).collect()
+}
+
+/// Simple fixed-width markdown table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Prints the table as GitHub-flavored markdown.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            println!("| {} |", padded.join(" | "));
+        };
+        line(&self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            line(row);
+        }
+        println!();
+    }
+}
+
+/// `log_base(n)`, at least 1 — the predicted navigation term.
+pub fn log_base(n: f64, base: f64) -> f64 {
+    (n.max(2.0).ln() / base.max(2.0).ln()).max(1.0)
+}
+
+/// Formats a float to one decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a float to two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}

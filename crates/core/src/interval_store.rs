@@ -1,0 +1,171 @@
+//! Dynamic interval management — the paper's §1 headline application.
+//!
+//! [KRV] showed that dynamic interval management (crucial for indexing in
+//! temporal and constraint databases) reduces to *stabbing queries*, which
+//! in turn reduce to diagonal-corner / 2-sided queries: an interval
+//! `[lo, hi]` becomes the point `(lo, hi)` above the main diagonal, and
+//! "which intervals contain `q`" becomes the 2-sided query
+//! `x <= q && y >= q` — a north-west dominance query whose corner `(q, q)`
+//! lies on the diagonal (Figure 1).
+//!
+//! [`IntervalStore`] runs that reduction over the fully dynamic PST of
+//! Theorem 5.1: stabbing queries cost `O(log_B n + t/B)` I/Os and updates
+//! `O(log_B n)` amortized — the bounds the paper's §6 highlights (up to
+//! its open `O(n/B)`-space question; this store inherits the
+//! `O((n/B)·log log B)` space of the 2-sided structure).
+
+use pc_pagestore::{Interval, PageStore, Point, Result};
+use pc_pst::{DynamicPst, TwoSided};
+
+/// A dynamic collection of intervals supporting optimal stabbing queries.
+///
+/// ```
+/// use path_caching::{IntervalStore, Interval, PageStore};
+///
+/// let store = PageStore::in_memory(4096);
+/// let mut ivs = IntervalStore::new(&store).unwrap();
+/// ivs.insert(&store, Interval::new(10, 20, 1)).unwrap();
+/// ivs.insert(&store, Interval::new(15, 30, 2)).unwrap();
+/// let hits = ivs.stab(&store, 18).unwrap();
+/// assert_eq!(hits.len(), 2);
+/// ivs.remove(&store, Interval::new(10, 20, 1)).unwrap();
+/// assert_eq!(ivs.stab(&store, 18).unwrap().len(), 1);
+/// ```
+pub struct IntervalStore {
+    // KRV reduction with the x-axis negated so the canonical north-east
+    // engine answers the north-west stabbing query.
+    pst: DynamicPst,
+}
+
+impl IntervalStore {
+    /// Creates an empty store.
+    pub fn new(store: &PageStore) -> Result<Self> {
+        Self::with_intervals(store, &[])
+    }
+
+    /// Bulk-builds a store from an initial interval set (ids must stay
+    /// unique among live intervals).
+    pub fn with_intervals(store: &PageStore, intervals: &[Interval]) -> Result<Self> {
+        let points: Vec<Point> = intervals.iter().map(|iv| Self::to_point(*iv)).collect();
+        Ok(IntervalStore { pst: DynamicPst::build(store, &points)? })
+    }
+
+    fn to_point(iv: Interval) -> Point {
+        // (lo, hi) with lo negated: `lo <= q` becomes `-lo >= -q`.
+        Point { x: -iv.lo, y: iv.hi, id: iv.id }
+    }
+
+    fn from_point(p: Point) -> Interval {
+        Interval { lo: -p.x, hi: p.y, id: p.id }
+    }
+
+    /// Number of live intervals.
+    pub fn len(&self) -> u64 {
+        self.pst.len()
+    }
+
+    /// True when the store holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.pst.is_empty()
+    }
+
+    /// Inserts an interval. Amortized `O(log_B n)` I/Os.
+    pub fn insert(&mut self, store: &PageStore, iv: Interval) -> Result<()> {
+        self.pst.insert(store, Self::to_point(iv))
+    }
+
+    /// Removes an interval (matched by `(lo, hi, id)`). Amortized
+    /// `O(log_B n)` I/Os.
+    pub fn remove(&mut self, store: &PageStore, iv: Interval) -> Result<()> {
+        self.pst.delete(store, Self::to_point(iv))
+    }
+
+    /// Stabbing query: every live interval containing `q`, in
+    /// `O(log_B n + t/B)` I/Os.
+    pub fn stab(&self, store: &PageStore, q: i64) -> Result<Vec<Interval>> {
+        let hits = self.pst.query(store, TwoSided { x0: -q, y0: q })?;
+        Ok(hits.into_iter().map(Self::from_point).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn xorshift(state: &mut u64, bound: i64) -> i64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        (*state % bound as u64) as i64
+    }
+
+    #[test]
+    fn stabbing_matches_brute_force_statically() {
+        let store = PageStore::in_memory(512);
+        let mut s = 0x123u64;
+        let intervals: Vec<Interval> = (0..2000)
+            .map(|id| {
+                let lo = xorshift(&mut s, 50_000);
+                Interval::new(lo, lo + xorshift(&mut s, 3000), id)
+            })
+            .collect();
+        let ivs = IntervalStore::with_intervals(&store, &intervals).unwrap();
+        for _ in 0..60 {
+            let q = xorshift(&mut s, 55_000) - 1000;
+            let mut got: Vec<u64> = ivs.stab(&store, q).unwrap().iter().map(|i| i.id).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> =
+                intervals.iter().filter(|i| i.contains(q)).map(|i| i.id).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "q={q}");
+        }
+    }
+
+    #[test]
+    fn dynamic_interval_management() {
+        let store = PageStore::in_memory(512);
+        let mut ivs = IntervalStore::new(&store).unwrap();
+        let mut oracle: HashMap<u64, Interval> = HashMap::new();
+        let mut s = 0x456u64;
+        let mut next_id = 0u64;
+        for step in 0..1500u64 {
+            if xorshift(&mut s, 3) < 2 {
+                let lo = xorshift(&mut s, 10_000);
+                let iv = Interval::new(lo, lo + xorshift(&mut s, 800), next_id);
+                next_id += 1;
+                ivs.insert(&store, iv).unwrap();
+                oracle.insert(iv.id, iv);
+            } else {
+                let keys: Vec<u64> = oracle.keys().copied().collect();
+                if !keys.is_empty() {
+                    let k = keys[(xorshift(&mut s, keys.len() as i64)) as usize];
+                    let iv = oracle.remove(&k).unwrap();
+                    ivs.remove(&store, iv).unwrap();
+                }
+            }
+            if step % 111 == 0 {
+                let q = xorshift(&mut s, 11_000);
+                let mut got: Vec<u64> =
+                    ivs.stab(&store, q).unwrap().iter().map(|i| i.id).collect();
+                got.sort_unstable();
+                let mut want: Vec<u64> =
+                    oracle.values().filter(|i| i.contains(q)).map(|i| i.id).collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "step {step} q={q}");
+            }
+            assert_eq!(ivs.len(), oracle.len() as u64);
+        }
+    }
+
+    #[test]
+    fn endpoints_are_inclusive() {
+        let store = PageStore::in_memory(512);
+        let mut ivs = IntervalStore::new(&store).unwrap();
+        ivs.insert(&store, Interval::new(5, 9, 1)).unwrap();
+        assert_eq!(ivs.stab(&store, 5).unwrap().len(), 1);
+        assert_eq!(ivs.stab(&store, 9).unwrap().len(), 1);
+        assert_eq!(ivs.stab(&store, 4).unwrap().len(), 0);
+        assert_eq!(ivs.stab(&store, 10).unwrap().len(), 0);
+    }
+}

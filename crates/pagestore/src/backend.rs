@@ -1,0 +1,254 @@
+//! Storage backends: where page frames physically live.
+//!
+//! A *frame* is the page payload plus an 8-byte trailing checksum; the
+//! [`crate::PageStore`] computes and verifies checksums, so backends only
+//! move opaque frames. Frame addressing is by [`PageId`] ordinal.
+//!
+//! All methods take `&self`: backends are internally synchronized (memory:
+//! a sharded `RwLock`; file: positional I/O), so concurrent readers never
+//! serialize on a global lock — see experiment E15.
+
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::error::Result;
+use crate::store::PageId;
+
+/// A linear array of fixed-size frames addressed by page id.
+///
+/// Backends are deliberately dumb: no caching, no counting, no checksums.
+/// All policy lives in [`crate::PageStore`].
+pub trait Backend: Send + Sync {
+    /// Size of one frame in bytes (page payload + checksum trailer).
+    fn frame_size(&self) -> usize;
+
+    /// Reads frame `id` into `buf` (`buf.len() == frame_size()`).
+    ///
+    /// Reading a frame that was never written fills `buf` with zeroes; the
+    /// store layer rejects such reads earlier via its allocation table, so
+    /// this is only reachable through store-internal recovery paths.
+    fn read_frame(&self, id: PageId, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes frame `id` from `buf` (`buf.len() == frame_size()`).
+    fn write_frame(&self, id: PageId, buf: &[u8]) -> Result<()>;
+
+    /// Flushes buffered writes to durable storage (no-op for memory).
+    fn sync(&self) -> Result<()>;
+
+    /// Number of frames this backend has capacity for right now (grows on
+    /// demand); used only for diagnostics.
+    fn frame_count(&self) -> u64;
+}
+
+/// Heap-backed backend: the "disk" is a vector of frames behind a
+/// read-write lock (reads of distinct pages proceed in parallel).
+///
+/// This is the default for experiments — it makes I/O *counting* exact and
+/// fast without touching the real filesystem.
+pub struct MemBackend {
+    frame_size: usize,
+    frames: RwLock<Vec<Option<Box<[u8]>>>>,
+}
+
+impl MemBackend {
+    /// Creates an empty in-memory backend with the given frame size.
+    pub fn new(frame_size: usize) -> Self {
+        MemBackend { frame_size, frames: RwLock::new(Vec::new()) }
+    }
+}
+
+impl Backend for MemBackend {
+    fn frame_size(&self) -> usize {
+        self.frame_size
+    }
+
+    fn read_frame(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.frame_size);
+        let frames = self.frames.read();
+        match frames.get(id.0 as usize).and_then(|f| f.as_deref()) {
+            Some(frame) => buf.copy_from_slice(frame),
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write_frame(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.frame_size);
+        let idx = id.0 as usize;
+        let mut frames = self.frames.write();
+        if idx >= frames.len() {
+            frames.resize_with(idx + 1, || None);
+        }
+        match &mut frames[idx] {
+            Some(frame) => frame.copy_from_slice(buf),
+            slot @ None => *slot = Some(buf.to_vec().into_boxed_slice()),
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn frame_count(&self) -> u64 {
+        self.frames.read().len() as u64
+    }
+}
+
+/// File-backed backend using positional reads/writes on a single file
+/// (`pread`/`pwrite`-style, so concurrent access needs no seeking lock).
+///
+/// Frame `i` lives at byte offset `i * frame_size`. This backend exists to
+/// demonstrate that every structure in the workspace runs unmodified
+/// against a real disk file; experiments use [`MemBackend`] because only
+/// transfer *counts* matter in the paper's model.
+pub struct FileBackend {
+    file: File,
+    frame_size: usize,
+    frames: AtomicU64,
+}
+
+impl FileBackend {
+    /// Opens (creating if necessary) `path` as a frame file.
+    pub fn open(path: &Path, frame_size: usize) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileBackend { file, frame_size, frames: AtomicU64::new(len / frame_size as u64) })
+    }
+}
+
+#[cfg(unix)]
+fn read_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(unix)]
+fn write_at(file: &File, buf: &[u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+compile_error!("FileBackend currently requires a Unix platform for positional I/O");
+
+impl Backend for FileBackend {
+    fn frame_size(&self) -> usize {
+        self.frame_size
+    }
+
+    fn read_frame(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.frame_size);
+        if id.0 >= self.frames.load(Ordering::Acquire) {
+            buf.fill(0);
+            return Ok(());
+        }
+        read_at(&self.file, buf, id.0 * self.frame_size as u64)?;
+        Ok(())
+    }
+
+    fn write_frame(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.frame_size);
+        write_at(&self.file, buf, id.0 * self.frame_size as u64)?;
+        self.frames.fetch_max(id.0 + 1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn frame_count(&self) -> u64 {
+        self.frames.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(backend: &dyn Backend) {
+        let fs = backend.frame_size();
+        let frame_a: Vec<u8> = (0..fs).map(|i| (i % 251) as u8).collect();
+        let frame_b: Vec<u8> = (0..fs).map(|i| (i % 13) as u8).collect();
+        backend.write_frame(PageId(0), &frame_a).unwrap();
+        backend.write_frame(PageId(5), &frame_b).unwrap();
+
+        let mut buf = vec![0u8; fs];
+        backend.read_frame(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf, frame_a);
+        backend.read_frame(PageId(5), &mut buf).unwrap();
+        assert_eq!(buf, frame_b);
+        // unwritten hole reads as zeroes
+        backend.read_frame(PageId(3), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        // overwrite
+        backend.write_frame(PageId(0), &frame_b).unwrap();
+        backend.read_frame(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf, frame_b);
+        assert!(backend.frame_count() >= 6);
+        backend.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_backend_roundtrip() {
+        roundtrip(&MemBackend::new(128));
+    }
+
+    #[test]
+    fn file_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pcps-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frames.bin");
+        roundtrip(&FileBackend::open(&path, 128).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backend_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("pcps-reopen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frames.bin");
+        let frame: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        {
+            let b = FileBackend::open(&path, 64).unwrap();
+            b.write_frame(PageId(2), &frame).unwrap();
+            b.sync().unwrap();
+        }
+        let b = FileBackend::open(&path, 64).unwrap();
+        assert_eq!(b.frame_count(), 3);
+        let mut buf = vec![0u8; 64];
+        b.read_frame(PageId(2), &mut buf).unwrap();
+        assert_eq!(buf, frame);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mem_backend_supports_concurrent_readers() {
+        let backend = MemBackend::new(64);
+        for i in 0..64u64 {
+            backend.write_frame(PageId(i), &[i as u8; 64]).unwrap();
+        }
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let mut buf = [0u8; 64];
+                    for round in 0..200u64 {
+                        let id = round % 64;
+                        backend.read_frame(PageId(id), &mut buf).unwrap();
+                        assert!(buf.iter().all(|&b| b == id as u8));
+                    }
+                });
+            }
+        });
+    }
+}

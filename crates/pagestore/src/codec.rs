@@ -1,0 +1,241 @@
+//! Bounds-checked little-endian cursors for encoding and decoding page
+//! layouts.
+//!
+//! Every on-page structure in this workspace (B+-tree nodes, block-list
+//! headers, cache blocks, …) is serialized through these two cursors so that
+//! layout bugs surface as [`StoreError::Corrupt`] rather than silent
+//! misreads.
+
+use crate::error::{Result, StoreError};
+
+/// Sequential writer over a mutable byte slice.
+///
+/// All `put_*` methods advance an internal offset and panic-free fail with
+/// [`StoreError::Corrupt`] on overflow, which keeps page-capacity arithmetic
+/// honest in the callers.
+pub struct PageWriter<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> PageWriter<'a> {
+    /// Creates a writer positioned at the start of `buf`.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        PageWriter { buf, pos: 0 }
+    }
+
+    /// Current write offset in bytes.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn chunk(&mut self, len: usize) -> Result<&mut [u8]> {
+        if self.remaining() < len {
+            return Err(StoreError::Corrupt(format!(
+                "write of {len} bytes at offset {} overflows page of {} bytes",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let start = self.pos;
+        self.pos += len;
+        Ok(&mut self.buf[start..start + len])
+    }
+
+    /// Writes a single byte.
+    pub fn put_u8(&mut self, v: u8) -> Result<()> {
+        self.chunk(1)?[0] = v;
+        Ok(())
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) -> Result<()> {
+        self.chunk(2)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> Result<()> {
+        self.chunk(4)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> Result<()> {
+        self.chunk(8)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) -> Result<()> {
+        self.chunk(8)?.copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes raw bytes verbatim.
+    pub fn put_bytes(&mut self, v: &[u8]) -> Result<()> {
+        self.chunk(v.len())?.copy_from_slice(v);
+        Ok(())
+    }
+
+    /// Skips `len` bytes, leaving them untouched (useful for reserving a
+    /// header slot to be patched later via a fresh writer).
+    pub fn skip(&mut self, len: usize) -> Result<()> {
+        self.chunk(len)?;
+        Ok(())
+    }
+}
+
+/// Sequential reader over an immutable byte slice; mirror of [`PageWriter`].
+pub struct PageReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PageReader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        PageReader { buf, pos: 0 }
+    }
+
+    /// Current read offset in bytes.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn chunk(&mut self, len: usize) -> Result<&'a [u8]> {
+        if self.remaining() < len {
+            return Err(StoreError::Corrupt(format!(
+                "read of {len} bytes at offset {} overruns page of {} bytes",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let start = self.pos;
+        self.pos += len;
+        Ok(&self.buf[start..start + len])
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.chunk(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.chunk(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.chunk(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.chunk(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.chunk(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `len` raw bytes.
+    pub fn get_bytes(&mut self, len: usize) -> Result<&'a [u8]> {
+        self.chunk(len)
+    }
+
+    /// Skips `len` bytes.
+    pub fn skip(&mut self, len: usize) -> Result<()> {
+        self.chunk(len)?;
+        Ok(())
+    }
+}
+
+/// FNV-1a 64-bit hash, used for page checksums.
+///
+/// Not cryptographic — it detects torn writes and stray corruption, which is
+/// all the storage layer needs.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = [0u8; 64];
+        let mut w = PageWriter::new(&mut buf);
+        w.put_u8(0xab).unwrap();
+        w.put_u16(0xbeef).unwrap();
+        w.put_u32(0xdead_beef).unwrap();
+        w.put_u64(0x0123_4567_89ab_cdef).unwrap();
+        w.put_i64(-42).unwrap();
+        w.put_bytes(b"xyz").unwrap();
+        assert_eq!(w.position(), 1 + 2 + 4 + 8 + 8 + 3);
+
+        let mut r = PageReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0xab);
+        assert_eq!(r.get_u16().unwrap(), 0xbeef);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_bytes(3).unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn writer_overflow_is_an_error() {
+        let mut buf = [0u8; 4];
+        let mut w = PageWriter::new(&mut buf);
+        w.put_u32(1).unwrap();
+        assert!(w.put_u8(2).is_err());
+    }
+
+    #[test]
+    fn reader_overrun_is_an_error() {
+        let buf = [0u8; 2];
+        let mut r = PageReader::new(&buf);
+        assert!(r.get_u32().is_err());
+        // failed read must not advance
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.get_u16().unwrap(), 0);
+    }
+
+    #[test]
+    fn skip_advances_both_cursors() {
+        let mut buf = [0u8; 8];
+        let mut w = PageWriter::new(&mut buf);
+        w.skip(4).unwrap();
+        w.put_u32(7).unwrap();
+        let mut r = PageReader::new(&buf);
+        r.skip(4).unwrap();
+        assert_eq!(r.get_u32().unwrap(), 7);
+    }
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

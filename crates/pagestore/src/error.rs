@@ -1,0 +1,83 @@
+//! Error type shared by all storage operations.
+
+use std::fmt;
+
+use crate::store::PageId;
+
+/// Result alias used throughout the storage layer.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors raised by the page store and structures built on it.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying operating-system I/O failure (file backend only).
+    Io(std::io::Error),
+    /// A page id was used that has never been allocated or was freed.
+    PageNotAllocated(PageId),
+    /// Stored checksum did not match page contents — torn or corrupt write.
+    ChecksumMismatch(PageId),
+    /// A write payload was larger than the configured page size.
+    PayloadTooLarge {
+        /// Size of the rejected payload in bytes.
+        payload: usize,
+        /// Configured usable page size in bytes.
+        page_size: usize,
+    },
+    /// A page-layout decode failed (truncated or malformed on-page data).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::PageNotAllocated(id) => write!(f, "page {id:?} is not allocated"),
+            StoreError::ChecksumMismatch(id) => write!(f, "checksum mismatch on page {id:?}"),
+            StoreError::PayloadTooLarge { payload, page_size } => {
+                write!(f, "payload of {payload} bytes exceeds page size {page_size}")
+            }
+            StoreError::Corrupt(msg) => write!(f, "corrupt page layout: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PageId;
+
+    #[test]
+    fn display_variants_are_informative() {
+        let e = StoreError::PageNotAllocated(PageId(7));
+        assert!(e.to_string().contains('7'));
+        let e = StoreError::PayloadTooLarge { payload: 5000, page_size: 4096 };
+        assert!(e.to_string().contains("5000"));
+        assert!(e.to_string().contains("4096"));
+        let e = StoreError::Corrupt("bad header".into());
+        assert!(e.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: StoreError = ioe.into();
+        assert!(e.to_string().contains("boom"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

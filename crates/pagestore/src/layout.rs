@@ -1,0 +1,373 @@
+//! Reusable on-page layouts.
+//!
+//! [`BlockList`] is the single most important structure in the
+//! reproduction: every cover-list, A-list, S-list, X-list, Y-list and path
+//! cache in the paper is "a list of records blocked `B` to a page". It is a
+//! singly-linked chain of pages, each holding a count, a next-page pointer,
+//! and up to `capacity` fixed-size records, preserving insertion order.
+//!
+//! [`RecordPage`] is the simpler flat layout used for tree-node payloads: a
+//! count header followed by records, all in one page.
+
+use std::marker::PhantomData;
+
+use crate::codec::{PageReader, PageWriter};
+use crate::error::{Result, StoreError};
+use crate::store::{PageId, PageStore, NULL_PAGE};
+use crate::types::Record;
+
+/// Byte overhead of a block-list page header: `count: u16`, `next: u64`.
+const BLOCK_HEADER: usize = 2 + 8;
+
+/// Handle to a blocked, immutable-once-built list of records.
+///
+/// The handle itself is 16 bytes (head page id + length) and implements
+/// [`Record`], so lists can be embedded in parent pages (e.g. a tree node
+/// storing handles to its cover list and cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockList<R: Record> {
+    head: PageId,
+    len: u64,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<R: Record> BlockList<R> {
+    /// The empty list: no pages, zero records.
+    pub fn empty() -> Self {
+        BlockList { head: NULL_PAGE, len: 0, _marker: PhantomData }
+    }
+
+    /// Records that fit in one page of `page_size` bytes.
+    pub fn capacity(page_size: usize) -> usize {
+        let cap = (page_size - BLOCK_HEADER) / R::ENCODED_LEN;
+        assert!(cap > 0, "page size {page_size} too small for records of {}", R::ENCODED_LEN);
+        cap
+    }
+
+    /// Builds a list from `records`, writing `ceil(len / capacity)` pages.
+    /// Record order is preserved — the paper's lists are always sorted by
+    /// the caller before blocking.
+    pub fn build(store: &PageStore, records: &[R]) -> Result<Self> {
+        if records.is_empty() {
+            return Ok(Self::empty());
+        }
+        let cap = Self::capacity(store.page_size());
+        let chunks: Vec<&[R]> = records.chunks(cap).collect();
+        let ids: Vec<PageId> = chunks.iter().map(|_| store.alloc()).collect::<Result<_>>()?;
+        let mut buf = vec![0u8; store.page_size()];
+        for (i, chunk) in chunks.iter().enumerate() {
+            let next = ids.get(i + 1).copied().unwrap_or(NULL_PAGE);
+            let used = {
+                let mut w = PageWriter::new(&mut buf);
+                w.put_u16(chunk.len() as u16)?;
+                w.put_u64(next.0)?;
+                for rec in *chunk {
+                    rec.encode(&mut w)?;
+                }
+                w.position()
+            };
+            store.write(ids[i], &buf[..used])?;
+        }
+        Ok(BlockList { head: ids[0], len: records.len() as u64, _marker: PhantomData })
+    }
+
+    /// First page of the chain ([`NULL_PAGE`] when empty).
+    pub fn head(&self) -> PageId {
+        self.head
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the list holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages the list occupies.
+    pub fn page_count(&self, page_size: usize) -> u64 {
+        if self.len == 0 {
+            0
+        } else {
+            self.len.div_ceil(Self::capacity(page_size) as u64)
+        }
+    }
+
+    /// Iterates over the list one *block* at a time; each step costs one
+    /// I/O. Stopping early (not exhausting the iterator) reads no further
+    /// pages — this is how queries achieve output-sensitive cost.
+    pub fn blocks<'s>(&self, store: &'s PageStore) -> BlockIter<'s, R> {
+        BlockIter { store, next: self.head, _marker: PhantomData }
+    }
+
+    /// Reads the entire list into memory (`page_count` I/Os).
+    pub fn read_all(&self, store: &PageStore) -> Result<Vec<R>> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        for block in self.blocks(store) {
+            out.extend(block?);
+        }
+        Ok(out)
+    }
+
+    /// Reads only the first block (one I/O; empty vec for the empty list).
+    /// This is the "first block of the X-list / Y-list" primitive of the
+    /// two-level scheme (paper §4).
+    pub fn read_first_block(&self, store: &PageStore) -> Result<Vec<R>> {
+        match self.blocks(store).next() {
+            Some(block) => block,
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Frees every page of the list. The handle must not be used again.
+    pub fn free(&self, store: &PageStore) -> Result<()> {
+        let mut cur = self.head;
+        while !cur.is_null() {
+            let page = store.read(cur)?;
+            let mut r = PageReader::new(&page);
+            let _count = r.get_u16()?;
+            let next = PageId(r.get_u64()?);
+            store.free(cur)?;
+            cur = next;
+        }
+        Ok(())
+    }
+}
+
+impl<R: Record> Record for BlockList<R> {
+    const ENCODED_LEN: usize = 16;
+
+    fn encode(&self, w: &mut PageWriter<'_>) -> Result<()> {
+        w.put_u64(self.head.0)?;
+        w.put_u64(self.len)
+    }
+
+    fn decode(r: &mut PageReader<'_>) -> Result<Self> {
+        Ok(BlockList { head: PageId(r.get_u64()?), len: r.get_u64()?, _marker: PhantomData })
+    }
+}
+
+/// Iterator over the blocks of a [`BlockList`]; see
+/// [`BlockList::blocks`].
+pub struct BlockIter<'s, R: Record> {
+    store: &'s PageStore,
+    next: PageId,
+    _marker: PhantomData<fn() -> R>,
+}
+
+impl<R: Record> Iterator for BlockIter<'_, R> {
+    type Item = Result<Vec<R>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next.is_null() {
+            return None;
+        }
+        Some(self.read_block())
+    }
+}
+
+impl<R: Record> BlockIter<'_, R> {
+    fn read_block(&mut self) -> Result<Vec<R>> {
+        let page = self.store.read(self.next)?;
+        let mut r = PageReader::new(&page);
+        let count = r.get_u16()? as usize;
+        let next = PageId(r.get_u64()?);
+        let cap = BlockList::<R>::capacity(self.store.page_size());
+        if count > cap {
+            return Err(StoreError::Corrupt(format!(
+                "block claims {count} records but capacity is {cap}"
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(R::decode(&mut r)?);
+        }
+        self.next = next;
+        Ok(out)
+    }
+}
+
+impl<R: Record> BlockList<R> {
+    /// Reads one block of a list directly by its page id, returning the
+    /// records and the next page in the chain. This is the random-access
+    /// primitive behind *directory-indexed* lists (used by the 3-sided PST
+    /// to jump into the middle of a sorted list in one I/O).
+    pub fn read_block(store: &PageStore, page_id: PageId) -> Result<(Vec<R>, PageId)> {
+        let page = store.read(page_id)?;
+        let mut r = PageReader::new(&page);
+        let count = r.get_u16()? as usize;
+        let next = PageId(r.get_u64()?);
+        let cap = Self::capacity(store.page_size());
+        if count > cap {
+            return Err(StoreError::Corrupt(format!(
+                "block claims {count} records but capacity is {cap}"
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(R::decode(&mut r)?);
+        }
+        Ok((out, next))
+    }
+
+    /// The page ids of every block in chain order (`page_count` I/Os);
+    /// used once at build time to construct directories.
+    pub fn block_pages(&self, store: &PageStore) -> Result<Vec<PageId>> {
+        let mut out = Vec::new();
+        let mut cur = self.head;
+        while !cur.is_null() {
+            out.push(cur);
+            let page = store.read(cur)?;
+            let mut r = PageReader::new(&page);
+            let _count = r.get_u16()?;
+            cur = PageId(r.get_u64()?);
+        }
+        Ok(out)
+    }
+}
+
+/// Flat single-page record array with a `u16` count header. Used for
+/// fixed-fanout tree nodes whose payload fits one page by construction.
+pub struct RecordPage;
+
+impl RecordPage {
+    /// Records of type `R` that fit in one page alongside `extra_header`
+    /// caller bytes.
+    pub fn capacity<R: Record>(page_size: usize, extra_header: usize) -> usize {
+        (page_size - 2 - extra_header) / R::ENCODED_LEN
+    }
+
+    /// Encodes `records` (with count header) into `w`.
+    pub fn encode<R: Record>(w: &mut PageWriter<'_>, records: &[R]) -> Result<()> {
+        w.put_u16(records.len() as u16)?;
+        for rec in records {
+            rec.encode(w)?;
+        }
+        Ok(())
+    }
+
+    /// Decodes a record array previously written by [`RecordPage::encode`].
+    pub fn decode<R: Record>(r: &mut PageReader<'_>) -> Result<Vec<R>> {
+        let count = r.get_u16()? as usize;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(R::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Point;
+
+    fn points(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as i64, (i * 7 % 101) as i64, i as u64)).collect()
+    }
+
+    #[test]
+    fn empty_list_has_no_pages() {
+        let store = PageStore::in_memory(256);
+        let list = BlockList::<Point>::build(&store, &[]).unwrap();
+        assert!(list.is_empty());
+        assert_eq!(list.page_count(256), 0);
+        assert_eq!(list.read_all(&store).unwrap(), vec![]);
+        assert_eq!(list.read_first_block(&store).unwrap(), vec![]);
+        assert_eq!(store.stats().total_io(), 0);
+    }
+
+    #[test]
+    fn build_and_read_all_preserves_order() {
+        let store = PageStore::in_memory(256);
+        let data = points(100);
+        let list = BlockList::build(&store, &data).unwrap();
+        assert_eq!(list.len(), 100);
+        assert_eq!(list.read_all(&store).unwrap(), data);
+    }
+
+    #[test]
+    fn capacity_matches_layout_arithmetic() {
+        // 256-byte page: (256 - 10) / 24 = 10 points per block.
+        assert_eq!(BlockList::<Point>::capacity(256), 10);
+        let store = PageStore::in_memory(256);
+        let list = BlockList::build(&store, &points(95)).unwrap();
+        assert_eq!(list.page_count(256), 10); // ceil(95/10)
+        assert_eq!(store.stats().writes, 10);
+    }
+
+    #[test]
+    fn early_stop_reads_only_needed_blocks() {
+        let store = PageStore::in_memory(256); // 10 points/block
+        let list = BlockList::build(&store, &points(100)).unwrap();
+        store.reset_stats();
+        let mut seen = 0;
+        for block in list.blocks(&store) {
+            seen += block.unwrap().len();
+            if seen >= 25 {
+                break;
+            }
+        }
+        assert_eq!(store.stats().reads, 3, "25 records span 3 blocks of 10");
+    }
+
+    #[test]
+    fn first_block_is_one_io() {
+        let store = PageStore::in_memory(256);
+        let data = points(50);
+        let list = BlockList::build(&store, &data).unwrap();
+        store.reset_stats();
+        let first = list.read_first_block(&store).unwrap();
+        assert_eq!(first, data[..10].to_vec());
+        assert_eq!(store.stats().reads, 1);
+    }
+
+    #[test]
+    fn handle_roundtrips_as_record() {
+        let store = PageStore::in_memory(256);
+        let list = BlockList::build(&store, &points(30)).unwrap();
+        let mut buf = vec![0u8; BlockList::<Point>::ENCODED_LEN];
+        let mut w = PageWriter::new(&mut buf);
+        list.encode(&mut w).unwrap();
+        let mut r = PageReader::new(&buf);
+        let back = BlockList::<Point>::decode(&mut r).unwrap();
+        assert_eq!(back, list);
+        assert_eq!(back.read_all(&store).unwrap().len(), 30);
+    }
+
+    #[test]
+    fn free_releases_every_page() {
+        let store = PageStore::in_memory(256);
+        let list = BlockList::build(&store, &points(95)).unwrap();
+        assert_eq!(store.live_pages(), 10);
+        list.free(&store).unwrap();
+        assert_eq!(store.live_pages(), 0);
+    }
+
+    #[test]
+    fn single_partial_block() {
+        let store = PageStore::in_memory(256);
+        let data = points(3);
+        let list = BlockList::build(&store, &data).unwrap();
+        assert_eq!(list.page_count(256), 1);
+        assert_eq!(list.read_all(&store).unwrap(), data);
+    }
+
+    #[test]
+    fn record_page_roundtrip() {
+        let data = points(7);
+        let mut buf = vec![0u8; 256];
+        let mut w = PageWriter::new(&mut buf);
+        RecordPage::encode(&mut w, &data).unwrap();
+        let mut r = PageReader::new(&buf);
+        assert_eq!(RecordPage::decode::<Point>(&mut r).unwrap(), data);
+    }
+
+    #[test]
+    fn record_page_capacity_accounts_for_headers() {
+        assert_eq!(RecordPage::capacity::<Point>(256, 0), 10);
+        assert_eq!(RecordPage::capacity::<Point>(256, 24), 9);
+    }
+}

@@ -1,0 +1,49 @@
+//! # pc-pagestore — paged secondary-storage engine
+//!
+//! This crate is the external-memory substrate for the path-caching
+//! reproduction. It models a disk as an array of fixed-size *pages* and
+//! charges one I/O per page transferred, exactly matching the cost model of
+//! Ramaswamy & Subramanian (PODS 1994): "each secondary memory access
+//! transmits one page or `B` units of data, and we count this as one I/O."
+//!
+//! ## Components
+//!
+//! * [`PageStore`] — allocation, checksummed page frames, I/O statistics,
+//!   and an optional buffer pool. With the pool disabled (the default) the
+//!   store implements the *strict* I/O model used by every experiment: each
+//!   logical page read/write is one backend transfer.
+//! * [`backend`] — where the bytes live: [`backend::MemBackend`] (RAM) or
+//!   [`backend::FileBackend`] (a real file, positional I/O).
+//! * [`codec`] — bounds-checked little-endian cursors for page layouts.
+//! * [`layout`] — reusable on-page structures, most importantly
+//!   [`layout::BlockList`], the blocked linked list that implements every
+//!   cover-list, cache, A/S/X/Y list in the paper.
+//! * [`types`] — the geometric records ([`types::Point`],
+//!   [`types::Interval`]) shared by all index crates.
+//!
+//! ## Example
+//!
+//! ```
+//! use pc_pagestore::PageStore;
+//!
+//! let store = PageStore::in_memory(4096);
+//! let id = store.alloc().unwrap();
+//! store.write(id, b"hello page").unwrap();
+//! let page = store.read(id).unwrap();
+//! assert_eq!(&page[..10], b"hello page");
+//! assert_eq!(store.stats().reads, 1);
+//! ```
+
+pub mod backend;
+pub mod codec;
+pub mod error;
+pub mod layout;
+pub mod pool;
+pub mod stats;
+pub mod store;
+pub mod types;
+
+pub use error::{Result, StoreError};
+pub use stats::IoStats;
+pub use store::{PageId, PageStore, StoreConfig, NULL_PAGE};
+pub use types::{Interval, Point, Record};

@@ -1,0 +1,87 @@
+//! I/O accounting.
+//!
+//! Every experiment in this reproduction reports *page transfer counts*, not
+//! wall-clock time, because the paper's bounds are stated in the standard
+//! external-memory model. [`IoStats`] is the measured quantity.
+
+use std::fmt;
+use std::ops::Sub;
+
+/// Snapshot of cumulative I/O counters for one [`crate::PageStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page reads served by the backend (i.e. actual transfers; buffer-pool
+    /// hits are *not* counted here).
+    pub reads: u64,
+    /// Page writes issued to the backend (including pool write-backs).
+    pub writes: u64,
+    /// Logical reads absorbed by the buffer pool (0 in strict mode).
+    pub cache_hits: u64,
+    /// Pages allocated over the store's lifetime.
+    pub allocs: u64,
+    /// Pages freed over the store's lifetime.
+    pub frees: u64,
+}
+
+impl IoStats {
+    /// Total page transfers: reads plus writes.
+    pub fn total_io(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Pages currently live (allocated and not freed).
+    pub fn live_pages(&self) -> u64 {
+        self.allocs - self.frees
+    }
+}
+
+impl Sub for IoStats {
+    type Output = IoStats;
+
+    /// Computes the delta between two snapshots, used to attribute I/O to a
+    /// single operation: `let before = store.stats(); op(); let cost =
+    /// store.stats() - before;`.
+    fn sub(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+            cache_hits: self.cache_hits - rhs.cache_hits,
+            allocs: self.allocs - rhs.allocs,
+            frees: self.frees - rhs.frees,
+        }
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} hits={} allocs={} frees={}",
+            self.reads, self.writes, self.cache_hits, self.allocs, self.frees
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_and_totals() {
+        let a = IoStats { reads: 10, writes: 4, cache_hits: 2, allocs: 5, frees: 1 };
+        let b = IoStats { reads: 25, writes: 9, cache_hits: 7, allocs: 8, frees: 2 };
+        let d = b - a;
+        assert_eq!(d.reads, 15);
+        assert_eq!(d.writes, 5);
+        assert_eq!(d.total_io(), 20);
+        assert_eq!(b.live_pages(), 6);
+    }
+
+    #[test]
+    fn display_contains_all_counters() {
+        let s = IoStats { reads: 1, writes: 2, cache_hits: 3, allocs: 4, frees: 5 }.to_string();
+        for needle in ["reads=1", "writes=2", "hits=3", "allocs=4", "frees=5"] {
+            assert!(s.contains(needle), "{s} missing {needle}");
+        }
+    }
+}

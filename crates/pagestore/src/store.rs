@@ -1,0 +1,472 @@
+//! The page store: allocation, checksums, I/O accounting, optional buffer
+//! pool.
+//!
+//! Concurrency model: statistics are atomic counters, the allocation table
+//! sits behind a read-write lock (shared on the hot read path), and the
+//! backend itself is internally synchronized — so concurrent readers of a
+//! static structure scale across threads (experiment E15). Only the
+//! optional buffer pool takes an exclusive lock per access.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+
+use crate::backend::{Backend, FileBackend, MemBackend};
+use crate::codec::fnv1a64;
+use crate::error::{Result, StoreError};
+use crate::pool::BufferPool;
+use crate::stats::IoStats;
+
+/// Identifier of a page within one [`PageStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// Sentinel id used by on-page layouts for "no page" (e.g. end of a block
+/// list). Never returned by [`PageStore::alloc`].
+pub const NULL_PAGE: PageId = PageId(u64::MAX);
+
+impl PageId {
+    /// True if this id is the [`NULL_PAGE`] sentinel.
+    pub fn is_null(self) -> bool {
+        self == NULL_PAGE
+    }
+}
+
+/// Construction-time configuration for a [`PageStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Usable page payload size in bytes. The paper's block parameter `B`
+    /// for a structure storing records of `r` bytes is `page_size / r`.
+    pub page_size: usize,
+    /// Buffer-pool capacity in pages; `0` disables the pool and yields the
+    /// strict I/O model (every logical access is one transfer).
+    pub pool_pages: usize,
+}
+
+impl StoreConfig {
+    /// Strict-model configuration with the given page size.
+    pub fn strict(page_size: usize) -> Self {
+        StoreConfig { page_size, pool_pages: 0 }
+    }
+}
+
+const CHECKSUM_LEN: usize = 8;
+
+#[derive(Default)]
+struct AtomicStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    cache_hits: AtomicU64,
+    allocs: AtomicU64,
+    frees: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.allocs.store(0, Ordering::Relaxed);
+        self.frees.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct AllocState {
+    allocated: Vec<bool>,
+    free_list: Vec<u64>,
+    next_id: u64,
+}
+
+/// A simulated (or file-backed) disk of fixed-size pages.
+///
+/// All methods take `&self`; index structures expose `&self` query APIs and
+/// the experiment harness drives stores from multiple threads.
+pub struct PageStore {
+    page_size: usize,
+    backend: Box<dyn Backend>,
+    stats: AtomicStats,
+    alloc: RwLock<AllocState>,
+    pool: Option<Mutex<BufferPool>>,
+}
+
+impl PageStore {
+    /// Creates a store over an arbitrary backend.
+    ///
+    /// The backend's frame size must equal `config.page_size + 8` (payload
+    /// plus checksum trailer).
+    pub fn new(config: StoreConfig, backend: Box<dyn Backend>) -> Self {
+        assert!(config.page_size >= 32, "page size must be at least 32 bytes");
+        assert_eq!(
+            backend.frame_size(),
+            config.page_size + CHECKSUM_LEN,
+            "backend frame size must be page_size + 8"
+        );
+        PageStore {
+            page_size: config.page_size,
+            backend,
+            stats: AtomicStats::default(),
+            alloc: RwLock::new(AllocState::default()),
+            pool: (config.pool_pages > 0).then(|| Mutex::new(BufferPool::new(config.pool_pages))),
+        }
+    }
+
+    /// Strict-model in-memory store: the standard configuration for all
+    /// experiments.
+    pub fn in_memory(page_size: usize) -> Self {
+        let backend = MemBackend::new(page_size + CHECKSUM_LEN);
+        PageStore::new(StoreConfig::strict(page_size), Box::new(backend))
+    }
+
+    /// In-memory store with a buffer pool of `pool_pages` pages.
+    pub fn in_memory_pooled(page_size: usize, pool_pages: usize) -> Self {
+        let backend = MemBackend::new(page_size + CHECKSUM_LEN);
+        PageStore::new(StoreConfig { page_size, pool_pages }, Box::new(backend))
+    }
+
+    /// File-backed strict-model store at `path`.
+    pub fn file(path: &Path, page_size: usize) -> Result<Self> {
+        let backend = FileBackend::open(path, page_size + CHECKSUM_LEN)?;
+        Ok(PageStore::new(StoreConfig::strict(page_size), Box::new(backend)))
+    }
+
+    /// Usable page payload size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Allocates a fresh (or recycled) page. The page reads as all-zero
+    /// until first written; recycled pages are zeroed on reuse (one write
+    /// I/O), so no stale contents ever leak across a free/alloc cycle.
+    pub fn alloc(&self) -> Result<PageId> {
+        let (id, recycled) = {
+            let mut a = self.alloc.write();
+            let (id, recycled) = match a.free_list.pop() {
+                Some(id) => (id, true),
+                None => {
+                    let id = a.next_id;
+                    a.next_id += 1;
+                    (id, false)
+                }
+            };
+            let idx = id as usize;
+            if idx >= a.allocated.len() {
+                a.allocated.resize(idx + 1, false);
+            }
+            a.allocated[idx] = true;
+            (id, recycled)
+        };
+        if recycled {
+            self.backend_write(PageId(id), &[])?;
+        }
+        self.stats.allocs.fetch_add(1, Ordering::Relaxed);
+        Ok(PageId(id))
+    }
+
+    /// Releases a page for reuse. Its contents become undefined.
+    pub fn free(&self, id: PageId) -> Result<()> {
+        {
+            let mut a = self.alloc.write();
+            if id.is_null() || !a.allocated.get(id.0 as usize).copied().unwrap_or(false) {
+                return Err(StoreError::PageNotAllocated(id));
+            }
+            a.allocated[id.0 as usize] = false;
+            a.free_list.push(id.0);
+        }
+        if let Some(pool) = &self.pool {
+            pool.lock().discard(id);
+        }
+        self.stats.frees.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn check_allocated(&self, id: PageId) -> Result<()> {
+        let a = self.alloc.read();
+        if id.is_null() || !a.allocated.get(id.0 as usize).copied().unwrap_or(false) {
+            return Err(StoreError::PageNotAllocated(id));
+        }
+        Ok(())
+    }
+
+    /// Reads page `id`, returning its full `page_size`-byte payload.
+    ///
+    /// Costs one backend read in strict mode; with a pool, resident pages
+    /// cost nothing and are counted as `cache_hits`.
+    pub fn read(&self, id: PageId) -> Result<Bytes> {
+        self.check_allocated(id)?;
+        if let Some(pool) = &self.pool {
+            let mut pool = pool.lock();
+            if let Some(data) = pool.get(id) {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Bytes::copy_from_slice(data));
+            }
+            let payload = self.backend_read(id)?;
+            let data: Box<[u8]> = payload.to_vec().into_boxed_slice();
+            pool.insert(id, data, false, |vid, vdata| self.backend_write(vid, vdata))?;
+            return Ok(payload);
+        }
+        self.backend_read(id)
+    }
+
+    /// Writes page `id`. `data` may be shorter than the page size; the
+    /// remainder is zero-filled.
+    ///
+    /// Costs one backend write in strict mode; with a pool, the write is
+    /// absorbed and deferred until eviction or [`PageStore::sync`].
+    pub fn write(&self, id: PageId, data: &[u8]) -> Result<()> {
+        if data.len() > self.page_size {
+            return Err(StoreError::PayloadTooLarge {
+                payload: data.len(),
+                page_size: self.page_size,
+            });
+        }
+        self.check_allocated(id)?;
+        if let Some(pool) = &self.pool {
+            let mut padded = vec![0u8; self.page_size].into_boxed_slice();
+            padded[..data.len()].copy_from_slice(data);
+            let mut pool = pool.lock();
+            pool.insert(id, padded, true, |vid, vdata| self.backend_write(vid, vdata))?;
+            return Ok(());
+        }
+        self.backend_write(id, data)
+    }
+
+    fn backend_read(&self, id: PageId) -> Result<Bytes> {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let mut frame = vec![0u8; self.page_size + CHECKSUM_LEN];
+        self.backend.read_frame(id, &mut frame)?;
+        verify_frame(&frame, self.page_size, id)?;
+        frame.truncate(self.page_size);
+        Ok(Bytes::from(frame))
+    }
+
+    fn backend_write(&self, id: PageId, data: &[u8]) -> Result<()> {
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let mut frame = vec![0u8; self.page_size + CHECKSUM_LEN];
+        frame[..data.len()].copy_from_slice(data);
+        let checksum = fnv1a64(&frame[..self.page_size]);
+        frame[self.page_size..].copy_from_slice(&checksum.to_le_bytes());
+        self.backend.write_frame(id, &frame)
+    }
+
+    /// Flushes all buffered dirty pages and syncs the backend.
+    pub fn sync(&self) -> Result<()> {
+        if let Some(pool) = &self.pool {
+            pool.lock().flush(|vid, vdata| self.backend_write(vid, vdata))?;
+        }
+        self.backend.sync()
+    }
+
+    /// Snapshot of cumulative I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+
+    /// Resets all I/O counters to zero (allocation state is untouched).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Number of currently allocated pages — the measured *space* in every
+    /// experiment, in units of disk blocks.
+    pub fn live_pages(&self) -> u64 {
+        let a = self.alloc.read();
+        a.allocated.iter().filter(|&&x| x).count() as u64
+    }
+
+    /// Fault injection for tests: flips one byte of the stored frame for
+    /// page `id`, bypassing the pool, so the next uncached read fails its
+    /// checksum. Testing aid only.
+    pub fn inject_corruption(&self, id: PageId, byte_offset: usize) -> Result<()> {
+        self.check_allocated(id)?;
+        if let Some(pool) = &self.pool {
+            pool.lock().discard(id);
+        }
+        let mut frame = vec![0u8; self.page_size + CHECKSUM_LEN];
+        self.backend.read_frame(id, &mut frame)?;
+        frame[byte_offset] ^= 0xff;
+        self.backend.write_frame(id, &frame)
+    }
+}
+
+fn verify_frame(frame: &[u8], page_size: usize, id: PageId) -> Result<()> {
+    let stored = u64::from_le_bytes(frame[page_size..page_size + CHECKSUM_LEN].try_into().unwrap());
+    if stored == 0 && frame[..page_size].iter().all(|&b| b == 0) {
+        // Never-written page: reads as zeroes by contract.
+        return Ok(());
+    }
+    if stored != fnv1a64(&frame[..page_size]) {
+        return Err(StoreError::ChecksumMismatch(id));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read_roundtrip_counts_io() {
+        let store = PageStore::in_memory(64);
+        let id = store.alloc().unwrap();
+        store.write(id, b"abc").unwrap();
+        let page = store.read(id).unwrap();
+        assert_eq!(&page[..3], b"abc");
+        assert!(page[3..].iter().all(|&b| b == 0));
+        let s = store.stats();
+        assert_eq!((s.reads, s.writes, s.allocs), (1, 1, 1));
+    }
+
+    #[test]
+    fn unallocated_access_is_rejected() {
+        let store = PageStore::in_memory(64);
+        assert!(matches!(store.read(PageId(0)), Err(StoreError::PageNotAllocated(_))));
+        assert!(matches!(store.write(PageId(3), b"x"), Err(StoreError::PageNotAllocated(_))));
+        assert!(matches!(store.read(NULL_PAGE), Err(StoreError::PageNotAllocated(_))));
+        let id = store.alloc().unwrap();
+        store.free(id).unwrap();
+        assert!(matches!(store.read(id), Err(StoreError::PageNotAllocated(_))));
+        assert!(matches!(store.free(id), Err(StoreError::PageNotAllocated(_))));
+    }
+
+    #[test]
+    fn freed_pages_are_recycled() {
+        let store = PageStore::in_memory(64);
+        let a = store.alloc().unwrap();
+        let b = store.alloc().unwrap();
+        store.free(a).unwrap();
+        let c = store.alloc().unwrap();
+        assert_eq!(c, a, "free list should recycle");
+        assert_ne!(b, c);
+        assert_eq!(store.live_pages(), 2);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        let store = PageStore::in_memory(64);
+        let id = store.alloc().unwrap();
+        let big = vec![1u8; 65];
+        assert!(matches!(store.write(id, &big), Err(StoreError::PayloadTooLarge { .. })));
+    }
+
+    #[test]
+    fn never_written_page_reads_as_zero() {
+        let store = PageStore::in_memory(64);
+        let id = store.alloc().unwrap();
+        let page = store.read(id).unwrap();
+        assert!(page.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let store = PageStore::in_memory(64);
+        let id = store.alloc().unwrap();
+        store.write(id, b"payload").unwrap();
+        store.inject_corruption(id, 2).unwrap();
+        assert!(matches!(store.read(id), Err(StoreError::ChecksumMismatch(_))));
+    }
+
+    #[test]
+    fn strict_mode_counts_every_access() {
+        let store = PageStore::in_memory(64);
+        let id = store.alloc().unwrap();
+        store.write(id, b"x").unwrap();
+        for _ in 0..10 {
+            store.read(id).unwrap();
+        }
+        let s = store.stats();
+        assert_eq!(s.reads, 10);
+        assert_eq!(s.cache_hits, 0);
+    }
+
+    #[test]
+    fn pooled_mode_absorbs_repeat_reads() {
+        let store = PageStore::in_memory_pooled(64, 4);
+        let id = store.alloc().unwrap();
+        store.write(id, b"x").unwrap();
+        for _ in 0..10 {
+            store.read(id).unwrap();
+        }
+        let s = store.stats();
+        assert_eq!(s.reads, 0, "write left the page resident");
+        assert_eq!(s.cache_hits, 10);
+        assert_eq!(s.writes, 0, "write is still buffered");
+        store.sync().unwrap();
+        assert_eq!(store.stats().writes, 1);
+    }
+
+    #[test]
+    fn pooled_eviction_writes_back_and_rereads() {
+        let store = PageStore::in_memory_pooled(64, 2);
+        let ids: Vec<PageId> = (0..4).map(|_| store.alloc().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            store.write(id, &[i as u8]).unwrap();
+        }
+        // Pool of 2 cannot hold 4 dirty pages: at least 2 write-backs.
+        assert!(store.stats().writes >= 2);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(store.read(id).unwrap()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters_only() {
+        let store = PageStore::in_memory(64);
+        let id = store.alloc().unwrap();
+        store.write(id, b"x").unwrap();
+        store.reset_stats();
+        assert_eq!(store.stats(), IoStats::default());
+        assert_eq!(&store.read(id).unwrap()[..1], b"x");
+        assert_eq!(store.stats().reads, 1);
+    }
+
+    #[test]
+    fn file_backed_store_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("pcstore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.bin");
+        {
+            let store = PageStore::file(&path, 64).unwrap();
+            let id = store.alloc().unwrap();
+            store.write(id, b"durable").unwrap();
+            store.sync().unwrap();
+            assert_eq!(&store.read(id).unwrap()[..7], b"durable");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_reads_and_stat_counting_are_exact() {
+        let store = PageStore::in_memory(64);
+        let ids: Vec<PageId> = (0..32)
+            .map(|i| {
+                let id = store.alloc().unwrap();
+                store.write(id, &[i as u8]).unwrap();
+                id
+            })
+            .collect();
+        store.reset_stats();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for (i, &id) in ids.iter().enumerate() {
+                        assert_eq!(store.read(id).unwrap()[0], i as u8);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.stats().reads, 8 * 32, "atomic counters must not drop increments");
+    }
+}

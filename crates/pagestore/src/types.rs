@@ -1,0 +1,198 @@
+//! Geometric record types shared by every index structure in the workspace.
+//!
+//! They live in the storage crate (the common dependency) so the segment
+//! tree, interval tree, and priority search tree crates agree on encodings;
+//! the umbrella `path-caching` crate re-exports them as public API.
+
+use crate::codec::{PageReader, PageWriter};
+use crate::error::Result;
+
+/// A fixed-size record that can be stored in blocked lists and pages.
+pub trait Record: Sized + Clone {
+    /// Encoded size in bytes; every instance encodes to exactly this many.
+    const ENCODED_LEN: usize;
+
+    /// Serializes into `w`.
+    fn encode(&self, w: &mut PageWriter<'_>) -> Result<()>;
+
+    /// Deserializes from `r`.
+    fn decode(r: &mut PageReader<'_>) -> Result<Self>;
+}
+
+/// A point in the plane with an opaque payload (typically a tuple id).
+///
+/// Coordinates are `i64`; ties are broken by `id` so inputs can always be
+/// treated as having distinct coordinates (the paper's usual general-
+/// position assumption, realized by lexicographic comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Point {
+    /// x coordinate.
+    pub x: i64,
+    /// y coordinate.
+    pub y: i64,
+    /// Caller-defined payload, e.g. a record id.
+    pub id: u64,
+}
+
+impl Point {
+    /// Convenience constructor.
+    pub fn new(x: i64, y: i64, id: u64) -> Self {
+        Point { x, y, id }
+    }
+
+    /// Total order by (x, y, id) — the x-order used for tree division.
+    pub fn cmp_xy(&self, other: &Point) -> std::cmp::Ordering {
+        (self.x, self.y, self.id).cmp(&(other.x, other.y, other.id))
+    }
+
+    /// Total order by (y, x, id) — the y-order used for heap layering.
+    pub fn cmp_yx(&self, other: &Point) -> std::cmp::Ordering {
+        (self.y, self.x, self.id).cmp(&(other.y, other.x, other.id))
+    }
+}
+
+impl Record for Point {
+    const ENCODED_LEN: usize = 24;
+
+    fn encode(&self, w: &mut PageWriter<'_>) -> Result<()> {
+        w.put_i64(self.x)?;
+        w.put_i64(self.y)?;
+        w.put_u64(self.id)
+    }
+
+    fn decode(r: &mut PageReader<'_>) -> Result<Self> {
+        Ok(Point { x: r.get_i64()?, y: r.get_i64()?, id: r.get_u64()? })
+    }
+}
+
+/// A closed interval `[lo, hi]` on the line with an opaque payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Left endpoint (inclusive).
+    pub lo: i64,
+    /// Right endpoint (inclusive).
+    pub hi: i64,
+    /// Caller-defined payload, e.g. a record id.
+    pub id: u64,
+}
+
+impl Interval {
+    /// Creates an interval; panics if `lo > hi`.
+    pub fn new(lo: i64, hi: i64, id: u64) -> Self {
+        assert!(lo <= hi, "interval endpoints out of order: [{lo}, {hi}]");
+        Interval { lo, hi, id }
+    }
+
+    /// True if the interval contains the query point `q`.
+    pub fn contains(&self, q: i64) -> bool {
+        self.lo <= q && q <= self.hi
+    }
+
+    /// The [KRV] reduction: interval `[lo, hi]` as the point `(lo, hi)`.
+    /// A stabbing query at `q` becomes the 2-sided query `x ≤ q ∧ y ≥ q`
+    /// (a diagonal-corner query, since the corner `(q, q)` lies on the
+    /// diagonal).
+    pub fn to_point(&self) -> Point {
+        Point { x: self.lo, y: self.hi, id: self.id }
+    }
+}
+
+impl Record for Interval {
+    const ENCODED_LEN: usize = 24;
+
+    fn encode(&self, w: &mut PageWriter<'_>) -> Result<()> {
+        w.put_i64(self.lo)?;
+        w.put_i64(self.hi)?;
+        w.put_u64(self.id)
+    }
+
+    fn decode(r: &mut PageReader<'_>) -> Result<Self> {
+        Ok(Interval { lo: r.get_i64()?, hi: r.get_i64()?, id: r.get_u64()? })
+    }
+}
+
+/// A bare `u64`, used where lists store page ids or record ids.
+impl Record for u64 {
+    const ENCODED_LEN: usize = 8;
+
+    fn encode(&self, w: &mut PageWriter<'_>) -> Result<()> {
+        w.put_u64(*self)
+    }
+
+    fn decode(r: &mut PageReader<'_>) -> Result<Self> {
+        r.get_u64()
+    }
+}
+
+/// A bare `i64` key record.
+impl Record for i64 {
+    const ENCODED_LEN: usize = 8;
+
+    fn encode(&self, w: &mut PageWriter<'_>) -> Result<()> {
+        w.put_i64(*self)
+    }
+
+    fn decode(r: &mut PageReader<'_>) -> Result<Self> {
+        r.get_i64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<R: Record + PartialEq + std::fmt::Debug>(rec: R) {
+        let mut buf = vec![0u8; R::ENCODED_LEN];
+        let mut w = PageWriter::new(&mut buf);
+        rec.encode(&mut w).unwrap();
+        assert_eq!(w.position(), R::ENCODED_LEN, "encode must fill ENCODED_LEN exactly");
+        let mut r = PageReader::new(&buf);
+        assert_eq!(R::decode(&mut r).unwrap(), rec);
+    }
+
+    #[test]
+    fn record_roundtrips() {
+        roundtrip(Point::new(-5, 9, 42));
+        roundtrip(Interval::new(-10, 10, 7));
+        roundtrip(123_456_789u64);
+        roundtrip(-987_654_321i64);
+    }
+
+    #[test]
+    fn point_orders_break_ties_deterministically() {
+        let a = Point::new(1, 2, 0);
+        let b = Point::new(1, 2, 1);
+        assert_eq!(a.cmp_xy(&b), std::cmp::Ordering::Less);
+        assert_eq!(a.cmp_yx(&b), std::cmp::Ordering::Less);
+        let c = Point::new(0, 9, 5);
+        assert_eq!(c.cmp_xy(&a), std::cmp::Ordering::Less);
+        assert_eq!(a.cmp_yx(&c), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn interval_contains_is_closed() {
+        let iv = Interval::new(3, 8, 0);
+        assert!(iv.contains(3));
+        assert!(iv.contains(8));
+        assert!(iv.contains(5));
+        assert!(!iv.contains(2));
+        assert!(!iv.contains(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn inverted_interval_panics() {
+        let _ = Interval::new(5, 4, 0);
+    }
+
+    #[test]
+    fn krv_reduction_maps_stabbing_to_corner() {
+        // interval [2, 9] stabs q=5  <=>  point (2, 9) satisfies x<=5<=y
+        let iv = Interval::new(2, 9, 1);
+        let p = iv.to_point();
+        let q = 5i64;
+        assert_eq!(iv.contains(q), p.x <= q && p.y >= q);
+        let q = 1i64;
+        assert_eq!(iv.contains(q), p.x <= q && p.y >= q);
+    }
+}

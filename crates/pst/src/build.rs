@@ -1,0 +1,497 @@
+//! External layout and construction of the single-level PST variants
+//! (naive / Lemma 3.1 / Theorem 3.2).
+//!
+//! ## On-page layouts
+//!
+//! Every region (binary node) owns a **points page**, which also carries
+//! the child links used by the descendant traversal so that visiting a
+//! descendant costs exactly one I/O:
+//!
+//! ```text
+//! points page: [count: u16][left_pts: u64][right_pts: u64]
+//!              [left_cnt: u16][right_cnt: u16][point * count]
+//! ```
+//!
+//! Navigation state lives in **skeletal pages** (Figure 2): binary subtrees
+//! of height `h = ⌊log₂(capacity+1)⌋` packed one per page, with 130-byte
+//! records:
+//!
+//! ```text
+//! record: [split: Point][min_y: Point]
+//!         [left_ref: u64+u16][right_ref: u64+u16]
+//!         [own_pts: u64][own_cnt: u16]
+//!         [left_pts: u64][left_cnt: u16][right_pts: u64][right_cnt: u16]
+//!         [a_list: BlockList<Point>][s_list: BlockList<SEntry>]
+//! ```
+//!
+//! `a_list`/`s_list` are the paper's A- and S-lists; which ancestors they
+//! cover depends on the [`CacheMode`].
+
+use pc_pagestore::codec::{PageReader, PageWriter};
+use pc_pagestore::layout::BlockList;
+use pc_pagestore::{PageId, PageStore, Point, Record, Result, NULL_PAGE};
+
+use crate::mem::{cmp_x, cmp_y, MemPst, TwoSided, NONE};
+use crate::query::{run_two_sided, QueryCounters};
+
+/// Which path segments the per-node A/S caches cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No caches at all: the [IKO] baseline (`O(log n + t/B)` queries).
+    None,
+    /// Caches cover the entire root path (Lemma 3.1,
+    /// `O((n/B) log n)` space).
+    FullPath,
+    /// Caches cover only ancestors within the same skeletal page — the
+    /// `log B`-segment scheme of Theorem 3.2 (`O((n/B) log B)` space).
+    InPage,
+}
+
+/// An S-list entry: a sibling point tagged with the tree depth of the path
+/// node whose right sibling contributed it, so queries can count
+/// qualification per sibling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SEntry {
+    /// The copied sibling point.
+    pub p: Point,
+    /// Depth of the path node (the sibling's parent).
+    pub depth: u16,
+}
+
+impl Record for SEntry {
+    const ENCODED_LEN: usize = Point::ENCODED_LEN + 2;
+
+    fn encode(&self, w: &mut PageWriter<'_>) -> Result<()> {
+        self.p.encode(w)?;
+        w.put_u16(self.depth)
+    }
+
+    fn decode(r: &mut PageReader<'_>) -> Result<Self> {
+        Ok(SEntry { p: Point::decode(r)?, depth: r.get_u16()? })
+    }
+}
+
+/// Byte size of one skeletal record.
+pub const RECORD_LEN: usize = 24 + 24 + 10 + 10 + 8 + 2 + 8 + 2 + 8 + 2 + 16 + 16;
+/// Skeletal page header size.
+pub const PAGE_HEADER: usize = 2;
+/// Points-page header size.
+pub const POINTS_HEADER: usize = 2 + 8 + 8 + 2 + 2;
+
+/// Region capacity: points per node block.
+pub fn points_capacity(page_size: usize) -> usize {
+    let cap = (page_size - POINTS_HEADER) / Point::ENCODED_LEN;
+    assert!(cap >= 2, "page size {page_size} too small for a PST points page");
+    cap
+}
+
+/// Skeletal records per page.
+pub fn skeletal_capacity(page_size: usize) -> usize {
+    let cap = (page_size - PAGE_HEADER) / RECORD_LEN;
+    assert!(cap >= 3, "page size {page_size} too small for a PST skeletal page");
+    cap
+}
+
+/// Reference to a skeletal record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef {
+    /// Skeletal page.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+/// A decoded skeletal record.
+#[derive(Debug, Clone)]
+pub struct SkeletalRecord {
+    /// Routing key: max x-key of the left subtree.
+    pub split: Point,
+    /// Lowest point (y-order) stored at this node; garbage when
+    /// `own_cnt == 0`.
+    pub min_y: Point,
+    /// Left child skeletal ref ([`NULL_PAGE`] for leaves).
+    pub left: NodeRef,
+    /// Right child skeletal ref.
+    pub right: NodeRef,
+    /// This node's points page.
+    pub own_pts: PageId,
+    /// Number of points at this node.
+    pub own_cnt: u16,
+    /// Left child's points page (kept for layout symmetry; the 2-sided
+    /// engine only seeds right siblings, but the record format is shared
+    /// with diagnostics and freeing walks).
+    #[allow(dead_code)]
+    pub left_pts: PageId,
+    /// Left child's point count.
+    #[allow(dead_code)]
+    pub left_cnt: u16,
+    /// Right child's points page.
+    pub right_pts: PageId,
+    /// Right child's point count.
+    pub right_cnt: u16,
+    /// A-list: covered ancestors' points, descending x-key.
+    pub a_list: BlockList<Point>,
+    /// S-list: covered right-siblings' points, descending y-key.
+    pub s_list: BlockList<SEntry>,
+}
+
+/// Decodes the record at `slot` from raw skeletal-page bytes.
+pub fn decode_record(page: &[u8], slot: u16) -> Result<SkeletalRecord> {
+    let offset = PAGE_HEADER + RECORD_LEN * slot as usize;
+    let mut r = PageReader::new(&page[offset..offset + RECORD_LEN]);
+    Ok(SkeletalRecord {
+        split: Point::decode(&mut r)?,
+        min_y: Point::decode(&mut r)?,
+        left: NodeRef { page: PageId(r.get_u64()?), slot: r.get_u16()? },
+        right: NodeRef { page: PageId(r.get_u64()?), slot: r.get_u16()? },
+        own_pts: PageId(r.get_u64()?),
+        own_cnt: r.get_u16()?,
+        left_pts: PageId(r.get_u64()?),
+        left_cnt: r.get_u16()?,
+        right_pts: PageId(r.get_u64()?),
+        right_cnt: r.get_u16()?,
+        a_list: BlockList::decode(&mut r)?,
+        s_list: BlockList::decode(&mut r)?,
+    })
+}
+
+/// A decoded points page.
+#[derive(Debug, Clone)]
+pub struct PointsPage {
+    /// The node's points, descending y-key.
+    pub points: Vec<Point>,
+    /// Left child points page ([`NULL_PAGE`] for leaves).
+    pub left_pts: PageId,
+    /// Right child points page.
+    pub right_pts: PageId,
+    /// Left child point count.
+    pub left_cnt: u16,
+    /// Right child point count.
+    pub right_cnt: u16,
+}
+
+/// Reads and decodes a points page (one I/O).
+pub fn read_points_page(store: &PageStore, id: PageId) -> Result<PointsPage> {
+    let page = store.read(id)?;
+    let mut r = PageReader::new(&page);
+    let count = r.get_u16()? as usize;
+    let left_pts = PageId(r.get_u64()?);
+    let right_pts = PageId(r.get_u64()?);
+    let left_cnt = r.get_u16()?;
+    let right_cnt = r.get_u16()?;
+    let mut points = Vec::with_capacity(count);
+    for _ in 0..count {
+        points.push(Point::decode(&mut r)?);
+    }
+    Ok(PointsPage { points, left_pts, right_pts, left_cnt, right_cnt })
+}
+
+/// The built single-level structure shared by all three variants.
+pub struct PstCore {
+    /// Skeletal page holding the binary root at slot 0.
+    pub root_page: PageId,
+    /// Number of indexed points.
+    pub n: u64,
+    /// Cache mode the structure was built with.
+    pub mode: CacheMode,
+}
+
+/// Builds the external structure from an in-memory decomposition whose
+/// region capacity equals [`points_capacity`].
+pub fn build_external(store: &PageStore, mem: &MemPst, mode: CacheMode) -> Result<PstCore> {
+    let page_size = store.page_size();
+    assert_eq!(mem.cap, points_capacity(page_size), "decomposition cap must match page size");
+
+    // Points pages (allocated up front for child links).
+    let pts_ids = write_points_pages(store, mem)?;
+    let mut buf = vec![0u8; page_size];
+
+    // Skeletal pagination.
+    let (pages, node_loc) = paginate(mem, skeletal_capacity(page_size));
+    let page_ids: Vec<PageId> =
+        pages.iter().map(|_| store.alloc()).collect::<Result<_>>()?;
+
+    // A/S lists via DFS with an ancestor chain.
+    let mut a_lists: Vec<BlockList<Point>> = vec![BlockList::empty(); mem.nodes.len()];
+    let mut s_lists: Vec<BlockList<SEntry>> = vec![BlockList::empty(); mem.nodes.len()];
+    if mode != CacheMode::None {
+        // chain entries: (arena idx, depth, went_left)
+        struct Frame {
+            node: usize,
+            depth: u16,
+            chain: Vec<(usize, u16, bool)>,
+        }
+        let mut stack = vec![Frame { node: 0, depth: 0, chain: Vec::new() }];
+        while let Some(Frame { node, depth, chain }) = stack.pop() {
+            let mut a: Vec<Point> = Vec::new();
+            let mut s: Vec<SEntry> = Vec::new();
+            for &(anc, anc_depth, went_left) in &chain {
+                a.extend(mem.nodes[anc].points.iter().copied());
+                if went_left {
+                    let sib = mem.nodes[anc].right;
+                    s.extend(
+                        mem.nodes[sib]
+                            .points
+                            .iter()
+                            .map(|&p| SEntry { p, depth: anc_depth }),
+                    );
+                }
+            }
+            a.sort_unstable_by(|x, y| cmp_x(y, x));
+            s.sort_unstable_by(|x, y| cmp_y(&y.p, &x.p));
+            a_lists[node] = BlockList::build(store, &a)?;
+            s_lists[node] = BlockList::build(store, &s)?;
+
+            let mn = &mem.nodes[node];
+            if mn.left != NONE {
+                for (child, went_left) in [(mn.left, true), (mn.right, false)] {
+                    let chain = if mode == CacheMode::FullPath
+                        || node_loc[child].0 == node_loc[node].0
+                    {
+                        let mut c = chain.clone();
+                        c.push((node, depth, went_left));
+                        c
+                    } else {
+                        // New skeletal page: segment restarts.
+                        Vec::new()
+                    };
+                    stack.push(Frame { node: child, depth: depth + 1, chain });
+                }
+            }
+        }
+    }
+
+    // Serialize skeletal pages.
+    for (page_idx, members) in pages.iter().enumerate() {
+        let used = {
+            let mut w = PageWriter::new(&mut buf);
+            w.put_u16(members.len() as u16)?;
+            for &ni in members {
+                let node = &mem.nodes[ni];
+                node.split.encode(&mut w)?;
+                node.points.last().copied().unwrap_or(Point::new(0, 0, 0)).encode(&mut w)?;
+                if node.is_leaf() {
+                    for _ in 0..2 {
+                        w.put_u64(NULL_PAGE.0)?;
+                        w.put_u16(0)?;
+                    }
+                } else {
+                    for child in [node.left, node.right] {
+                        let (p, s) = node_loc[child];
+                        w.put_u64(page_ids[p].0)?;
+                        w.put_u16(s)?;
+                    }
+                }
+                w.put_u64(pts_ids[ni].0)?;
+                w.put_u16(node.points.len() as u16)?;
+                if node.is_leaf() {
+                    w.put_u64(NULL_PAGE.0)?;
+                    w.put_u16(0)?;
+                    w.put_u64(NULL_PAGE.0)?;
+                    w.put_u16(0)?;
+                } else {
+                    w.put_u64(pts_ids[node.left].0)?;
+                    w.put_u16(mem.nodes[node.left].points.len() as u16)?;
+                    w.put_u64(pts_ids[node.right].0)?;
+                    w.put_u16(mem.nodes[node.right].points.len() as u16)?;
+                }
+                a_lists[ni].encode(&mut w)?;
+                s_lists[ni].encode(&mut w)?;
+            }
+            w.position()
+        };
+        store.write(page_ids[page_idx], &buf[..used])?;
+    }
+
+    Ok(PstCore { root_page: page_ids[0], n: mem.nodes[0].subtree_size, mode })
+}
+
+
+/// Groups the binary tree into skeletal pages (Figure 2): starting from
+/// each page root, nodes are added in BFS order until the page's record
+/// capacity is reached; overflowing children seed new pages. Filling by
+/// capacity rather than by a fixed height keeps the page count at
+/// `O(#nodes / capacity)` even when the tree height is not a multiple of
+/// the per-page height — a fixed-height chunking leaves the ragged bottom
+/// level as near-empty pages. Returns the per-page member lists (arena
+/// indices, slot order) and each node's `(page, slot)`; a page's subtree
+/// root is always slot 0.
+pub(crate) fn paginate(mem: &MemPst, cap: usize) -> (Vec<Vec<usize>>, Vec<(usize, u16)>) {
+    let mut node_loc: Vec<(usize, u16)> = vec![(usize::MAX, 0); mem.nodes.len()];
+    let mut pages: Vec<Vec<usize>> = Vec::new();
+    let mut page_roots = std::collections::VecDeque::new();
+    page_roots.push_back(0usize);
+    while let Some(root) = page_roots.pop_front() {
+        let page_idx = pages.len();
+        let mut members = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(root);
+        while let Some(ni) = queue.pop_front() {
+            if members.len() == cap {
+                page_roots.push_back(ni);
+                continue;
+            }
+            node_loc[ni] = (page_idx, members.len() as u16);
+            members.push(ni);
+            let node = &mem.nodes[ni];
+            if !node.is_leaf() {
+                queue.push_back(node.left);
+                queue.push_back(node.right);
+            }
+        }
+        pages.push(members);
+    }
+    (pages, node_loc)
+}
+
+/// Writes one points page per region (child links included) and returns
+/// the page ids, indexed by arena position.
+pub(crate) fn write_points_pages(store: &PageStore, mem: &MemPst) -> Result<Vec<PageId>> {
+    let page_size = store.page_size();
+    let pts_ids: Vec<PageId> =
+        mem.nodes.iter().map(|_| store.alloc()).collect::<Result<_>>()?;
+    let mut buf = vec![0u8; page_size];
+    for (i, node) in mem.nodes.iter().enumerate() {
+        let (lp, lc, rp, rc) = if node.is_leaf() {
+            (NULL_PAGE, 0u16, NULL_PAGE, 0u16)
+        } else {
+            (
+                pts_ids[node.left],
+                mem.nodes[node.left].points.len() as u16,
+                pts_ids[node.right],
+                mem.nodes[node.right].points.len() as u16,
+            )
+        };
+        let used = {
+            let mut w = PageWriter::new(&mut buf);
+            w.put_u16(node.points.len() as u16)?;
+            w.put_u64(lp.0)?;
+            w.put_u64(rp.0)?;
+            w.put_u16(lc)?;
+            w.put_u16(rc)?;
+            for p in &node.points {
+                p.encode(&mut w)?;
+            }
+            w.position()
+        };
+        store.write(pts_ids[i], &buf[..used])?;
+    }
+    Ok(pts_ids)
+}
+
+macro_rules! pst_variant {
+    ($(#[$doc:meta])* $name:ident, $mode:expr) => {
+        $(#[$doc])*
+        pub struct $name {
+            core: PstCore,
+        }
+
+        impl $name {
+            /// Builds the structure over `points`.
+            pub fn build(store: &PageStore, points: &[Point]) -> Result<Self> {
+                let mem = MemPst::build(points, points_capacity(store.page_size()));
+                Ok($name { core: build_external(store, &mem, $mode)? })
+            }
+
+            /// Number of indexed points.
+            pub fn len(&self) -> u64 {
+                self.core.n
+            }
+
+            /// True when no points are indexed.
+            pub fn is_empty(&self) -> bool {
+                self.core.n == 0
+            }
+
+            /// Answers a 2-sided query.
+            pub fn query(&self, store: &PageStore, q: TwoSided) -> Result<Vec<Point>> {
+                Ok(self.query_counted(store, q)?.0)
+            }
+
+            /// Answers a 2-sided query, also returning I/O counters for the
+            /// experiment harness.
+            pub fn query_counted(
+                &self,
+                store: &PageStore,
+                q: TwoSided,
+            ) -> Result<(Vec<Point>, QueryCounters)> {
+                run_two_sided(store, &self.core, q)
+            }
+        }
+    };
+}
+
+pst_variant!(
+    /// The [IKO]-style baseline: linear space but no caches, so every
+    /// ancestor and sibling block on the corner path is read individually —
+    /// `O(log n + t/B)` query I/Os. This is the structure path caching
+    /// improves on (experiment E12).
+    NaivePst,
+    CacheMode::None
+);
+
+pst_variant!(
+    /// Lemma 3.1: A/S caches over the **full** root path at every region.
+    /// Optimal `O(log_B n + t/B)` queries; `O((n/B) log n)` space.
+    BasicPst,
+    CacheMode::FullPath
+);
+
+pst_variant!(
+    /// Theorem 3.2: A/S caches cover only the `log B`-sized path segment
+    /// (one skeletal page); queries read one A/S pair per segment.
+    /// Optimal `O(log_B n + t/B)` queries; `O((n/B) log B)` space.
+    SegmentedPst,
+    CacheMode::InPage
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(RECORD_LEN, 130);
+        assert_eq!(points_capacity(512), 20);
+        assert_eq!(points_capacity(4096), 169);
+        assert_eq!(skeletal_capacity(512), 3);
+        assert_eq!(skeletal_capacity(4096), 31);
+    }
+
+    #[test]
+    fn sentry_roundtrip() {
+        let mut buf = vec![0u8; SEntry::ENCODED_LEN];
+        let e = SEntry { p: Point::new(3, -4, 9), depth: 7 };
+        let mut w = PageWriter::new(&mut buf);
+        e.encode(&mut w).unwrap();
+        let mut r = PageReader::new(&buf);
+        assert_eq!(SEntry::decode(&mut r).unwrap(), e);
+    }
+
+    #[test]
+    fn space_ordering_none_vs_full_vs_segmented() {
+        // Same data, three builds: naive < segmented < full-path space.
+        let mut s = 0x1357u64;
+        let mut rand = move |b: i64| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % b as u64) as i64
+        };
+        let pts: Vec<Point> =
+            (0..20_000).map(|id| Point::new(rand(100_000), rand(100_000), id)).collect();
+
+        let mut sizes = Vec::new();
+        for mode in [CacheMode::None, CacheMode::InPage, CacheMode::FullPath] {
+            let store = PageStore::in_memory(512);
+            let mem = MemPst::build(&pts, points_capacity(512));
+            build_external(&store, &mem, mode).unwrap();
+            sizes.push(store.live_pages());
+        }
+        assert!(sizes[0] < sizes[1], "naive {} !< segmented {}", sizes[0], sizes[1]);
+        assert!(sizes[1] < sizes[2], "segmented {} !< full {}", sizes[1], sizes[2]);
+        // Naive is O(n/B): within a small constant of 2n/B.
+        let b = points_capacity(512) as u64;
+        assert!(sizes[0] <= 4 * 20_000 / b, "naive size {} not linear", sizes[0]);
+    }
+}

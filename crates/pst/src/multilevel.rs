@@ -1,0 +1,148 @@
+//! The multilevel scheme of §4.2 (Theorem 4.4).
+//!
+//! Instead of placing a basic PST inside each `B log B`-point region, the
+//! multilevel scheme nests another region tree with regions of
+//! `B·⌈log log B⌉` points, and so on — after `k` levels the space overhead
+//! is `O((n/B)·log^(k) B)`, converging to `O((n/B)·log* B)` with query
+//! time `O(log_B n + t/B + log* B)` (each level adds `O(1)` I/Os).
+//!
+//! This is a thin wrapper over the shared region-tree engine in
+//! [`crate::two_level`], parameterized by the iterated-log capacity
+//! sequence of [`crate::two_level::region_caps`]. The recursion saturates
+//! naturally once the iterated log reaches 1, so asking for more levels
+//! than `log* B` is safe.
+
+use pc_pagestore::{PageStore, Point, Result};
+
+use crate::mem::TwoSided;
+use crate::query::QueryCounters;
+use crate::two_level::{build_region_tree, query_handle, region_caps, InnerHandle};
+
+/// The multilevel recursive PST (Theorem 4.4).
+pub struct MultilevelPst {
+    root: InnerHandle,
+    levels: u32,
+}
+
+impl MultilevelPst {
+    /// Builds a `levels`-deep structure over `points`.
+    ///
+    /// `levels = 1` is the basic PST (Lemma 3.1), `levels = 2` the
+    /// two-level scheme (Theorem 4.3); higher values iterate §4.2. Values
+    /// past `log* B` saturate.
+    pub fn build(store: &PageStore, points: &[Point], levels: u32) -> Result<Self> {
+        assert!(levels >= 1, "at least one level required");
+        let caps = region_caps(store.page_size(), levels);
+        Ok(MultilevelPst { root: build_region_tree(store, points, &caps)?, levels })
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> u64 {
+        self.root.n
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.root.n == 0
+    }
+
+    /// The level count requested at build time.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Answers a 2-sided query.
+    pub fn query(&self, store: &PageStore, q: TwoSided) -> Result<Vec<Point>> {
+        Ok(self.query_counted(store, q)?.0)
+    }
+
+    /// Answers a 2-sided query with I/O counters.
+    pub fn query_counted(
+        &self,
+        store: &PageStore,
+        q: TwoSided,
+    ) -> Result<(Vec<Point>, QueryCounters)> {
+        query_handle(store, self.root, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_pagestore::PageStore;
+
+    fn xorshift(state: &mut u64, bound: i64) -> i64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        (*state % bound as u64) as i64
+    }
+
+    fn random_points(n: usize, domain: i64, seed: u64) -> Vec<Point> {
+        let mut s = seed;
+        (0..n)
+            .map(|id| Point::new(xorshift(&mut s, domain), xorshift(&mut s, domain), id as u64))
+            .collect()
+    }
+
+    fn brute(points: &[Point], q: TwoSided) -> Vec<u64> {
+        let mut ids: Vec<u64> =
+            points.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn ids(mut pts: Vec<Point>) -> Vec<u64> {
+        let mut out: Vec<u64> = pts.drain(..).map(|p| p.id).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn all_level_counts_match_brute_force() {
+        let pts = random_points(4000, 15_000, 0x6161);
+        let store = PageStore::in_memory(512);
+        let psts: Vec<MultilevelPst> = (1..=4)
+            .map(|k| MultilevelPst::build(&store, &pts, k).unwrap())
+            .collect();
+        let mut s = 0x77u64;
+        for i in 0..80 {
+            let q = TwoSided {
+                x0: xorshift(&mut s, 16_000) - 500,
+                y0: xorshift(&mut s, 16_000) - 500,
+            };
+            let want = brute(&pts, q);
+            for pst in &psts {
+                let res = pst.query(&store, q).unwrap();
+                assert_eq!(res.len(), want.len(), "dup? k={} q{i}={q:?}", pst.levels());
+                assert_eq!(ids(res), want, "k={} q{i}={q:?}", pst.levels());
+            }
+        }
+    }
+
+    #[test]
+    fn level_counts_saturate_at_log_star() {
+        let pts = random_points(3000, 10_000, 0x1212);
+        // Levels beyond log* B produce the same capacity sequence, hence
+        // the same structure sizes.
+        let store_a = PageStore::in_memory(512);
+        MultilevelPst::build(&store_a, &pts, 4).unwrap();
+        let store_b = PageStore::in_memory(512);
+        MultilevelPst::build(&store_b, &pts, 12).unwrap();
+        assert_eq!(store_a.live_pages(), store_b.live_pages());
+    }
+
+    #[test]
+    fn duplicates_and_boundaries() {
+        let pts: Vec<Point> =
+            (0..800).map(|i| Point::new((i % 4) as i64 * 3, (i % 6) as i64 * 3, i)).collect();
+        let store = PageStore::in_memory(512);
+        let pst = MultilevelPst::build(&store, &pts, 3).unwrap();
+        for x0 in [-1, 0, 3, 9, 10] {
+            for y0 in [-1, 0, 6, 15, 16] {
+                let q = TwoSided { x0, y0 };
+                assert_eq!(ids(pst.query(&store, q).unwrap()), brute(&pts, q), "{q:?}");
+            }
+        }
+    }
+}

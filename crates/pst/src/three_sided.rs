@@ -1,0 +1,787 @@
+//! 3-sided queries: `x1 <= x <= x2 && y >= y0` (Theorem 3.3; the static
+//! core reused by Theorem 5.2).
+//!
+//! ## Query anatomy
+//!
+//! The two vertical boundaries trace two root paths that share a prefix up
+//! to the **split node** (the deepest region whose x-range contains both
+//! boundaries). Below the split, the left path is a 2-sided problem cut by
+//! `x = x1` (everything right of it is `<= x2` automatically) and the
+//! right path is its mirror; between them lie fully-contained subtrees.
+//! On the shared prefix, a node's qualifying points form a *middle run*
+//! `[x1, x2]` of its x-order — not a prefix — which is what costs the
+//! extra machinery relative to Theorem 3.2.
+//!
+//! ## Our instantiation of the Thm 3.3 space/time trade
+//!
+//! The extended abstract defers the construction; we realize it as:
+//!
+//! * **Mirrored A-lists with directories.** Every node carries its
+//!   in-segment ancestors' points twice: descending x (for the left path)
+//!   and ascending x (for the right path). Each list has a one-block
+//!   *directory* mapping block → (boundary x, page id), so a query jumps
+//!   straight to the start of its qualifying run in one I/O — this is how
+//!   shared-prefix ancestors are handled without scanning their
+//!   out-of-range prefix.
+//! * **Threshold-indexed S-lists.** A sibling of a *shared* node lies
+//!   wholly outside the query band, so the S-cache must exclude ancestors
+//!   above the split. We store one S-list per possible in-page split depth
+//!   `j` (`S_j` = right siblings of in-page ancestors at in-page depth
+//!   `>= j`, descending y) and the mirrored `S'_j` for left siblings.
+//!   This family of up to `h` lists per node, each up to `h` blocks, is
+//!   exactly the paper's extra `log B` space factor: total space
+//!   `O((n/B)·log² B)`.
+//!
+//! Queries read, per skeletal page on each path: one A-directory, the run
+//! blocks (all answers but ≤ 2 partials), one S-directory page, one `S_j`
+//! prefix, and the exit's own block — `O(1)` overhead per segment, hence
+//! `O(log_B n + t/B)` total.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use pc_pagestore::codec::{PageReader, PageWriter};
+use pc_pagestore::layout::BlockList;
+use pc_pagestore::{PageId, PageStore, Point, Record, Result, NULL_PAGE};
+
+use crate::build::{paginate, points_capacity, read_points_page, write_points_pages, NodeRef, SEntry};
+use crate::mem::{cmp_x, cmp_y, MemPst, NONE};
+use crate::query::{traverse_descendants, QueryCounters};
+
+/// A 3-sided query: report points with `x1 <= x <= x2 && y >= y0`
+/// (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreeSided {
+    /// Left boundary (inclusive).
+    pub x1: i64,
+    /// Right boundary (inclusive).
+    pub x2: i64,
+    /// Bottom boundary (inclusive).
+    pub y0: i64,
+}
+
+impl ThreeSided {
+    /// True if `p` lies in the query region.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.x1 <= p.x && p.x <= self.x2 && p.y >= self.y0
+    }
+}
+
+/// Byte size of one 3-sided skeletal record.
+pub const RECORD_LEN: usize = 24 + 24 + 10 + 10 + 8 + 2 + 10 + 10 + 16 + 8 + 16 + 8 + 8;
+const PAGE_HEADER: usize = 2;
+
+/// Records per skeletal page.
+pub fn skeletal_capacity(page_size: usize) -> usize {
+    let cap = (page_size - PAGE_HEADER) / RECORD_LEN;
+    assert!(cap >= 3, "page size {page_size} too small for a 3-sided PST page");
+    cap
+}
+
+#[derive(Debug, Clone)]
+struct TsRecord {
+    split: Point,
+    min_y: Point,
+    left: NodeRef,
+    right: NodeRef,
+    own_pts: PageId,
+    own_cnt: u16,
+    left_pts: PageId,
+    left_cnt: u16,
+    right_pts: PageId,
+    right_cnt: u16,
+    a_desc: BlockList<SEntry>,
+    a_desc_dir: PageId,
+    a_asc: BlockList<SEntry>,
+    a_asc_dir: PageId,
+    s_dir: PageId,
+}
+
+fn decode_record(page: &[u8], slot: u16) -> Result<TsRecord> {
+    let offset = PAGE_HEADER + RECORD_LEN * slot as usize;
+    let mut r = PageReader::new(&page[offset..offset + RECORD_LEN]);
+    Ok(TsRecord {
+        split: Point::decode(&mut r)?,
+        min_y: Point::decode(&mut r)?,
+        left: NodeRef { page: PageId(r.get_u64()?), slot: r.get_u16()? },
+        right: NodeRef { page: PageId(r.get_u64()?), slot: r.get_u16()? },
+        own_pts: PageId(r.get_u64()?),
+        own_cnt: r.get_u16()?,
+        left_pts: PageId(r.get_u64()?),
+        left_cnt: r.get_u16()?,
+        right_pts: PageId(r.get_u64()?),
+        right_cnt: r.get_u16()?,
+        a_desc: BlockList::decode(&mut r)?,
+        a_desc_dir: PageId(r.get_u64()?),
+        a_asc: BlockList::decode(&mut r)?,
+        a_asc_dir: PageId(r.get_u64()?),
+        s_dir: PageId(r.get_u64()?),
+    })
+}
+
+/// Writes a list directory: `[count u16][(boundary_x i64, page u64) *]`,
+/// where `boundary_x` is the x of the block's **last** entry.
+fn write_directory(
+    store: &PageStore,
+    list: &BlockList<SEntry>,
+    entries: &[SEntry],
+) -> Result<PageId> {
+    if list.is_empty() {
+        return Ok(NULL_PAGE);
+    }
+    let pages = list.block_pages(store)?;
+    let cap = BlockList::<SEntry>::capacity(store.page_size());
+    let id = store.alloc()?;
+    let mut buf = vec![0u8; store.page_size()];
+    let used = {
+        let mut w = PageWriter::new(&mut buf);
+        w.put_u16(pages.len() as u16)?;
+        for (j, pid) in pages.iter().enumerate() {
+            let last_idx = ((j + 1) * cap - 1).min(entries.len() - 1);
+            w.put_i64(entries[last_idx].p.x)?;
+            w.put_u64(pid.0)?;
+        }
+        w.position()
+    };
+    store.write(id, &buf[..used])?;
+    Ok(id)
+}
+
+fn read_directory(store: &PageStore, id: PageId) -> Result<Vec<(i64, PageId)>> {
+    let page = store.read(id)?;
+    let mut r = PageReader::new(&page);
+    let count = r.get_u16()? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let x = r.get_i64()?;
+        let pid = PageId(r.get_u64()?);
+        out.push((x, pid));
+    }
+    Ok(out)
+}
+
+/// External PST for 3-sided queries: `O(log_B n + t/B)` I/Os,
+/// `O((n/B)·log² B)` blocks (Theorem 3.3).
+pub struct ThreeSidedPst {
+    root_page: PageId,
+    n: u64,
+}
+
+impl ThreeSidedPst {
+    /// Builds the structure over `points`.
+    pub fn build(store: &PageStore, points: &[Point]) -> Result<Self> {
+        let page_size = store.page_size();
+        let mem = MemPst::build(points, points_capacity(page_size));
+        let pts_ids = write_points_pages(store, &mem)?;
+        let (pages, node_loc) = paginate(&mem, skeletal_capacity(page_size));
+        let page_ids: Vec<PageId> =
+            pages.iter().map(|_| store.alloc()).collect::<Result<_>>()?;
+
+        let n_nodes = mem.nodes.len();
+        let mut a_desc = vec![BlockList::empty(); n_nodes];
+        let mut a_desc_dir = vec![NULL_PAGE; n_nodes];
+        let mut a_asc = vec![BlockList::empty(); n_nodes];
+        let mut a_asc_dir = vec![NULL_PAGE; n_nodes];
+        let mut s_dir = vec![NULL_PAGE; n_nodes];
+
+        // DFS with in-page chains: (arena idx, abs depth, in-page depth,
+        // went_left).
+        struct Frame {
+            node: usize,
+            depth: u16,
+            chain: Vec<(usize, u16, u16, bool)>,
+        }
+        let mut stack = vec![Frame { node: 0, depth: 0, chain: Vec::new() }];
+        let mut buf = vec![0u8; page_size];
+        while let Some(Frame { node, depth, chain }) = stack.pop() {
+            // A-lists: every in-page strict ancestor's points, both
+            // orders, tagged with the ancestor's in-page depth so boundary
+            // walks can skip shared ancestors already reported by the
+            // shared phase.
+            let mut a: Vec<SEntry> = Vec::new();
+            for &(anc, _, inpage_depth, _) in &chain {
+                a.extend(
+                    mem.nodes[anc].points.iter().map(|&p| SEntry { p, depth: inpage_depth }),
+                );
+            }
+            a.sort_unstable_by(|p, q| cmp_x(&q.p, &p.p));
+            a_desc[node] = BlockList::build(store, &a)?;
+            a_desc_dir[node] = write_directory(store, &a_desc[node], &a)?;
+            a.reverse();
+            a_asc[node] = BlockList::build(store, &a)?;
+            a_asc_dir[node] = write_directory(store, &a_asc[node], &a)?;
+
+            // Threshold-indexed S-families.
+            if !chain.is_empty() {
+                let max_j = chain.len(); // == in-page depth of `node`
+                let mut handles: Vec<(BlockList<SEntry>, BlockList<SEntry>)> =
+                    Vec::with_capacity(max_j);
+                for j in 0..max_j as u16 {
+                    let mut right_sibs: Vec<SEntry> = Vec::new();
+                    let mut left_sibs: Vec<SEntry> = Vec::new();
+                    for &(anc, _abs_depth, inpage_depth, went_left) in &chain {
+                        if inpage_depth < j {
+                            continue;
+                        }
+                        // Tag with the *in-page* depth: within one page the
+                        // chain is a path, so in-page depth uniquely names
+                        // the ancestor, and the query walk can reconstruct
+                        // it without knowing absolute depths.
+                        if went_left {
+                            let sib = mem.nodes[anc].right;
+                            right_sibs.extend(
+                                mem.nodes[sib]
+                                    .points
+                                    .iter()
+                                    .map(|&p| SEntry { p, depth: inpage_depth }),
+                            );
+                        } else {
+                            let sib = mem.nodes[anc].left;
+                            left_sibs.extend(
+                                mem.nodes[sib]
+                                    .points
+                                    .iter()
+                                    .map(|&p| SEntry { p, depth: inpage_depth }),
+                            );
+                        }
+                    }
+                    right_sibs.sort_unstable_by(|x, y| cmp_y(&y.p, &x.p));
+                    left_sibs.sort_unstable_by(|x, y| cmp_y(&y.p, &x.p));
+                    handles.push((
+                        BlockList::build(store, &right_sibs)?,
+                        BlockList::build(store, &left_sibs)?,
+                    ));
+                }
+                let id = store.alloc()?;
+                let used = {
+                    let mut w = PageWriter::new(&mut buf);
+                    w.put_u16(handles.len() as u16)?;
+                    for (right_sibs, left_sibs) in &handles {
+                        right_sibs.encode(&mut w)?;
+                        left_sibs.encode(&mut w)?;
+                    }
+                    w.position()
+                };
+                store.write(id, &buf[..used])?;
+                s_dir[node] = id;
+            }
+
+            let mn = &mem.nodes[node];
+            if mn.left != NONE {
+                for (child, went_left) in [(mn.left, true), (mn.right, false)] {
+                    let same_page = node_loc[child].0 == node_loc[node].0;
+                    let chain = if same_page {
+                        let mut c = chain.clone();
+                        c.push((node, depth, c.len() as u16, went_left));
+                        c
+                    } else {
+                        Vec::new()
+                    };
+                    stack.push(Frame { node: child, depth: depth + 1, chain });
+                }
+            }
+        }
+
+        // Serialize skeletal pages.
+        for (page_idx, members) in pages.iter().enumerate() {
+            let used = {
+                let mut w = PageWriter::new(&mut buf);
+                w.put_u16(members.len() as u16)?;
+                for &ni in members {
+                    let node = &mem.nodes[ni];
+                    node.split.encode(&mut w)?;
+                    node.points
+                        .last()
+                        .copied()
+                        .unwrap_or(Point::new(0, 0, 0))
+                        .encode(&mut w)?;
+                    if node.is_leaf() {
+                        for _ in 0..2 {
+                            w.put_u64(NULL_PAGE.0)?;
+                            w.put_u16(0)?;
+                        }
+                    } else {
+                        for child in [node.left, node.right] {
+                            let (p, s) = node_loc[child];
+                            w.put_u64(page_ids[p].0)?;
+                            w.put_u16(s)?;
+                        }
+                    }
+                    w.put_u64(pts_ids[ni].0)?;
+                    w.put_u16(node.points.len() as u16)?;
+                    if node.is_leaf() {
+                        for _ in 0..2 {
+                            w.put_u64(NULL_PAGE.0)?;
+                            w.put_u16(0)?;
+                        }
+                    } else {
+                        w.put_u64(pts_ids[node.left].0)?;
+                        w.put_u16(mem.nodes[node.left].points.len() as u16)?;
+                        w.put_u64(pts_ids[node.right].0)?;
+                        w.put_u16(mem.nodes[node.right].points.len() as u16)?;
+                    }
+                    a_desc[ni].encode(&mut w)?;
+                    w.put_u64(a_desc_dir[ni].0)?;
+                    a_asc[ni].encode(&mut w)?;
+                    w.put_u64(a_asc_dir[ni].0)?;
+                    w.put_u64(s_dir[ni].0)?;
+                }
+                w.position()
+            };
+            store.write(page_ids[page_idx], &buf[..used])?;
+        }
+
+        Ok(ThreeSidedPst { root_page: page_ids[0], n: points.len() as u64 })
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Answers a 3-sided query.
+    pub fn query(&self, store: &PageStore, q: ThreeSided) -> Result<Vec<Point>> {
+        Ok(self.query_counted(store, q)?.0)
+    }
+
+    /// Answers a 3-sided query with I/O counters.
+    pub fn query_counted(
+        &self,
+        store: &PageStore,
+        q: ThreeSided,
+    ) -> Result<(Vec<Point>, QueryCounters)> {
+        assert!(q.x1 <= q.x2, "3-sided query bounds out of order");
+        let mut ctx = TsCtx {
+            store,
+            q,
+            cap: points_capacity(store.page_size()) as u16,
+            results: Vec::new(),
+            counters: QueryCounters::default(),
+        };
+
+        // --- Shared prefix -------------------------------------------------
+        let mut cur_page_id = self.root_page;
+        let mut page = store.read(cur_page_id)?;
+        ctx.counters.skeletal += 1;
+        let mut slot = 0u16;
+        let mut inpage_depth = 0u16;
+        loop {
+            let rec = decode_record(&page, slot)?;
+            let is_leaf = rec.left.page.is_null();
+            let is_corner = rec.own_cnt == 0 || rec.min_y.y < q.y0 || is_leaf;
+            if is_corner {
+                // Everything below fails the y bound; the shared prefix is
+                // the whole relevant tree.
+                ctx.middle_run_desc(&rec, 0)?;
+                ctx.read_own(&rec)?;
+                return Ok((ctx.results, ctx.counters));
+            }
+            // Routing keys: qx1 = (x1, -inf, -inf), qx2 = (x2, +inf, +inf).
+            let left1 = q.x1 <= rec.split.x;
+            let left2 = q.x2 < rec.split.x;
+            if left1 != left2 {
+                // Split node: middle-filter it and its covered ancestors,
+                // then walk each boundary independently.
+                ctx.middle_run_desc(&rec, 0)?;
+                ctx.read_own(&rec)?;
+                let thr_left = inpage_threshold(rec.left.page, cur_page_id, inpage_depth);
+                let thr_right = inpage_threshold(rec.right.page, cur_page_id, inpage_depth);
+                ctx.boundary_walk::<true>(rec.left, thr_left, cur_page_id, &page)?;
+                ctx.boundary_walk::<false>(rec.right, thr_right, cur_page_id, &page)?;
+                return Ok((ctx.results, ctx.counters));
+            }
+            let next = if left1 { rec.left } else { rec.right };
+            if next.page != cur_page_id {
+                // Shared-segment exit: middle contributions for this page.
+                ctx.middle_run_desc(&rec, 0)?;
+                ctx.read_own(&rec)?;
+                cur_page_id = next.page;
+                page = store.read(cur_page_id)?;
+                ctx.counters.skeletal += 1;
+                inpage_depth = 0;
+            } else {
+                inpage_depth += 1;
+            }
+            slot = next.slot;
+        }
+    }
+}
+
+/// Threshold for the child's S-family: if the child stays in the split's
+/// page, ancestors at in-page depth <= the split's must be excluded.
+fn inpage_threshold(child_page: PageId, split_page: PageId, split_inpage_depth: u16) -> u16 {
+    if child_page == split_page {
+        split_inpage_depth + 1
+    } else {
+        0
+    }
+}
+
+struct TsCtx<'a> {
+    store: &'a PageStore,
+    q: ThreeSided,
+    cap: u16,
+    results: Vec<Point>,
+    counters: QueryCounters,
+}
+
+impl TsCtx<'_> {
+    /// Reads a node's own block, filtering with the full predicate.
+    fn read_own(&mut self, rec: &TsRecord) -> Result<()> {
+        if rec.own_cnt == 0 {
+            return Ok(());
+        }
+        let pp = read_points_page(self.store, rec.own_pts)?;
+        self.counters.node_blocks += 1;
+        self.results.extend(pp.points.iter().filter(|p| self.q.contains(p)));
+        Ok(())
+    }
+
+    /// Middle-run scan of the descending A-list: directory-jump to the
+    /// first block containing `x <= x2`, then scan while `x >= x1`,
+    /// filtering the transition block. Entries from ancestors at in-page
+    /// depth `< min_depth` (shared prefix, already reported) are skipped.
+    fn middle_run_desc(&mut self, rec: &TsRecord, min_depth: u16) -> Result<()> {
+        if rec.a_desc.is_empty() {
+            return Ok(());
+        }
+        let dir = read_directory(self.store, rec.a_desc_dir)?;
+        self.counters.cache_blocks += 1;
+        // boundary_x is the block's smallest x (descending list): the first
+        // block whose minimum is <= x2 can contain qualifying entries.
+        let Some(start) = dir.iter().position(|&(bx, _)| bx <= self.q.x2) else {
+            return Ok(());
+        };
+        let mut next = dir[start].1;
+        while !next.is_null() {
+            let (entries, nxt) = BlockList::<SEntry>::read_block(self.store, next)?;
+            self.counters.cache_blocks += 1;
+            for e in entries {
+                if e.p.x < self.q.x1 {
+                    return Ok(());
+                }
+                if e.p.x <= self.q.x2 && e.depth >= min_depth {
+                    self.results.push(e.p);
+                }
+            }
+            next = nxt;
+        }
+        Ok(())
+    }
+
+    /// Middle-run scan of the ascending A-list (mirror of
+    /// [`Self::middle_run_desc`]).
+    fn middle_run_asc(&mut self, rec: &TsRecord, min_depth: u16) -> Result<()> {
+        if rec.a_asc.is_empty() {
+            return Ok(());
+        }
+        let dir = read_directory(self.store, rec.a_asc_dir)?;
+        self.counters.cache_blocks += 1;
+        // boundary_x is the block's largest x (ascending list).
+        let Some(start) = dir.iter().position(|&(bx, _)| bx >= self.q.x1) else {
+            return Ok(());
+        };
+        let mut next = dir[start].1;
+        while !next.is_null() {
+            let (entries, nxt) = BlockList::<SEntry>::read_block(self.store, next)?;
+            self.counters.cache_blocks += 1;
+            for e in entries {
+                if e.p.x > self.q.x2 {
+                    return Ok(());
+                }
+                if e.p.x >= self.q.x1 && e.depth >= min_depth {
+                    self.results.push(e.p);
+                }
+            }
+            next = nxt;
+        }
+        Ok(())
+    }
+
+    /// Reads the S-family directory and drains `S_threshold`: a
+    /// descending-y prefix with per-depth counts, then seeds descendant
+    /// traversals for fully-inside siblings.
+    fn drain_s<const LEFT: bool>(
+        &mut self,
+        rec: &TsRecord,
+        threshold: u16,
+        sib: &HashMap<u16, (PageId, u16)>,
+    ) -> Result<()> {
+        if rec.s_dir.is_null() {
+            return Ok(());
+        }
+        let page = self.store.read(rec.s_dir)?;
+        self.counters.cache_blocks += 1;
+        let mut r = PageReader::new(&page);
+        let count = r.get_u16()?;
+        if threshold >= count {
+            return Ok(());
+        }
+        // Entry j holds (S_j right-siblings, S'_j left-siblings).
+        r.skip(threshold as usize * 2 * BlockList::<SEntry>::ENCODED_LEN)?;
+        let right_sibs: BlockList<SEntry> = BlockList::decode(&mut r)?;
+        let left_sibs: BlockList<SEntry> = BlockList::decode(&mut r)?;
+        let list = if LEFT { right_sibs } else { left_sibs };
+
+        let mut qualified: HashMap<u16, u16> = HashMap::new();
+        's_scan: for block in list.blocks(self.store) {
+            self.counters.cache_blocks += 1;
+            for e in block? {
+                if e.p.y < self.q.y0 {
+                    break 's_scan;
+                }
+                self.results.push(e.p);
+                *qualified.entry(e.depth).or_insert(0) += 1;
+            }
+        }
+        for (d, cnt) in qualified {
+            let &(pts, total) = sib.get(&d).expect("S entries come from recorded siblings");
+            if cnt == total && total == self.cap {
+                traverse_descendants(
+                    self.store,
+                    pts,
+                    false,
+                    self.q.y0,
+                    &mut self.results,
+                    &mut self.counters,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Walks one boundary path below the split. `LEFT` walks the `x1`
+    /// boundary (right siblings are inside the band); `!LEFT` mirrors it.
+    fn boundary_walk<const LEFT: bool>(
+        &mut self,
+        start: NodeRef,
+        mut threshold: u16,
+        split_page_id: PageId,
+        split_page: &Bytes,
+    ) -> Result<()> {
+        if start.page.is_null() {
+            return Ok(());
+        }
+        let mut cur_page_id;
+        let mut page;
+        if start.page == split_page_id {
+            cur_page_id = split_page_id;
+            page = split_page.clone();
+        } else {
+            cur_page_id = start.page;
+            page = self.store.read(cur_page_id)?;
+            self.counters.skeletal += 1;
+        }
+        let mut slot = start.slot;
+        // Sibling map keyed by *in-page* depth, matching the build-time S
+        // tags. When the walk starts inside the split's page, its first
+        // node sits at in-page depth `threshold` (= split depth + 1).
+        let mut sib: HashMap<u16, (PageId, u16)> = HashMap::new();
+        let mut inpage_depth = threshold;
+        loop {
+            let rec = decode_record(&page, slot)?;
+            let is_leaf = rec.left.page.is_null();
+            let is_corner = rec.own_cnt == 0 || rec.min_y.y < self.q.y0 || is_leaf;
+            if is_corner {
+                if LEFT {
+                    self.middle_run_desc(&rec, threshold)?;
+                } else {
+                    self.middle_run_asc(&rec, threshold)?;
+                }
+                self.drain_s::<LEFT>(&rec, threshold, &sib)?;
+                self.read_own(&rec)?;
+                return Ok(());
+            }
+            // Route by this walk's boundary.
+            let go_left = if LEFT { self.q.x1 <= rec.split.x } else { self.q.x2 < rec.split.x };
+            // The inside sibling: right child on the left path when going
+            // left; left child on the right path when going right.
+            let inside_sib = if LEFT && go_left {
+                (rec.right_cnt > 0).then_some((rec.right_pts, rec.right_cnt))
+            } else if !LEFT && !go_left {
+                (rec.left_cnt > 0).then_some((rec.left_pts, rec.left_cnt))
+            } else {
+                None
+            };
+            let next = if go_left { rec.left } else { rec.right };
+            let crosses = next.page != cur_page_id;
+            if crosses {
+                if LEFT {
+                    self.middle_run_desc(&rec, threshold)?;
+                } else {
+                    self.middle_run_asc(&rec, threshold)?;
+                }
+                self.drain_s::<LEFT>(&rec, threshold, &sib)?;
+                self.read_own(&rec)?;
+                // The exit's inside sibling belongs to no S-list below it.
+                if let Some((pts, _)) = inside_sib {
+                    traverse_descendants(
+                        self.store,
+                        pts,
+                        true,
+                        self.q.y0,
+                        &mut self.results,
+                        &mut self.counters,
+                    )?;
+                }
+                sib.clear();
+                threshold = 0;
+                cur_page_id = next.page;
+                page = self.store.read(cur_page_id)?;
+                self.counters.skeletal += 1;
+                inpage_depth = 0;
+                slot = next.slot;
+                continue;
+            }
+            if let Some(info) = inside_sib {
+                sib.insert(inpage_depth, info);
+            }
+            slot = next.slot;
+            inpage_depth += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64, bound: i64) -> i64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        (*state % bound as u64) as i64
+    }
+
+    fn random_points(n: usize, domain: i64, seed: u64) -> Vec<Point> {
+        let mut s = seed;
+        (0..n)
+            .map(|id| Point::new(xorshift(&mut s, domain), xorshift(&mut s, domain), id as u64))
+            .collect()
+    }
+
+    fn brute(points: &[Point], q: ThreeSided) -> Vec<u64> {
+        let mut ids: Vec<u64> =
+            points.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn ids(mut pts: Vec<Point>) -> Vec<u64> {
+        let mut out: Vec<u64> = pts.drain(..).map(|p| p.id).collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn check(points: &[Point], queries: &[ThreeSided], page_size: usize) {
+        let store = PageStore::in_memory(page_size);
+        let pst = ThreeSidedPst::build(&store, points).unwrap();
+        for (i, &q) in queries.iter().enumerate() {
+            let res = pst.query(&store, q).unwrap();
+            let want = brute(points, q);
+            assert_eq!(res.len(), want.len(), "dup? q{i}={q:?}");
+            assert_eq!(ids(res), want, "q{i}={q:?}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_random() {
+        let pts = random_points(4000, 10_000, 0x35);
+        let mut s = 0x99u64;
+        let queries: Vec<ThreeSided> = (0..150)
+            .map(|_| {
+                let a = xorshift(&mut s, 11_000) - 500;
+                let b = a + xorshift(&mut s, 4_000);
+                ThreeSided { x1: a, x2: b, y0: xorshift(&mut s, 11_000) - 500 }
+            })
+            .collect();
+        check(&pts, &queries, 512);
+    }
+
+    #[test]
+    fn narrow_and_degenerate_bands() {
+        let pts = random_points(2000, 1000, 7);
+        let mut queries = Vec::new();
+        for x in [0i64, 100, 500, 999, 1000] {
+            queries.push(ThreeSided { x1: x, x2: x, y0: 0 });
+            queries.push(ThreeSided { x1: x, x2: x + 1, y0: 500 });
+        }
+        queries.push(ThreeSided { x1: -100, x2: 2000, y0: -5 }); // everything
+        queries.push(ThreeSided { x1: 2000, x2: 3000, y0: 0 }); // nothing right
+        queries.push(ThreeSided { x1: -50, x2: -10, y0: 0 }); // nothing left
+        check(&pts, &queries, 512);
+    }
+
+    #[test]
+    fn duplicate_coordinates() {
+        let pts: Vec<Point> =
+            (0..900).map(|i| Point::new((i % 5) as i64 * 10, (i % 9) as i64 * 10, i)).collect();
+        let mut queries = Vec::new();
+        for x1 in [-1i64, 0, 10, 20] {
+            for x2 in [10i64, 20, 40, 41] {
+                if x1 > x2 {
+                    continue;
+                }
+                for y0 in [-1i64, 0, 40, 80, 81] {
+                    queries.push(ThreeSided { x1, x2, y0 });
+                }
+            }
+        }
+        check(&pts, &queries, 512);
+    }
+
+    #[test]
+    fn three_sided_reduces_to_two_sided_when_x2_unbounded() {
+        use crate::build::SegmentedPst;
+        use crate::mem::TwoSided;
+        let pts = random_points(3000, 5000, 0xaa);
+        let store = PageStore::in_memory(512);
+        let ts = ThreeSidedPst::build(&store, &pts).unwrap();
+        let seg = SegmentedPst::build(&store, &pts).unwrap();
+        let mut s = 0xbbu64;
+        for _ in 0..40 {
+            let x0 = xorshift(&mut s, 5000);
+            let y0 = xorshift(&mut s, 5000);
+            let a = ts.query(&store, ThreeSided { x1: x0, x2: i64::MAX, y0 }).unwrap();
+            let b = seg.query(&store, TwoSided { x0, y0 }).unwrap();
+            assert_eq!(ids(a), ids(b));
+        }
+    }
+
+    #[test]
+    fn query_io_is_optimal_shape() {
+        let pts = random_points(20_000, 100_000, 0xcc);
+        let store = PageStore::in_memory(512);
+        let pst = ThreeSidedPst::build(&store, &pts).unwrap();
+        let b = points_capacity(512) as u64;
+        let mut s = 0xddu64;
+        for _ in 0..60 {
+            let a = xorshift(&mut s, 100_000);
+            let w = xorshift(&mut s, 30_000);
+            let q = ThreeSided { x1: a, x2: a + w, y0: xorshift(&mut s, 100_000) };
+            let (res, c) = pst.query_counted(&store, q).unwrap();
+            let t = res.len() as u64;
+            // Two boundary paths, each ~log_B n segments of O(1) reads.
+            let allowed = 90 + 6 * (t / b + 1);
+            assert!(c.total() <= allowed, "io={} t={t} ({c:?})", c.total());
+        }
+    }
+
+    #[test]
+    fn space_is_log_squared_b_shaped() {
+        let pts = random_points(20_000, 100_000, 0xee);
+        let store = PageStore::in_memory(512);
+        let before = store.live_pages();
+        ThreeSidedPst::build(&store, &pts).unwrap();
+        let pages = store.live_pages() - before;
+        let b = points_capacity(512) as u64;
+        let log_b = 5u64;
+        let bound = 6 * (20_000 / b) * log_b * log_b;
+        assert!(pages <= bound, "space {pages} exceeds O(n/B log^2 B) ~ {bound}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based differential tests for the PST family, complementing
+//! the xorshift-based unit tests with shrinkable proptest inputs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use pc_pagestore::{PageStore, Point};
+use pc_pst::{
+    BasicPst, DynamicPst, MultilevelPst, NaivePst, SegmentedPst, ThreeSided, ThreeSidedPst,
+    TwoLevelPst, TwoSided,
+};
+
+fn points_strategy(max_n: usize, domain: i64) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0..domain, 0..domain), 1..max_n).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Point::new(x, y, i as u64))
+            .collect()
+    })
+}
+
+fn brute_two(points: &[Point], q: TwoSided) -> Vec<u64> {
+    let mut ids: Vec<u64> = points.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn sorted_ids(pts: Vec<Point>) -> Vec<u64> {
+    let mut ids: Vec<u64> = pts.into_iter().map(|p| p.id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every static 2-sided variant agrees with brute force (and each
+    /// other) on arbitrary inputs, including heavy coordinate ties (small
+    /// domain forces collisions).
+    #[test]
+    fn static_variants_agree(
+        points in points_strategy(300, 64),
+        queries in prop::collection::vec((-5i64..70, -5i64..70), 1..12),
+    ) {
+        let store = PageStore::in_memory(512);
+        let naive = NaivePst::build(&store, &points).unwrap();
+        let basic = BasicPst::build(&store, &points).unwrap();
+        let seg = SegmentedPst::build(&store, &points).unwrap();
+        let two = TwoLevelPst::build(&store, &points).unwrap();
+        let multi = MultilevelPst::build(&store, &points, 3).unwrap();
+        for (x0, y0) in queries {
+            let q = TwoSided { x0, y0 };
+            let want = brute_two(&points, q);
+            prop_assert_eq!(sorted_ids(naive.query(&store, q).unwrap()), want.clone());
+            prop_assert_eq!(sorted_ids(basic.query(&store, q).unwrap()), want.clone());
+            prop_assert_eq!(sorted_ids(seg.query(&store, q).unwrap()), want.clone());
+            prop_assert_eq!(sorted_ids(two.query(&store, q).unwrap()), want.clone());
+            prop_assert_eq!(sorted_ids(multi.query(&store, q).unwrap()), want);
+        }
+    }
+
+    /// 3-sided queries agree with brute force on tie-heavy inputs.
+    #[test]
+    fn three_sided_agrees(
+        points in points_strategy(300, 64),
+        queries in prop::collection::vec((-5i64..70, 0i64..40, -5i64..70), 1..12),
+    ) {
+        let store = PageStore::in_memory(512);
+        let pst = ThreeSidedPst::build(&store, &points).unwrap();
+        for (x1, w, y0) in queries {
+            let q = ThreeSided { x1, x2: x1 + w, y0 };
+            let mut want: Vec<u64> =
+                points.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+            want.sort_unstable();
+            let res = pst.query(&store, q).unwrap();
+            prop_assert_eq!(res.len(), want.len(), "dups at {:?}", q);
+            prop_assert_eq!(sorted_ids(res), want);
+        }
+    }
+
+    /// The dynamic structure stays consistent with an oracle through an
+    /// arbitrary interleaving of inserts, deletes, and queries.
+    #[test]
+    fn dynamic_matches_oracle(
+        initial in points_strategy(150, 512),
+        ops in prop::collection::vec((0u8..4, 0i64..512, 0i64..512), 1..120),
+    ) {
+        let store = PageStore::in_memory(512);
+        let mut pst = DynamicPst::build(&store, &initial).unwrap();
+        let mut oracle: HashMap<u64, Point> = initial.iter().map(|p| (p.id, *p)).collect();
+        let mut next_id = 1_000_000u64;
+        for (kind, a, b) in ops {
+            match kind {
+                // Insert a fresh point.
+                0 | 1 => {
+                    let p = Point::new(a, b, next_id);
+                    next_id += 1;
+                    pst.insert(&store, p).unwrap();
+                    oracle.insert(p.id, p);
+                }
+                // Delete some live point chosen by rank.
+                2 => {
+                    if oracle.is_empty() {
+                        continue;
+                    }
+                    let mut keys: Vec<u64> = oracle.keys().copied().collect();
+                    keys.sort_unstable();
+                    let k = keys[(a.unsigned_abs() as usize) % keys.len()];
+                    let p = oracle.remove(&k).unwrap();
+                    pst.delete(&store, p).unwrap();
+                }
+                // Query.
+                _ => {
+                    let q = TwoSided { x0: a, y0: b };
+                    let got = sorted_ids(pst.query(&store, q).unwrap());
+                    let mut want: Vec<u64> =
+                        oracle.values().filter(|p| q.contains(p)).map(|p| p.id).collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want, "{:?}", q);
+                }
+            }
+            prop_assert_eq!(pst.len(), oracle.len() as u64);
+        }
+        // Closing full-range query.
+        let q = TwoSided { x0: i64::MIN / 2, y0: i64::MIN / 2 };
+        let got = sorted_ids(pst.query(&store, q).unwrap());
+        let mut want: Vec<u64> = oracle.keys().copied().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,42 @@
+//! Randomized differential test: the two-level PST against a brute-force
+//! oracle, across data-set sizes spanning one region to many skeletal
+//! pages.
+
+use pc_pagestore::{PageStore, Point};
+use pc_pst::{TwoLevelPst, TwoSided};
+
+fn xorshift(state: &mut u64, bound: i64) -> i64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    (*state % bound as u64) as i64
+}
+
+#[test]
+fn two_level_matches_oracle_across_sizes() {
+    for n in [150usize, 250, 500, 1200, 2000] {
+        let mut s = 0x2222u64 + n as u64;
+        let pts: Vec<Point> = (0..n)
+            .map(|id| Point::new(xorshift(&mut s, 1000), xorshift(&mut s, 1000), id as u64))
+            .collect();
+        let store = PageStore::in_memory(512);
+        let pst = TwoLevelPst::build(&store, &pts).unwrap();
+        let mut s = 0x55u64;
+        for i in 0..200 {
+            let q = TwoSided {
+                x0: xorshift(&mut s, 1100) - 50,
+                y0: xorshift(&mut s, 1100) - 50,
+            };
+            let raw = pst.query(&store, q).unwrap();
+            let mut res: Vec<u64> = raw.iter().map(|p| p.id).collect();
+            let n_res = res.len();
+            res.sort_unstable();
+            res.dedup();
+            assert_eq!(n_res, res.len(), "duplicates at n={n} q{i} {q:?}");
+            let mut want: Vec<u64> =
+                pts.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+            want.sort_unstable();
+            assert_eq!(res, want, "n={n} q{i} {q:?}");
+        }
+    }
+}

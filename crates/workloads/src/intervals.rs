@@ -1,0 +1,115 @@
+//! Interval-set generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{RawInterval, DOMAIN};
+
+/// Length/position distribution of a generated interval set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IntervalDist {
+    /// Uniform start, length uniform in `1..=max_len`.
+    UniformLen {
+        /// Maximum interval length.
+        max_len: i64,
+    },
+    /// Mix of many short and a few very long intervals (long-tail), the
+    /// shape typical of temporal validity intervals.
+    LongTail,
+    /// Deeply nested intervals around shared centers — adversarial for
+    /// segment trees, maximizing per-node cover-list fragmentation.
+    Nested {
+        /// Number of independent nesting towers.
+        towers: usize,
+    },
+    /// All intervals stab a common point — the maximum-output stabbing
+    /// workload (t = n).
+    CommonPoint,
+}
+
+/// Generates `n` intervals with ids `0..n`, deterministically from `seed`.
+pub fn gen_intervals(n: usize, dist: IntervalDist, seed: u64) -> Vec<RawInterval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n {
+        let (lo, hi) = match dist {
+            IntervalDist::UniformLen { max_len } => {
+                let lo = rng.gen_range(0..DOMAIN);
+                let len = rng.gen_range(1..=max_len.max(1));
+                (lo, (lo + len).min(DOMAIN))
+            }
+            IntervalDist::LongTail => {
+                let lo = rng.gen_range(0..DOMAIN);
+                // 1-in-16 intervals are up to domain-scale, the rest short.
+                let len = if rng.gen_range(0..16) == 0 {
+                    rng.gen_range(1..=DOMAIN / 2)
+                } else {
+                    rng.gen_range(1..=200)
+                };
+                (lo, (lo + len).min(DOMAIN))
+            }
+            IntervalDist::Nested { towers } => {
+                let towers = towers.max(1) as i64;
+                let tower = rng.gen_range(0..towers);
+                let center = (tower * 2 + 1) * DOMAIN / (2 * towers);
+                let half = rng.gen_range(1..=DOMAIN / (2 * towers));
+                ((center - half).max(0), (center + half).min(DOMAIN))
+            }
+            IntervalDist::CommonPoint => {
+                let center = DOMAIN / 2;
+                let left = rng.gen_range(0..=center - 1);
+                let right = rng.gen_range(center + 1..=DOMAIN);
+                (left, right)
+            }
+        };
+        out.push((lo, hi, id as u64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_are_well_formed() {
+        for dist in [
+            IntervalDist::UniformLen { max_len: 5000 },
+            IntervalDist::LongTail,
+            IntervalDist::Nested { towers: 4 },
+            IntervalDist::CommonPoint,
+        ] {
+            let ivs = gen_intervals(500, dist, 2);
+            assert_eq!(ivs.len(), 500);
+            for &(lo, hi, _) in &ivs {
+                assert!(lo <= hi, "{dist:?}: [{lo}, {hi}]");
+                assert!(lo >= 0 && hi <= DOMAIN, "{dist:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(
+            gen_intervals(50, IntervalDist::LongTail, 9),
+            gen_intervals(50, IntervalDist::LongTail, 9)
+        );
+    }
+
+    #[test]
+    fn common_point_intervals_all_stab_center() {
+        let ivs = gen_intervals(200, IntervalDist::CommonPoint, 4);
+        assert!(ivs.iter().all(|&(lo, hi, _)| lo <= DOMAIN / 2 && hi >= DOMAIN / 2));
+    }
+
+    #[test]
+    fn nested_towers_share_centers() {
+        let ivs = gen_intervals(300, IntervalDist::Nested { towers: 2 }, 5);
+        // Every interval must contain one of the two tower centers.
+        let c1 = DOMAIN / 4;
+        let c2 = 3 * DOMAIN / 4;
+        assert!(ivs
+            .iter()
+            .all(|&(lo, hi, _)| (lo <= c1 && c1 <= hi) || (lo <= c2 && c2 <= hi)));
+    }
+}

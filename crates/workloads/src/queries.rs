@@ -1,0 +1,193 @@
+//! Query generators calibrated to a target output size.
+//!
+//! Every bound in the paper is output-sensitive, so the harness needs
+//! queries whose result size `t` is controlled. Rather than relying on
+//! distributional math (which breaks for clustered data), generators pick a
+//! random *anchor data item* and derive the query from the data itself,
+//! then the harness measures the exact `t` per query.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{RawInterval, RawPoint};
+
+/// A 2-sided (dominance) query: report points with `x >= x0 && y >= y0`.
+///
+/// This is the paper's Figure 1 "2-sided" query in the orientation used by
+/// its Section 3/4 algorithm (ancestors are cut by the query's vertical
+/// *left* side; siblings are scanned top-down to the *bottom* boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoSidedQ {
+    /// Left boundary (inclusive).
+    pub x0: i64,
+    /// Bottom boundary (inclusive).
+    pub y0: i64,
+}
+
+/// A 3-sided query: report points with `x1 <= x <= x2 && y >= y0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreeSidedQ {
+    /// Left boundary (inclusive).
+    pub x1: i64,
+    /// Right boundary (inclusive).
+    pub x2: i64,
+    /// Bottom boundary (inclusive).
+    pub y0: i64,
+}
+
+/// A stabbing query: report intervals containing `q`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stab {
+    /// The stabbing point.
+    pub q: i64,
+}
+
+/// A 1-d range query: report keys in `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range1d {
+    /// Lower bound (inclusive).
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+}
+
+/// Generates `count` 2-sided queries over `points` whose output sizes
+/// cluster around `t_target` (exactly `t_target` in rank terms for the
+/// *x*-side, with y chosen from an anchor point to stay data-dependent).
+pub fn gen_two_sided(
+    points: &[RawPoint],
+    count: usize,
+    t_target: usize,
+    seed: u64,
+) -> Vec<TwoSidedQ> {
+    assert!(!points.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sort copies of the coordinates once; each query takes the corner at a
+    // rank position so roughly sqrt-fractions multiply out to t_target.
+    let mut xs: Vec<i64> = points.iter().map(|p| p.0).collect();
+    let mut ys: Vec<i64> = points.iter().map(|p| p.1).collect();
+    xs.sort_unstable();
+    ys.sort_unstable();
+    let n = points.len();
+    // For independent x/y, picking both boundaries at rank n - span with
+    // span = sqrt(t * n) gives expected output (span/n)^2 * n = t.
+    let frac = ((t_target.max(1) as f64 / n as f64).sqrt()).min(1.0);
+    let span = ((n as f64 * frac) as usize).clamp(1, n);
+    (0..count)
+        .map(|_| {
+            // Jitter the rank a little so queries differ.
+            let jitter = span / 4 + 1;
+            let xi = (n - span + rng.gen_range(0..jitter)).min(n - 1);
+            let yi = (n - span + rng.gen_range(0..jitter)).min(n - 1);
+            TwoSidedQ { x0: xs[xi], y0: ys[yi] }
+        })
+        .collect()
+}
+
+/// Generates `count` 3-sided queries over `points` with x-span covering
+/// about `2 * t_target` points and y chosen to halve that.
+pub fn gen_three_sided(
+    points: &[RawPoint],
+    count: usize,
+    t_target: usize,
+    seed: u64,
+) -> Vec<ThreeSidedQ> {
+    assert!(!points.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_x: Vec<RawPoint> = points.to_vec();
+    by_x.sort_unstable_by_key(|p| (p.0, p.1, p.2));
+    let n = points.len();
+    let span = (2 * t_target.max(1)).min(n);
+    (0..count)
+        .map(|_| {
+            let start = rng.gen_range(0..=n - span);
+            let slice = &by_x[start..start + span];
+            let mut ys: Vec<i64> = slice.iter().map(|p| p.1).collect();
+            ys.sort_unstable();
+            // median y => about half the span qualifies
+            let y0 = ys[ys.len() / 2];
+            ThreeSidedQ { x1: slice[0].0, x2: slice[span - 1].0, y0 }
+        })
+        .collect()
+}
+
+/// Generates `count` stabbing queries biased toward covered parts of the
+/// domain (each query stabs at a random interval's interior point).
+pub fn gen_stabbing(intervals: &[RawInterval], count: usize, seed: u64) -> Vec<Stab> {
+    assert!(!intervals.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let &(lo, hi, _) = &intervals[rng.gen_range(0..intervals.len())];
+            Stab { q: rng.gen_range(lo..=hi) }
+        })
+        .collect()
+}
+
+/// Generates `count` 1-d range queries over `keys` covering about
+/// `t_target` keys each (by rank).
+pub fn gen_range_1d(keys: &[i64], count: usize, t_target: usize, seed: u64) -> Vec<Range1d> {
+    assert!(!keys.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sorted = keys.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let span = t_target.clamp(1, n);
+    (0..count)
+        .map(|_| {
+            let start = rng.gen_range(0..=n - span);
+            Range1d { lo: sorted[start], hi: sorted[start + span - 1] }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen_intervals, gen_points, IntervalDist, PointDist};
+
+    #[test]
+    fn two_sided_targets_are_approximate() {
+        let pts = gen_points(10_000, PointDist::Uniform, 1);
+        let qs = gen_two_sided(&pts, 20, 500, 2);
+        let mut total = 0usize;
+        for q in &qs {
+            total += pts.iter().filter(|p| p.0 >= q.x0 && p.1 >= q.y0).count();
+        }
+        let avg = total / qs.len();
+        assert!(
+            (100..=2500).contains(&avg),
+            "average output {avg} too far from target 500"
+        );
+    }
+
+    #[test]
+    fn three_sided_targets_are_approximate() {
+        let pts = gen_points(10_000, PointDist::Uniform, 1);
+        let qs = gen_three_sided(&pts, 20, 400, 2);
+        for q in &qs {
+            assert!(q.x1 <= q.x2);
+            let t = pts.iter().filter(|p| p.0 >= q.x1 && p.0 <= q.x2 && p.1 >= q.y0).count();
+            assert!((100..=900).contains(&t), "output {t} too far from target 400");
+        }
+    }
+
+    #[test]
+    fn stabbing_queries_always_hit_something() {
+        let ivs = gen_intervals(1000, IntervalDist::UniformLen { max_len: 10_000 }, 3);
+        let qs = gen_stabbing(&ivs, 50, 4);
+        for s in &qs {
+            assert!(ivs.iter().any(|&(lo, hi, _)| lo <= s.q && s.q <= hi));
+        }
+    }
+
+    #[test]
+    fn range_1d_spans_exact_rank_width() {
+        let keys: Vec<i64> = (0..1000).map(|k| k * 2).collect();
+        let qs = gen_range_1d(&keys, 10, 50, 5);
+        for q in &qs {
+            let t = keys.iter().filter(|&&k| q.lo <= k && k <= q.hi).count();
+            assert_eq!(t, 50);
+        }
+    }
+}

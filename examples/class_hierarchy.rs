@@ -1,0 +1,75 @@
+//! Indexing a class hierarchy — the paper's §1 object-oriented-database
+//! application ([KRV]: indexing classes needs 3-sided queries).
+//!
+//! A product catalog's category tree is indexed so that "items in
+//! category C or any subcategory priced at least P" is answered as a
+//! single 3-sided query over (preorder(category), price) points.
+//!
+//! Run with: `cargo run --example class_hierarchy`
+
+use path_caching::{ClassIndexBuilder, PageStore};
+
+fn main() -> path_caching::Result<()> {
+    let store = PageStore::in_memory(4096);
+    let mut builder = ClassIndexBuilder::new();
+
+    // A small retail category tree.
+    let catalog = builder.add_class(None);
+    let electronics = builder.add_class(Some(catalog));
+    let computers = builder.add_class(Some(electronics));
+    let laptops = builder.add_class(Some(computers));
+    let desktops = builder.add_class(Some(computers));
+    let phones = builder.add_class(Some(electronics));
+    let home = builder.add_class(Some(catalog));
+    let kitchen = builder.add_class(Some(home));
+    let furniture = builder.add_class(Some(home));
+
+    // 60k items spread over the leaves (and some mid-tree).
+    let mut seed = 0xcafe_f00d_u64;
+    let mut rand = move |bound: i64| {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed % bound as u64) as i64
+    };
+    let classes = [electronics, computers, laptops, desktops, phones, home, kitchen, furniture];
+    for id in 0..60_000u64 {
+        let class = classes[rand(classes.len() as i64) as usize];
+        let price = 10 + rand(5_000);
+        builder.add_object(class, price, id);
+    }
+    let index = builder.build(&store)?;
+    println!("indexed {} items in {} pages", index.len(), store.live_pages());
+
+    // Subtree queries at different levels of the hierarchy.
+    let cases = [
+        ("electronics (whole subtree)", electronics, 4_000),
+        ("computers subtree", computers, 4_000),
+        ("laptops only-leaf", laptops, 4_000),
+        ("home subtree", home, 4_500),
+        ("entire catalog", catalog, 4_900),
+    ];
+    println!("\n{:<30} {:>9} {:>8} {:>12}", "query", "min price", "items", "page reads");
+    for (label, class, min_price) in cases {
+        store.reset_stats();
+        let items = index.query_subtree(&store, class, min_price)?;
+        println!(
+            "{:<30} {:>9} {:>8} {:>12}",
+            label,
+            min_price,
+            items.len(),
+            store.stats().reads
+        );
+    }
+
+    // Exact-class queries ignore subcategories.
+    let exact = index.query_exact(&store, electronics, 0)?;
+    let subtree = index.query_subtree(&store, electronics, 0)?;
+    println!(
+        "\nelectronics: {} items attached directly, {} including subcategories",
+        exact.len(),
+        subtree.len()
+    );
+    assert!(exact.len() < subtree.len());
+    Ok(())
+}

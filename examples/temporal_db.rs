@@ -1,0 +1,66 @@
+//! Dynamic interval management for a temporal database — the paper's §1
+//! motivating application ([KRV] reduction: stabbing → 2-sided queries).
+//!
+//! We model employee contracts as validity intervals `[start_day,
+//! end_day]` and answer "who was employed on day D?" time-travel queries
+//! while contracts are created and terminated online.
+//!
+//! Run with: `cargo run --example temporal_db`
+
+use path_caching::{Interval, IntervalStore, PageStore};
+
+fn main() -> path_caching::Result<()> {
+    let store = PageStore::in_memory(4096);
+    let mut contracts = IntervalStore::new(&store)?;
+
+    // Seed: 50k historical contracts with varied durations.
+    let mut seed = 0x5eed_1234_u64;
+    let mut rand = move |bound: i64| {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed % bound as u64) as i64
+    };
+    let horizon = 20_000; // days ~ 55 years
+    for id in 0..50_000u64 {
+        let start = rand(horizon);
+        let len = 1 + rand(3000);
+        contracts.insert(&store, Interval::new(start, (start + len).min(horizon), id))?;
+    }
+    println!("loaded {} contracts in {} pages", contracts.len(), store.live_pages());
+
+    // Time-travel query: who was employed on day 10_000?
+    store.reset_stats();
+    let active = contracts.stab(&store, 10_000)?;
+    println!(
+        "day 10000: {} active contracts found in {} page reads",
+        active.len(),
+        store.stats().reads
+    );
+
+    // Online updates: terminate some contracts early, sign new ones, and
+    // keep querying — all against the same structure (Theorem 5.1).
+    let mut terminated = 0;
+    for iv in active.iter().take(500) {
+        contracts.remove(&store, *iv)?;
+        terminated += 1;
+    }
+    for id in 0..500u64 {
+        contracts.insert(&store, Interval::new(9_500, 12_000, 1_000_000 + id))?;
+    }
+    let after = contracts.stab(&store, 10_000)?;
+    println!(
+        "after {terminated} terminations and 500 new hires: {} active on day 10000",
+        after.len()
+    );
+    assert_eq!(after.len(), active.len() - terminated + 500);
+
+    // Point-in-time audit across the timeline.
+    println!("\n{:>8} {:>10} {:>12}", "day", "active", "page reads");
+    for day in [0, 2_500, 5_000, 10_000, 15_000, 19_999] {
+        store.reset_stats();
+        let active = contracts.stab(&store, day)?;
+        println!("{:>8} {:>10} {:>12}", day, active.len(), store.stats().reads);
+    }
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Workspace-level umbrella for integration tests and examples.
+//!
+//! The real public API lives in the [`path_caching`] crate; this crate only
+//! re-exports it so `tests/` and `examples/` at the repository root have a
+//! single import path.
+
+pub use path_caching as api;

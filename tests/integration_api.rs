@@ -1,0 +1,209 @@
+//! Cross-crate integration tests: the public API over generated workloads,
+//! the file-backed store, and failure injection.
+
+use std::collections::HashMap;
+
+use path_caching::{
+    ClassIndexBuilder, Interval, IntervalStore, PageStore, Point, PointIndex, StoreError,
+    ThreeSided, ThreeSidedIndex, TwoSided, Variant,
+};
+use pc_workloads::{
+    gen_intervals, gen_points, gen_stabbing, gen_three_sided, gen_two_sided, IntervalDist,
+    PointDist,
+};
+
+fn to_points(raw: &[(i64, i64, u64)]) -> Vec<Point> {
+    raw.iter().map(|&(x, y, id)| Point::new(x, y, id)).collect()
+}
+
+fn to_intervals(raw: &[(i64, i64, u64)]) -> Vec<Interval> {
+    raw.iter().map(|&(lo, hi, id)| Interval::new(lo, hi, id)).collect()
+}
+
+#[test]
+fn point_index_on_every_distribution() {
+    let distributions = [
+        PointDist::Uniform,
+        PointDist::Clustered { clusters: 8, radius: 20_000 },
+        PointDist::Diagonal { width: 5_000 },
+        PointDist::AntiDiagonal { width: 5_000 },
+    ];
+    for dist in distributions {
+        let raw = gen_points(8_000, dist, 42);
+        let points = to_points(&raw);
+        let store = PageStore::in_memory(1024);
+        let index = PointIndex::build(&store, &points, Variant::TwoLevel).unwrap();
+        for q in gen_two_sided(&raw, 15, 400, 7) {
+            let query = TwoSided { x0: q.x0, y0: q.y0 };
+            let mut got: Vec<u64> =
+                index.query(&store, query).unwrap().iter().map(|p| p.id).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> =
+                points.iter().filter(|p| query.contains(p)).map(|p| p.id).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "{dist:?} {query:?}");
+        }
+    }
+}
+
+#[test]
+fn three_sided_index_on_workload_queries() {
+    let raw = gen_points(8_000, PointDist::Uniform, 9);
+    let points = to_points(&raw);
+    let store = PageStore::in_memory(1024);
+    let index = ThreeSidedIndex::build(&store, &points).unwrap();
+    for q in gen_three_sided(&raw, 20, 300, 11) {
+        let query = ThreeSided { x1: q.x1, x2: q.x2, y0: q.y0 };
+        let mut got: Vec<u64> =
+            index.query(&store, query).unwrap().iter().map(|p| p.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> =
+            points.iter().filter(|p| query.contains(p)).map(|p| p.id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "{query:?}");
+    }
+}
+
+#[test]
+fn interval_store_on_every_distribution() {
+    let distributions = [
+        IntervalDist::UniformLen { max_len: 30_000 },
+        IntervalDist::LongTail,
+        IntervalDist::Nested { towers: 5 },
+        IntervalDist::CommonPoint,
+    ];
+    for dist in distributions {
+        let raw = gen_intervals(4_000, dist, 13);
+        let intervals = to_intervals(&raw);
+        let store = PageStore::in_memory(1024);
+        let ivs = IntervalStore::with_intervals(&store, &intervals).unwrap();
+        for stab in gen_stabbing(&raw, 15, 17) {
+            let mut got: Vec<u64> =
+                ivs.stab(&store, stab.q).unwrap().iter().map(|i| i.id).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> =
+                intervals.iter().filter(|i| i.contains(stab.q)).map(|i| i.id).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "{dist:?} q={}", stab.q);
+        }
+    }
+}
+
+#[test]
+fn interval_store_survives_heavy_churn() {
+    let store = PageStore::in_memory(512);
+    let mut ivs = IntervalStore::new(&store).unwrap();
+    let mut oracle: HashMap<u64, Interval> = HashMap::new();
+    let mut s = 0xDEAD_BEEFu64;
+    let mut rand = move |b: i64| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % b as u64) as i64
+    };
+    for wave in 0..5 {
+        // Insert a wave.
+        for k in 0..400u64 {
+            let id = wave * 1000 + k;
+            let lo = rand(20_000);
+            let iv = Interval::new(lo, lo + 1 + rand(1_000), id);
+            ivs.insert(&store, iv).unwrap();
+            oracle.insert(id, iv);
+        }
+        // Delete half of everything live.
+        let keys: Vec<u64> = oracle.keys().copied().collect();
+        for (i, k) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                let iv = oracle.remove(k).unwrap();
+                ivs.remove(&store, iv).unwrap();
+            }
+        }
+        // Verify.
+        for _ in 0..5 {
+            let q = rand(21_000);
+            let mut got: Vec<u64> = ivs.stab(&store, q).unwrap().iter().map(|i| i.id).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> =
+                oracle.values().filter(|i| i.contains(q)).map(|i| i.id).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "wave {wave} q={q}");
+        }
+    }
+}
+
+#[test]
+fn class_index_deep_chain() {
+    // A pathological 100-deep single chain still answers correctly.
+    let store = PageStore::in_memory(512);
+    let mut b = ClassIndexBuilder::new();
+    let mut chain = vec![b.add_class(None)];
+    for _ in 0..99 {
+        let next = b.add_class(Some(*chain.last().unwrap()));
+        chain.push(next);
+    }
+    for (i, &c) in chain.iter().enumerate() {
+        b.add_object(c, i as i64, i as u64);
+    }
+    let index = b.build(&store).unwrap();
+    // Subtree of depth-k class holds objects k..100 (attr = depth).
+    for k in [0usize, 1, 37, 50, 99] {
+        let got = index.query_subtree(&store, chain[k], 0).unwrap();
+        let want: Vec<u64> = (k as u64..100).collect();
+        assert_eq!(got, want, "depth {k}");
+        let bounded = index.query_subtree(&store, chain[k], 60).unwrap();
+        let want: Vec<u64> = (k.max(60) as u64..100).collect();
+        assert_eq!(bounded, want, "depth {k} attr >= 60");
+    }
+}
+
+#[test]
+fn file_backed_index_round_trips() {
+    let dir = std::env::temp_dir().join(format!("pc-int-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("points.pcdb");
+    let raw = gen_points(3_000, PointDist::Uniform, 99);
+    let points = to_points(&raw);
+    {
+        let store = PageStore::file(&path, 1024).unwrap();
+        let index = PointIndex::build(&store, &points, Variant::Segmented).unwrap();
+        store.sync().unwrap();
+        let q = TwoSided { x0: 500_000, y0: 500_000 };
+        let got = index.query(&store, q).unwrap();
+        let want = points.iter().filter(|p| q.contains(p)).count();
+        assert_eq!(got.len(), want);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn checksum_corruption_is_detected_not_misread() {
+    let store = PageStore::in_memory(512);
+    let raw = gen_points(2_000, PointDist::Uniform, 5);
+    let points = to_points(&raw);
+    let index = PointIndex::build(&store, &points, Variant::Segmented).unwrap();
+    // Flip a byte in every live page; all queries must now either succeed
+    // (pages untouched by this query) or fail with ChecksumMismatch /
+    // Corrupt — never return silently wrong data... we can't verify
+    // "never wrong" generically, but we can verify detection fires on the
+    // pages the query actually reads.
+    for page in 0..store.live_pages() {
+        store
+            .inject_corruption(pc_pagestore::PageId(page), 3)
+            .expect("every low id is allocated in a fresh store");
+    }
+    let result = index.query(&store, TwoSided { x0: 0, y0: 0 });
+    match result {
+        Err(StoreError::ChecksumMismatch(_)) | Err(StoreError::Corrupt(_)) => {}
+        other => panic!("corruption not detected: {other:?}"),
+    }
+}
+
+#[test]
+fn quickstart_snippet_from_readme() {
+    // The README's five-line example, kept compiling forever.
+    let store = PageStore::in_memory(4096);
+    let points: Vec<Point> = (0..1000).map(|i| Point::new(i, 1000 - i, i as u64)).collect();
+    let index = PointIndex::build(&store, &points, Variant::TwoLevel).unwrap();
+    let hits = index.query(&store, TwoSided { x0: 500, y0: 400 }).unwrap();
+    assert_eq!(hits.len(), 101);
+}

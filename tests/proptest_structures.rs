@@ -1,0 +1,160 @@
+//! Property-based differential tests: every external structure against an
+//! exhaustive in-memory oracle, on proptest-generated inputs.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use path_caching::intervaltree::ExternalIntervalTree;
+use path_caching::segtree::{CachedSegmentTree, NaiveSegmentTree};
+use path_caching::{Interval, PageStore, Point, ThreeSided, TwoSided};
+use pc_btree::BTree;
+use pc_pst::{SegmentedPst, ThreeSidedPst, TwoLevelPst};
+
+fn point_strategy(domain: i64) -> impl Strategy<Value = (i64, i64)> {
+    (0..domain, 0..domain)
+}
+
+fn interval_strategy(domain: i64) -> impl Strategy<Value = (i64, i64)> {
+    (0..domain, 0..domain).prop_map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// B+-tree behaves exactly like BTreeMap under arbitrary op sequences.
+    #[test]
+    fn btree_matches_btreemap(ops in prop::collection::vec((0u8..3, -50i64..50, 0u64..1000), 1..400)) {
+        let store = PageStore::in_memory(256);
+        let mut tree: BTree<i64, u64> = BTree::new(&store).unwrap();
+        let mut oracle: BTreeMap<i64, u64> = BTreeMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0 => prop_assert_eq!(tree.insert(&store, k, v).unwrap(), oracle.insert(k, v)),
+                1 => prop_assert_eq!(tree.delete(&store, &k).unwrap(), oracle.remove(&k)),
+                _ => prop_assert_eq!(tree.get(&store, &k).unwrap(), oracle.get(&k).copied()),
+            }
+            prop_assert_eq!(tree.len(), oracle.len() as u64);
+        }
+        let got = tree.scan_all(&store).unwrap();
+        let want: Vec<(i64, u64)> = oracle.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// B+-tree range queries agree with the oracle.
+    #[test]
+    fn btree_ranges_match(
+        keys in prop::collection::btree_set(-200i64..200, 1..150),
+        lo in -250i64..250,
+        width in 0i64..200,
+    ) {
+        let store = PageStore::in_memory(256);
+        let entries: Vec<(i64, u64)> = keys.iter().map(|&k| (k, k.unsigned_abs())).collect();
+        let tree = BTree::bulk_build(&store, &entries).unwrap();
+        let hi = lo + width;
+        let got = tree.range(&store, &lo, &hi).unwrap();
+        let want: Vec<(i64, u64)> =
+            entries.iter().filter(|(k, _)| lo <= *k && *k <= hi).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Both segment-tree variants and the interval tree answer stabbing
+    /// queries exactly.
+    #[test]
+    fn stabbing_structures_match_oracle(
+        raw in prop::collection::vec(interval_strategy(500), 1..120),
+        queries in prop::collection::vec(-20i64..520, 1..25),
+    ) {
+        let intervals: Vec<Interval> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, hi))| Interval::new(lo, hi, i as u64))
+            .collect();
+        let store = PageStore::in_memory(512);
+        let naive = NaiveSegmentTree::build(&store, &intervals).unwrap();
+        let cached = CachedSegmentTree::build(&store, &intervals).unwrap();
+        let itree = ExternalIntervalTree::build(&store, &intervals).unwrap();
+        for q in queries {
+            let mut want: Vec<u64> =
+                intervals.iter().filter(|iv| iv.contains(q)).map(|iv| iv.id).collect();
+            want.sort_unstable();
+            for (name, mut got) in [
+                ("naive-segtree", naive.stab(&store, q).unwrap()),
+                ("cached-segtree", cached.stab(&store, q).unwrap()),
+                ("interval-tree", itree.stab(&store, q).unwrap()),
+            ] {
+                got.sort_unstable_by_key(|iv| iv.id);
+                let got_ids: Vec<u64> = got.iter().map(|iv| iv.id).collect();
+                prop_assert_eq!(&got_ids, &want, "{} at q={}", name, q);
+            }
+        }
+    }
+
+    /// The PST variants answer 2-sided queries exactly, duplicates and all.
+    #[test]
+    fn pst_two_sided_matches_oracle(
+        raw in prop::collection::vec(point_strategy(300), 1..250),
+        queries in prop::collection::vec((-20i64..320, -20i64..320), 1..20),
+    ) {
+        let points: Vec<Point> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(x, y, i as u64))
+            .collect();
+        let store = PageStore::in_memory(512);
+        let seg = SegmentedPst::build(&store, &points).unwrap();
+        let two = TwoLevelPst::build(&store, &points).unwrap();
+        for (x0, y0) in queries {
+            let q = TwoSided { x0, y0 };
+            let mut want: Vec<u64> =
+                points.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+            want.sort_unstable();
+            for (name, res) in [
+                ("segmented", seg.query(&store, q).unwrap()),
+                ("two-level", two.query(&store, q).unwrap()),
+            ] {
+                prop_assert_eq!(res.len(), want.len(), "{} dups at {:?}", name, q);
+                let mut ids: Vec<u64> = res.iter().map(|p| p.id).collect();
+                ids.sort_unstable();
+                prop_assert_eq!(&ids, &want, "{} at {:?}", name, q);
+            }
+        }
+    }
+
+    /// The 3-sided PST answers band queries exactly.
+    #[test]
+    fn pst_three_sided_matches_oracle(
+        raw in prop::collection::vec(point_strategy(300), 1..250),
+        queries in prop::collection::vec((-20i64..320, 0i64..150, -20i64..320), 1..20),
+    ) {
+        let points: Vec<Point> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(x, y, i as u64))
+            .collect();
+        let store = PageStore::in_memory(512);
+        let pst = ThreeSidedPst::build(&store, &points).unwrap();
+        for (x1, width, y0) in queries {
+            let q = ThreeSided { x1, x2: x1 + width, y0 };
+            let mut want: Vec<u64> =
+                points.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
+            want.sort_unstable();
+            let res = pst.query(&store, q).unwrap();
+            prop_assert_eq!(res.len(), want.len(), "dups at {:?}", q);
+            let mut ids: Vec<u64> = res.iter().map(|p| p.id).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(ids, want, "{:?}", q);
+        }
+    }
+
+    /// The blocked list preserves arbitrary record sequences.
+    #[test]
+    fn block_list_roundtrip(points in prop::collection::vec(point_strategy(1000), 0..300)) {
+        use pc_pagestore::layout::BlockList;
+        let store = PageStore::in_memory(256);
+        let records: Vec<Point> =
+            points.iter().enumerate().map(|(i, &(x, y))| Point::new(x, y, i as u64)).collect();
+        let list = BlockList::build(&store, &records).unwrap();
+        prop_assert_eq!(list.read_all(&store).unwrap(), records);
+    }
+}
