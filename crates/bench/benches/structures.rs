@@ -1,10 +1,17 @@
-//! Criterion wall-clock microbenchmarks: one group per structure family.
+//! Wall-clock microbenchmarks: one group per structure family, on a
+//! self-contained timing harness (no Criterion — the workspace builds with
+//! zero registry dependencies; see "Hermetic build" in README.md).
 //!
 //! These complement the I/O-count experiment harness (`experiments` bin):
 //! the paper's claims are about page transfers, but wall-clock numbers
 //! confirm the implementations are also computationally reasonable.
+//!
+//! Run with `cargo bench --bench structures [-- <name-filter>]`. Each
+//! benchmark is auto-calibrated to ~25 ms per sample; the harness reports
+//! the median, minimum, and maximum ns/iteration over 11 samples.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use pc_bench::{to_intervals, to_points};
 use pc_btree::BTree;
@@ -20,32 +27,92 @@ use pc_workloads::{
 const PAGE: usize = 4096;
 const N: usize = 100_000;
 
-fn bench_btree(c: &mut Criterion) {
+/// Minimal fixed-time benchmark runner.
+struct Harness {
+    filter: Option<String>,
+    samples: usize,
+    target_sample: Duration,
+    ran: std::cell::Cell<usize>,
+}
+
+impl Harness {
+    fn from_args() -> Self {
+        // `cargo bench` invokes the target with `--bench`; any non-flag
+        // argument is treated as a substring filter on benchmark names.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness {
+            filter,
+            samples: 11,
+            target_sample: Duration::from_millis(25),
+            ran: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Times `f`, printing median/min/max ns per iteration.
+    fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran.set(self.ran.get() + 1);
+        // Calibrate: grow the batch size until one batch exceeds ~1/4 of
+        // the sample target, then scale to the target.
+        let mut batch: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_sample / 4 || batch >= 1 << 30 {
+                break elapsed.as_nanos().max(1) as u64 / batch;
+            }
+            batch *= 4;
+        };
+        let iters = (self.target_sample.as_nanos() as u64 / per_iter.max(1)).clamp(1, 1 << 32);
+        let mut samples_ns: Vec<u64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as u64 / iters
+            })
+            .collect();
+        samples_ns.sort_unstable();
+        println!(
+            "{:<28} {:>12} ns/iter (min {:>10}, max {:>10}, {} iters x {} samples)",
+            name,
+            samples_ns[samples_ns.len() / 2],
+            samples_ns[0],
+            samples_ns[samples_ns.len() - 1],
+            iters,
+            self.samples
+        );
+    }
+}
+
+fn bench_btree(h: &Harness) {
     let store = PageStore::in_memory(PAGE);
     let keys: Vec<i64> = (0..N as i64).map(|k| k * 3).collect();
     let entries: Vec<(i64, u64)> = keys.iter().map(|&k| (k, k as u64)).collect();
     let tree = BTree::bulk_build(&store, &entries).unwrap();
     let ranges = gen_range_1d(&keys, 64, 2_000, 1);
 
-    let mut g = c.benchmark_group("btree");
-    g.bench_function("point_get", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % keys.len();
-            tree.get(&store, &keys[i]).unwrap()
-        })
+    let mut i = 0usize;
+    h.bench("btree/point_get", || {
+        i = (i + 1) % keys.len();
+        tree.get(&store, &keys[i]).unwrap()
     });
-    g.bench_function("range_2k", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % ranges.len();
-            tree.range(&store, &ranges[i].lo, &ranges[i].hi).unwrap()
-        })
+    let mut i = 0usize;
+    h.bench("btree/range_2k", || {
+        i = (i + 1) % ranges.len();
+        tree.range(&store, &ranges[i].lo, &ranges[i].hi).unwrap()
     });
-    g.finish();
 }
 
-fn bench_segment_trees(c: &mut Criterion) {
+fn bench_segment_trees(h: &Harness) {
     let raw = gen_intervals(N / 2, IntervalDist::UniformLen { max_len: 20_000 }, 2);
     let intervals = to_intervals(&raw);
     let store = PageStore::in_memory(PAGE);
@@ -54,32 +121,24 @@ fn bench_segment_trees(c: &mut Criterion) {
     let itree = ExternalIntervalTree::build(&store, &intervals).unwrap();
     let stabs = gen_stabbing(&raw, 64, 3);
 
-    let mut g = c.benchmark_group("stabbing");
-    g.bench_function("segtree_naive", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % stabs.len();
-            naive.stab(&store, stabs[i].q).unwrap()
-        })
+    let mut i = 0usize;
+    h.bench("stabbing/segtree_naive", || {
+        i = (i + 1) % stabs.len();
+        naive.stab(&store, stabs[i].q).unwrap()
     });
-    g.bench_function("segtree_cached", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % stabs.len();
-            cached.stab(&store, stabs[i].q).unwrap()
-        })
+    let mut i = 0usize;
+    h.bench("stabbing/segtree_cached", || {
+        i = (i + 1) % stabs.len();
+        cached.stab(&store, stabs[i].q).unwrap()
     });
-    g.bench_function("interval_tree", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % stabs.len();
-            itree.stab(&store, stabs[i].q).unwrap()
-        })
+    let mut i = 0usize;
+    h.bench("stabbing/interval_tree", || {
+        i = (i + 1) % stabs.len();
+        itree.stab(&store, stabs[i].q).unwrap()
     });
-    g.finish();
 }
 
-fn bench_pst_variants(c: &mut Criterion) {
+fn bench_pst_variants(h: &Harness) {
     let raw = gen_points(N, PointDist::Uniform, 4);
     let points = to_points(&raw);
     let store = PageStore::in_memory(PAGE);
@@ -88,52 +147,42 @@ fn bench_pst_variants(c: &mut Criterion) {
     let two = TwoLevelPst::build(&store, &points).unwrap();
     let queries = gen_two_sided(&raw, 64, 2_000, 5);
 
-    let mut g = c.benchmark_group("two_sided");
-    g.bench_with_input(BenchmarkId::new("naive", N), &queries, |b, qs| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % qs.len();
-            naive.query(&store, TwoSided { x0: qs[i].x0, y0: qs[i].y0 }).unwrap()
-        })
+    let mut i = 0usize;
+    h.bench("two_sided/naive", || {
+        i = (i + 1) % queries.len();
+        naive.query(&store, TwoSided { x0: queries[i].x0, y0: queries[i].y0 }).unwrap()
     });
-    g.bench_with_input(BenchmarkId::new("segmented", N), &queries, |b, qs| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % qs.len();
-            seg.query(&store, TwoSided { x0: qs[i].x0, y0: qs[i].y0 }).unwrap()
-        })
+    let mut i = 0usize;
+    h.bench("two_sided/segmented", || {
+        i = (i + 1) % queries.len();
+        seg.query(&store, TwoSided { x0: queries[i].x0, y0: queries[i].y0 }).unwrap()
     });
-    g.bench_with_input(BenchmarkId::new("two_level", N), &queries, |b, qs| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % qs.len();
-            two.query(&store, TwoSided { x0: qs[i].x0, y0: qs[i].y0 }).unwrap()
-        })
+    let mut i = 0usize;
+    h.bench("two_sided/two_level", || {
+        i = (i + 1) % queries.len();
+        two.query(&store, TwoSided { x0: queries[i].x0, y0: queries[i].y0 }).unwrap()
     });
-    g.finish();
 }
 
-fn bench_three_sided(c: &mut Criterion) {
+fn bench_three_sided(h: &Harness) {
     let raw = gen_points(N, PointDist::Uniform, 6);
     let points = to_points(&raw);
     let store = PageStore::in_memory(PAGE);
     let pst = ThreeSidedPst::build(&store, &points).unwrap();
     let queries = gen_three_sided(&raw, 64, 2_000, 7);
 
-    c.bench_function("three_sided/query", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % queries.len();
-            pst.query(
-                &store,
-                ThreeSided { x1: queries[i].x1, x2: queries[i].x2, y0: queries[i].y0 },
-            )
-            .unwrap()
-        })
+    let mut i = 0usize;
+    h.bench("three_sided/query", || {
+        i = (i + 1) % queries.len();
+        pst.query(
+            &store,
+            ThreeSided { x1: queries[i].x1, x2: queries[i].x2, y0: queries[i].y0 },
+        )
+        .unwrap()
     });
 }
 
-fn bench_dynamic_updates(c: &mut Criterion) {
+fn bench_dynamic_updates(h: &Harness) {
     use pc_pagestore::Point;
     use pc_pst::DynamicPst;
     let raw = gen_points(50_000, PointDist::Uniform, 8);
@@ -141,22 +190,29 @@ fn bench_dynamic_updates(c: &mut Criterion) {
     let store = PageStore::in_memory(PAGE);
     let mut pst = DynamicPst::build(&store, &points).unwrap();
     let mut next_id = 10_000_000u64;
-    let mut seed = 0x1234_5678u64;
-    c.bench_function("dynamic/insert", |b| {
-        b.iter(|| {
-            seed ^= seed << 13;
-            seed ^= seed >> 7;
-            seed ^= seed << 17;
-            let p = Point::new((seed % 1_000_000) as i64, ((seed >> 20) % 1_000_000) as i64, next_id);
-            next_id += 1;
-            pst.insert(&store, p).unwrap()
-        })
+    let mut rng = pc_rng::Rng::seed_from_u64(0x1234_5678);
+    h.bench("dynamic/insert", || {
+        let p = Point::new(
+            rng.gen_range(0i64..1_000_000),
+            rng.gen_range(0i64..1_000_000),
+            next_id,
+        );
+        next_id += 1;
+        pst.insert(&store, p).unwrap()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_btree, bench_segment_trees, bench_pst_variants, bench_three_sided, bench_dynamic_updates
+fn main() {
+    let h = Harness::from_args();
+    bench_btree(&h);
+    bench_segment_trees(&h);
+    bench_pst_variants(&h);
+    bench_three_sided(&h);
+    bench_dynamic_updates(&h);
+    if h.ran.get() == 0 {
+        if let Some(filter) = &h.filter {
+            eprintln!("no benchmark names contain {filter:?}");
+            std::process::exit(1);
+        }
+    }
 }
-criterion_main!(benches);

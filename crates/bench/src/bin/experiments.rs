@@ -640,12 +640,12 @@ fn e15_parallel_throughput() {
     for threads in [1usize, 2, 4, 8] {
         let start = std::time::Instant::now();
         let rounds = 4usize;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for tid in 0..threads {
                 let pst = &pst;
                 let store = &store;
                 let queries = &queries;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for r in 0..rounds {
                         for (i, q) in queries.iter().enumerate() {
                             if (i + r + tid) % threads == tid {
@@ -655,8 +655,7 @@ fn e15_parallel_throughput() {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let total = (queries.len() * rounds) as f64;
         let qps = total / start.elapsed().as_secs_f64();
         if threads == 1 {

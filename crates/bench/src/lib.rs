@@ -1,4 +1,4 @@
-//! Shared utilities for the experiment harness and Criterion benches.
+//! Shared utilities for the experiment harness and timing benches.
 
 use pc_pagestore::{Interval, Point};
 use pc_workloads::{RawInterval, RawPoint};

@@ -513,7 +513,7 @@ mod tests {
             state ^= state >> 7;
             state ^= state << 17;
             let key = (state % 200) as i64;
-            if state % 3 == 0 {
+            if state.is_multiple_of(3) {
                 assert_eq!(t.delete(&store, &key).unwrap(), oracle.remove(&key), "step {step}");
             } else {
                 assert_eq!(

@@ -12,7 +12,7 @@ use std::fs::{File, OpenOptions};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use pc_sync::RwLock;
 
 use crate::error::Result;
 use crate::store::PageId;

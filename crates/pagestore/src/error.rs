@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn io_error_converts_and_sources() {
-        let ioe = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let ioe = std::io::Error::other("boom");
         let e: StoreError = ioe.into();
         assert!(e.to_string().contains("boom"));
         use std::error::Error;

@@ -38,12 +38,14 @@ pub mod backend;
 pub mod codec;
 pub mod error;
 pub mod layout;
+pub mod page;
 pub mod pool;
 pub mod stats;
 pub mod store;
 pub mod types;
 
 pub use error::{Result, StoreError};
+pub use page::Page;
 pub use stats::IoStats;
 pub use store::{PageId, PageStore, StoreConfig, NULL_PAGE};
 pub use types::{Interval, Point, Record};

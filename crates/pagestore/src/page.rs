@@ -1,0 +1,106 @@
+//! Owned, immutable page payloads.
+//!
+//! [`Page`] is the handle returned by [`crate::PageStore::read`]: an
+//! `Arc<[u8]>`-backed buffer, so cloning is a reference-count bump and a
+//! query can hold many pages (e.g. a pinned split page during a boundary
+//! walk) without copying payload bytes. It replaces the `bytes::Bytes`
+//! handle the seed used, keeping the workspace free of registry crates.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable page payload.
+#[derive(Clone)]
+pub struct Page(Arc<[u8]>);
+
+impl Page {
+    /// Copies `data` into a new page buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Page(Arc::from(data))
+    }
+
+    /// Length of the payload in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The payload as a byte slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Page {
+    fn from(v: Vec<u8>) -> Self {
+        Page(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<Box<[u8]>> for Page {
+    fn from(b: Box<[u8]>) -> Self {
+        Page(Arc::from(b))
+    }
+}
+
+impl Deref for Page {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Page {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl PartialEq for Page {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Page {}
+
+impl PartialEq<[u8]> for Page {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl fmt::Debug for Page {
+    /// Prints the byte slice, matching what `Bytes` showed in test
+    /// failure output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&&*self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_buffer() {
+        let a = Page::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr()));
+    }
+
+    #[test]
+    fn slicing_and_iteration_work_through_deref() {
+        let p = Page::copy_from_slice(b"hello page");
+        assert_eq!(&p[..5], b"hello");
+        assert_eq!(p.len(), 10);
+        assert!(!p.is_empty());
+        assert_eq!(p.iter().filter(|&&b| b == b'e').count(), 2);
+    }
+}

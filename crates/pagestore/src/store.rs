@@ -10,12 +10,12 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use pc_sync::{Mutex, RwLock};
 
 use crate::backend::{Backend, FileBackend, MemBackend};
 use crate::codec::fnv1a64;
 use crate::error::{Result, StoreError};
+use crate::page::Page;
 use crate::pool::BufferPool;
 use crate::stats::IoStats;
 
@@ -204,13 +204,13 @@ impl PageStore {
     ///
     /// Costs one backend read in strict mode; with a pool, resident pages
     /// cost nothing and are counted as `cache_hits`.
-    pub fn read(&self, id: PageId) -> Result<Bytes> {
+    pub fn read(&self, id: PageId) -> Result<Page> {
         self.check_allocated(id)?;
         if let Some(pool) = &self.pool {
             let mut pool = pool.lock();
             if let Some(data) = pool.get(id) {
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Bytes::copy_from_slice(data));
+                return Ok(Page::copy_from_slice(data));
             }
             let payload = self.backend_read(id)?;
             let data: Box<[u8]> = payload.to_vec().into_boxed_slice();
@@ -243,13 +243,13 @@ impl PageStore {
         self.backend_write(id, data)
     }
 
-    fn backend_read(&self, id: PageId) -> Result<Bytes> {
+    fn backend_read(&self, id: PageId) -> Result<Page> {
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
         let mut frame = vec![0u8; self.page_size + CHECKSUM_LEN];
         self.backend.read_frame(id, &mut frame)?;
         verify_frame(&frame, self.page_size, id)?;
         frame.truncate(self.page_size);
-        Ok(Bytes::from(frame))
+        Ok(Page::from(frame))
     }
 
     fn backend_write(&self, id: PageId, data: &[u8]) -> Result<()> {

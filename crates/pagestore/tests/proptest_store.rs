@@ -1,9 +1,16 @@
 //! Property tests for the storage substrate: arbitrary operation sequences
 //! against an in-memory oracle, across backend/pool configurations.
+//!
+//! Runs on the in-tree `pc_rng::check` harness (hermetic replacement for
+//! proptest): seeded generation, greedy shrinking, regression seeds pinned
+//! in code. The one case proptest had persisted in
+//! `proptest_store.proptest-regressions` is carried over below as the
+//! explicit unit test [`regression_free_then_realloc_reads_zero`].
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use pc_rng::check::{check, shrink_usize, shrink_vec, Config};
+use pc_rng::Rng;
 
 use pc_pagestore::{PageId, PageStore, StoreError};
 
@@ -19,18 +26,55 @@ enum Op {
     Free { page_sel: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        2 => Just(Op::Alloc),
-        4 => (any::<usize>(), any::<u8>(), 0usize..64).prop_map(|(page_sel, byte, fill)| {
-            Op::Write { page_sel, byte, fill }
-        }),
-        4 => any::<usize>().prop_map(|page_sel| Op::Read { page_sel }),
-        1 => any::<usize>().prop_map(|page_sel| Op::Free { page_sel }),
-    ]
+/// Weighted op draw matching the old proptest strategy: 2 alloc, 4 write,
+/// 4 read, 1 free.
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.gen_range(0usize..11) {
+        0 | 1 => Op::Alloc,
+        2..=5 => Op::Write {
+            page_sel: rng.gen_range(0usize..=usize::MAX),
+            byte: rng.gen_range(0u64..=255) as u8,
+            fill: rng.gen_range(0usize..64),
+        },
+        6..=9 => Op::Read { page_sel: rng.gen_range(0usize..=usize::MAX) },
+        _ => Op::Free { page_sel: rng.gen_range(0usize..=usize::MAX) },
+    }
 }
 
-fn run_ops(store: &PageStore, ops: &[Op]) -> Result<(), TestCaseError> {
+fn gen_ops(rng: &mut Rng) -> Vec<Op> {
+    let n = rng.gen_range(1usize..200);
+    (0..n).map(|_| gen_op(rng)).collect()
+}
+
+fn shrink_op(op: &Op) -> Vec<Op> {
+    match *op {
+        Op::Alloc => Vec::new(),
+        Op::Write { page_sel, byte, fill } => {
+            let mut out: Vec<Op> = shrink_usize(page_sel)
+                .into_iter()
+                .map(|p| Op::Write { page_sel: p, byte, fill })
+                .collect();
+            out.extend(shrink_usize(fill).into_iter().map(|f| Op::Write { page_sel, byte, fill: f }));
+            out
+        }
+        Op::Read { page_sel } => {
+            shrink_usize(page_sel).into_iter().map(|p| Op::Read { page_sel: p }).collect()
+        }
+        Op::Free { page_sel } => {
+            shrink_usize(page_sel).into_iter().map(|p| Op::Free { page_sel: p }).collect()
+        }
+    }
+}
+
+macro_rules! ensure {
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+fn run_ops(store: &PageStore, ops: &[Op]) -> Result<(), String> {
     let page_size = store.page_size();
     let mut live: Vec<PageId> = Vec::new();
     let mut oracle: HashMap<u64, Vec<u8>> = HashMap::new();
@@ -38,7 +82,7 @@ fn run_ops(store: &PageStore, ops: &[Op]) -> Result<(), TestCaseError> {
         match op {
             Op::Alloc => {
                 let id = store.alloc().unwrap();
-                prop_assert!(!live.contains(&id), "allocator returned a live id");
+                ensure!(!live.contains(&id), "allocator returned a live id {id:?}");
                 live.push(id);
                 oracle.insert(id.0, vec![0u8; page_size]);
             }
@@ -59,7 +103,7 @@ fn run_ops(store: &PageStore, ops: &[Op]) -> Result<(), TestCaseError> {
                 }
                 let id = live[page_sel % live.len()];
                 let page = store.read(id).unwrap();
-                prop_assert_eq!(&page[..], &oracle[&id.0][..], "page {:?}", id);
+                ensure!(page[..] == oracle[&id.0][..], "page {id:?} diverged from oracle");
             }
             Op::Free { page_sel } => {
                 if live.is_empty() {
@@ -69,56 +113,95 @@ fn run_ops(store: &PageStore, ops: &[Op]) -> Result<(), TestCaseError> {
                 let id = live.swap_remove(idx);
                 store.free(id).unwrap();
                 oracle.remove(&id.0);
-                prop_assert!(matches!(
-                    store.read(id),
-                    Err(StoreError::PageNotAllocated(_))
-                ));
+                ensure!(
+                    matches!(store.read(id), Err(StoreError::PageNotAllocated(_))),
+                    "freed page {id:?} still readable"
+                );
             }
         }
     }
     // Final sweep: every live page still reads back exactly.
     for id in &live {
         let page = store.read(*id).unwrap();
-        prop_assert_eq!(&page[..], &oracle[&id.0][..]);
+        ensure!(page[..] == oracle[&id.0][..], "final sweep: page {id:?} diverged");
     }
-    prop_assert_eq!(store.live_pages(), live.len() as u64);
+    ensure!(
+        store.live_pages() == live.len() as u64,
+        "live_pages {} != oracle {}",
+        store.live_pages(),
+        live.len()
+    );
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn shrink_ops(ops: &[Op]) -> Vec<Vec<Op>> {
+    shrink_vec(ops, shrink_op)
+}
 
-    /// Strict in-memory store behaves like a map of pages.
-    #[test]
-    fn strict_store_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..200)) {
+/// Strict in-memory store behaves like a map of pages.
+#[test]
+fn strict_store_matches_oracle() {
+    check(&Config::with_cases(48), gen_ops, |ops| shrink_ops(ops), |ops| {
         let store = PageStore::in_memory(64);
-        run_ops(&store, &ops)?;
-    }
+        run_ops(&store, ops)
+    });
+}
 
-    /// A pooled store (tiny pool, constant eviction) returns identical
-    /// contents — the pool must be transparent.
-    #[test]
-    fn pooled_store_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..200)) {
+/// A pooled store (tiny pool, constant eviction) returns identical
+/// contents — the pool must be transparent.
+#[test]
+fn pooled_store_matches_oracle() {
+    check(&Config::with_cases(48), gen_ops, |ops| shrink_ops(ops), |ops| {
         let store = PageStore::in_memory_pooled(64, 3);
-        run_ops(&store, &ops)?;
-    }
+        run_ops(&store, ops)
+    });
+}
 
-    /// Strict and pooled stores see the same logical access counts:
-    /// pooled reads + hits == strict reads.
-    #[test]
-    fn pool_preserves_logical_access_counts(
-        ops in prop::collection::vec(op_strategy(), 1..150),
-    ) {
+/// Strict and pooled stores see the same logical access counts:
+/// pooled reads + hits == strict reads.
+#[test]
+fn pool_preserves_logical_access_counts() {
+    let gen_shorter = |rng: &mut Rng| {
+        let n = rng.gen_range(1usize..150);
+        (0..n).map(|_| gen_op(rng)).collect::<Vec<Op>>()
+    };
+    check(&Config::with_cases(48), gen_shorter, |ops| shrink_ops(ops), |ops| {
         let strict = PageStore::in_memory(64);
         let pooled = PageStore::in_memory_pooled(64, 5);
-        run_ops(&strict, &ops)?;
-        run_ops(&pooled, &ops)?;
+        run_ops(&strict, ops)?;
+        run_ops(&pooled, ops)?;
         let s = strict.stats();
         let p = pooled.stats();
-        prop_assert_eq!(p.reads + p.cache_hits, s.reads + s.cache_hits);
-        prop_assert_eq!(p.allocs, s.allocs);
-        prop_assert_eq!(p.frees, s.frees);
-    }
+        ensure!(
+            p.reads + p.cache_hits == s.reads + s.cache_hits,
+            "logical reads diverged: pooled {}+{} vs strict {}+{}",
+            p.reads,
+            p.cache_hits,
+            s.reads,
+            s.cache_hits
+        );
+        ensure!(p.allocs == s.allocs, "alloc counts diverged");
+        ensure!(p.frees == s.frees, "free counts diverged");
+        Ok(())
+    });
+}
+
+/// Carried over from `proptest_store.proptest-regressions` (shrunk case
+/// `[Alloc, Write { page_sel: 0, byte: 1, fill: 1 }, Free { page_sel:
+/// 20364825358 }, Alloc]`): a freed-then-recycled page must read as
+/// all-zero, not leak its previous contents.
+#[test]
+fn regression_free_then_realloc_reads_zero() {
+    let ops = [
+        Op::Alloc,
+        Op::Write { page_sel: 0, byte: 1, fill: 1 },
+        Op::Free { page_sel: 20_364_825_358 },
+        Op::Alloc,
+    ];
+    let strict = PageStore::in_memory(64);
+    run_ops(&strict, &ops).unwrap();
+    let pooled = PageStore::in_memory_pooled(64, 3);
+    run_ops(&pooled, &ops).unwrap();
 }
 
 #[test]

@@ -899,11 +899,9 @@ mod tests {
         let baseline = store.live_pages();
         let mut s = 0x5050u64;
         let mut oracle: HashMap<u64, Point> = initial.iter().map(|p| (p.id, *p)).collect();
-        let mut next_id = 1_000_000u64;
-        for _ in 0..3000u64 {
+        for next_id in 1_000_000u64..1_003_000 {
             // One insert + one delete: n stays ~constant.
             let p = Point::new(xorshift(&mut s, 10_000), xorshift(&mut s, 10_000), next_id);
-            next_id += 1;
             pst.insert(&store, p).unwrap();
             oracle.insert(p.id, p);
             let keys: Vec<u64> = oracle.keys().copied().collect();

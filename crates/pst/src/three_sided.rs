@@ -39,10 +39,9 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
 use pc_pagestore::codec::{PageReader, PageWriter};
 use pc_pagestore::layout::BlockList;
-use pc_pagestore::{PageId, PageStore, Point, Record, Result, NULL_PAGE};
+use pc_pagestore::{Page, PageId, PageStore, Point, Record, Result, NULL_PAGE};
 
 use crate::build::{paginate, points_capacity, read_points_page, write_points_pages, NodeRef, SEntry};
 use crate::mem::{cmp_x, cmp_y, MemPst, NONE};
@@ -562,7 +561,7 @@ impl TsCtx<'_> {
         start: NodeRef,
         mut threshold: u16,
         split_page_id: PageId,
-        split_page: &Bytes,
+        split_page: &Page,
     ) -> Result<()> {
         if start.page.is_null() {
             return Ok(());

@@ -1,9 +1,11 @@
 //! Property-based differential tests for the PST family, complementing
-//! the xorshift-based unit tests with shrinkable proptest inputs.
+//! the xorshift-based unit tests with shrinkable seeded inputs on the
+//! in-tree `pc_rng::check` harness.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use pc_rng::check::{check, no_shrink, shrink_vec, Config};
+use pc_rng::Rng;
 
 use pc_pagestore::{PageStore, Point};
 use pc_pst::{
@@ -11,13 +13,25 @@ use pc_pst::{
     TwoLevelPst, TwoSided,
 };
 
-fn points_strategy(max_n: usize, domain: i64) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0..domain, 0..domain), 1..max_n).prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (x, y))| Point::new(x, y, i as u64))
-            .collect()
-    })
+fn gen_points(rng: &mut Rng, max_n: usize, domain: i64) -> Vec<Point> {
+    let n = rng.gen_range(1usize..max_n);
+    (0..n)
+        .map(|i| Point::new(rng.gen_range(0..domain), rng.gen_range(0..domain), i as u64))
+        .collect()
+}
+
+/// Shrinking points re-numbers ids so they stay dense and unique.
+fn shrink_points(points: &[Point]) -> Vec<Vec<Point>> {
+    shrink_vec(points, no_shrink)
+        .into_iter()
+        .filter(|v| !v.is_empty())
+        .map(|v| {
+            v.into_iter()
+                .enumerate()
+                .map(|(i, p)| Point::new(p.x, p.y, i as u64))
+                .collect()
+        })
+        .collect()
 }
 
 fn brute_two(points: &[Point], q: TwoSided) -> Vec<u64> {
@@ -32,65 +46,109 @@ fn sorted_ids(pts: Vec<Point>) -> Vec<u64> {
     ids
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every static 2-sided variant agrees with brute force (and each
-    /// other) on arbitrary inputs, including heavy coordinate ties (small
-    /// domain forces collisions).
-    #[test]
-    fn static_variants_agree(
-        points in points_strategy(300, 64),
-        queries in prop::collection::vec((-5i64..70, -5i64..70), 1..12),
-    ) {
-        let store = PageStore::in_memory(512);
-        let naive = NaivePst::build(&store, &points).unwrap();
-        let basic = BasicPst::build(&store, &points).unwrap();
-        let seg = SegmentedPst::build(&store, &points).unwrap();
-        let two = TwoLevelPst::build(&store, &points).unwrap();
-        let multi = MultilevelPst::build(&store, &points, 3).unwrap();
-        for (x0, y0) in queries {
-            let q = TwoSided { x0, y0 };
-            let want = brute_two(&points, q);
-            prop_assert_eq!(sorted_ids(naive.query(&store, q).unwrap()), want.clone());
-            prop_assert_eq!(sorted_ids(basic.query(&store, q).unwrap()), want.clone());
-            prop_assert_eq!(sorted_ids(seg.query(&store, q).unwrap()), want.clone());
-            prop_assert_eq!(sorted_ids(two.query(&store, q).unwrap()), want.clone());
-            prop_assert_eq!(sorted_ids(multi.query(&store, q).unwrap()), want);
+macro_rules! ensure_eq {
+    ($a:expr, $b:expr, $($arg:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!("{}: {:?} != {:?}", format_args!($($arg)+), a, b));
         }
-    }
+    }};
+}
 
-    /// 3-sided queries agree with brute force on tie-heavy inputs.
-    #[test]
-    fn three_sided_agrees(
-        points in points_strategy(300, 64),
-        queries in prop::collection::vec((-5i64..70, 0i64..40, -5i64..70), 1..12),
-    ) {
+/// Every static 2-sided variant agrees with brute force (and each other)
+/// on arbitrary inputs, including heavy coordinate ties (small domain
+/// forces collisions).
+#[test]
+fn static_variants_agree() {
+    let generate = |rng: &mut Rng| {
+        let points = gen_points(rng, 300, 64);
+        let n_q = rng.gen_range(1usize..12);
+        let queries: Vec<(i64, i64)> =
+            (0..n_q).map(|_| (rng.gen_range(-5i64..70), rng.gen_range(-5i64..70))).collect();
+        (points, queries)
+    };
+    let shrink = |(points, queries): &(Vec<Point>, Vec<(i64, i64)>)| {
+        shrink_points(points).into_iter().map(|p| (p, queries.clone())).collect::<Vec<_>>()
+    };
+    check(&Config::with_cases(24), generate, shrink, |(points, queries)| {
         let store = PageStore::in_memory(512);
-        let pst = ThreeSidedPst::build(&store, &points).unwrap();
-        for (x1, w, y0) in queries {
+        let naive = NaivePst::build(&store, points).unwrap();
+        let basic = BasicPst::build(&store, points).unwrap();
+        let seg = SegmentedPst::build(&store, points).unwrap();
+        let two = TwoLevelPst::build(&store, points).unwrap();
+        let multi = MultilevelPst::build(&store, points, 3).unwrap();
+        for &(x0, y0) in queries {
+            let q = TwoSided { x0, y0 };
+            let want = brute_two(points, q);
+            ensure_eq!(sorted_ids(naive.query(&store, q).unwrap()), want, "naive at {q:?}");
+            ensure_eq!(sorted_ids(basic.query(&store, q).unwrap()), want, "basic at {q:?}");
+            ensure_eq!(sorted_ids(seg.query(&store, q).unwrap()), want, "segmented at {q:?}");
+            ensure_eq!(sorted_ids(two.query(&store, q).unwrap()), want, "two-level at {q:?}");
+            ensure_eq!(sorted_ids(multi.query(&store, q).unwrap()), want, "3-level at {q:?}");
+        }
+        Ok(())
+    });
+}
+
+/// 3-sided queries agree with brute force on tie-heavy inputs.
+#[test]
+fn three_sided_agrees() {
+    let generate = |rng: &mut Rng| {
+        let points = gen_points(rng, 300, 64);
+        let n_q = rng.gen_range(1usize..12);
+        let queries: Vec<(i64, i64, i64)> = (0..n_q)
+            .map(|_| {
+                (rng.gen_range(-5i64..70), rng.gen_range(0i64..40), rng.gen_range(-5i64..70))
+            })
+            .collect();
+        (points, queries)
+    };
+    let shrink = |(points, queries): &(Vec<Point>, Vec<(i64, i64, i64)>)| {
+        shrink_points(points).into_iter().map(|p| (p, queries.clone())).collect::<Vec<_>>()
+    };
+    check(&Config::with_cases(24), generate, shrink, |(points, queries)| {
+        let store = PageStore::in_memory(512);
+        let pst = ThreeSidedPst::build(&store, points).unwrap();
+        for &(x1, w, y0) in queries {
             let q = ThreeSided { x1, x2: x1 + w, y0 };
             let mut want: Vec<u64> =
                 points.iter().filter(|p| q.contains(p)).map(|p| p.id).collect();
             want.sort_unstable();
             let res = pst.query(&store, q).unwrap();
-            prop_assert_eq!(res.len(), want.len(), "dups at {:?}", q);
-            prop_assert_eq!(sorted_ids(res), want);
+            ensure_eq!(res.len(), want.len(), "dups at {q:?}");
+            ensure_eq!(sorted_ids(res), want, "results at {q:?}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The dynamic structure stays consistent with an oracle through an
-    /// arbitrary interleaving of inserts, deletes, and queries.
-    #[test]
-    fn dynamic_matches_oracle(
-        initial in points_strategy(150, 512),
-        ops in prop::collection::vec((0u8..4, 0i64..512, 0i64..512), 1..120),
-    ) {
+/// The dynamic structure stays consistent with an oracle through an
+/// arbitrary interleaving of inserts, deletes, and queries.
+#[test]
+fn dynamic_matches_oracle() {
+    let generate = |rng: &mut Rng| {
+        let initial = gen_points(rng, 150, 512);
+        let n_ops = rng.gen_range(1usize..120);
+        let ops: Vec<(u8, i64, i64)> = (0..n_ops)
+            .map(|_| {
+                (rng.gen_range(0u64..4) as u8, rng.gen_range(0i64..512), rng.gen_range(0i64..512))
+            })
+            .collect();
+        (initial, ops)
+    };
+    type Case = (Vec<Point>, Vec<(u8, i64, i64)>);
+    let shrink = |(initial, ops): &Case| {
+        let mut out: Vec<Case> =
+            shrink_points(initial).into_iter().map(|p| (p, ops.clone())).collect();
+        out.extend(shrink_vec(ops, no_shrink).into_iter().map(|o| (initial.clone(), o)));
+        out
+    };
+    check(&Config::with_cases(24), generate, shrink, |(initial, ops)| {
         let store = PageStore::in_memory(512);
-        let mut pst = DynamicPst::build(&store, &initial).unwrap();
+        let mut pst = DynamicPst::build(&store, initial).unwrap();
         let mut oracle: HashMap<u64, Point> = initial.iter().map(|p| (p.id, *p)).collect();
         let mut next_id = 1_000_000u64;
-        for (kind, a, b) in ops {
+        for &(kind, a, b) in ops {
             match kind {
                 // Insert a fresh point.
                 0 | 1 => {
@@ -117,16 +175,17 @@ proptest! {
                     let mut want: Vec<u64> =
                         oracle.values().filter(|p| q.contains(p)).map(|p| p.id).collect();
                     want.sort_unstable();
-                    prop_assert_eq!(got, want, "{:?}", q);
+                    ensure_eq!(got, want, "query {q:?}");
                 }
             }
-            prop_assert_eq!(pst.len(), oracle.len() as u64);
+            ensure_eq!(pst.len(), oracle.len() as u64, "len after op ({kind}, {a}, {b})");
         }
         // Closing full-range query.
         let q = TwoSided { x0: i64::MIN / 2, y0: i64::MIN / 2 };
         let got = sorted_ids(pst.query(&store, q).unwrap());
         let mut want: Vec<u64> = oracle.keys().copied().collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
-    }
+        ensure_eq!(got, want, "closing full-range query");
+        Ok(())
+    });
 }

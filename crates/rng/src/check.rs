@@ -1,0 +1,246 @@
+//! Minimal property-testing harness: seeded case generation, greedy
+//! failure shrinking, and persisted regression seeds.
+//!
+//! This replaces `proptest` in the hermetic workspace. The moving parts:
+//!
+//! * **Generation** — each case `i` runs the test's generator closure on an
+//!   [`Rng`] seeded with `mix64(base_seed ^ i)`, so any single case can be
+//!   re-run in isolation from its printed seed.
+//! * **Shrinking** — on failure the harness greedily walks candidates from
+//!   the test's shrink closure, keeping any candidate that still fails,
+//!   until no candidate fails or the step budget runs out. Helpers for the
+//!   common shapes ([`shrink_vec`], [`shrink_i64`]) live here; a test that
+//!   doesn't want shrinking passes [`no_shrink`].
+//! * **Regression seeds** — [`Config::regressions`] holds case seeds that
+//!   previously failed; they run before any fresh cases, the same role as
+//!   proptest's `.proptest-regressions` files, but checked in as plain
+//!   code next to the test.
+//!
+//! A failing property panics with the minimal input's `Debug` form, the
+//! case seed to pin in `regressions`, and the property's error message.
+
+use std::fmt::Debug;
+
+use crate::{mix64, Rng};
+
+/// Harness configuration for one property.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of fresh random cases to run.
+    pub cases: u64,
+    /// Base seed; case `i` uses `mix64(seed ^ i)`.
+    pub seed: u64,
+    /// Upper bound on property evaluations spent shrinking one failure.
+    pub max_shrink_steps: u32,
+    /// Case seeds of past failures, re-run before any fresh cases.
+    pub regressions: &'static [u64],
+}
+
+impl Config {
+    /// `cases` random cases with the workspace-default seed.
+    pub fn with_cases(cases: u64) -> Self {
+        Config { cases, seed: 0x7061_7468_6361_6368, max_shrink_steps: 2000, regressions: &[] }
+    }
+
+    /// Adds persisted regression seeds (printed by past failures).
+    pub fn with_regressions(mut self, regressions: &'static [u64]) -> Self {
+        self.regressions = regressions;
+        self
+    }
+}
+
+/// Runs `prop` against `cfg.cases` generated inputs (regression seeds
+/// first), shrinking and panicking on the first failure.
+///
+/// `generate` draws an input from a seeded [`Rng`]; `shrink` proposes
+/// strictly-smaller variants of a failing input; `prop` returns `Err` with
+/// a description when the property is violated.
+pub fn check<T, G, S, P>(cfg: &Config, mut generate: G, mut shrink: S, mut prop: P)
+where
+    T: Clone + Debug,
+    G: FnMut(&mut Rng) -> T,
+    S: FnMut(&T) -> Vec<T>,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    let fresh = (0..cfg.cases).map(|i| mix64(cfg.seed ^ i));
+    for (case_no, case_seed) in cfg.regressions.iter().copied().chain(fresh).enumerate() {
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let input = generate(&mut rng);
+        if let Err(msg) = prop(&input) {
+            let (min_input, min_msg, steps) =
+                shrink_failure(input, msg, &mut shrink, &mut prop, cfg.max_shrink_steps);
+            panic!(
+                "property failed (case {case_no}, seed {case_seed:#018x}; \
+                 pin it via Config::with_regressions)\n\
+                 error: {min_msg}\n\
+                 minimal input after {steps} shrink steps: {min_input:?}"
+            );
+        }
+    }
+}
+
+fn shrink_failure<T, S, P>(
+    mut cur: T,
+    mut cur_msg: String,
+    shrink: &mut S,
+    prop: &mut P,
+    max_steps: u32,
+) -> (T, String, u32)
+where
+    T: Clone + Debug,
+    S: FnMut(&T) -> Vec<T>,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    let mut steps = 0u32;
+    'progress: loop {
+        for candidate in shrink(&cur) {
+            if steps >= max_steps {
+                break 'progress;
+            }
+            steps += 1;
+            if let Err(msg) = prop(&candidate) {
+                cur = candidate;
+                cur_msg = msg;
+                continue 'progress;
+            }
+        }
+        break;
+    }
+    (cur, cur_msg, steps)
+}
+
+/// Shrink closure for tests that opt out of shrinking.
+pub fn no_shrink<T>(_: &T) -> Vec<T> {
+    Vec::new()
+}
+
+/// Candidates for a failing `Vec`: drop the front half, drop the back
+/// half, drop single elements, then shrink elements in place via `elem`.
+/// Produces each candidate lazily in that order (smaller-first keeps the
+/// greedy walk effective).
+pub fn shrink_vec<T: Clone>(v: &[T], mut elem: impl FnMut(&T) -> Vec<T>) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    if v.is_empty() {
+        return out;
+    }
+    if v.len() > 1 {
+        out.push(v[v.len() / 2..].to_vec());
+        out.push(v[..v.len() / 2].to_vec());
+    }
+    // Cap the per-round candidate count so shrinking long vectors stays
+    // within the step budget: probe single-element removals evenly.
+    let stride = (v.len() / 32).max(1);
+    for i in (0..v.len()).step_by(stride) {
+        let mut smaller = v.to_vec();
+        smaller.remove(i);
+        out.push(smaller);
+    }
+    for i in (0..v.len()).step_by(stride) {
+        for e in elem(&v[i]) {
+            let mut tweaked = v.to_vec();
+            tweaked[i] = e;
+            out.push(tweaked);
+        }
+    }
+    out
+}
+
+/// Candidates for a failing `i64`, moving toward zero.
+pub fn shrink_i64(x: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    for cand in [0, x / 2, x - x.signum()] {
+        if cand != x && !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Candidates for a failing `usize`, moving toward zero.
+pub fn shrink_usize(x: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for cand in [0, x / 2, x.saturating_sub(1)] {
+        if cand != x && !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut runs = 0u64;
+        check(
+            &Config::with_cases(25),
+            |rng| rng.gen_range(0i64..100),
+            no_shrink,
+            |_| {
+                runs += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(runs, 25);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_vec() {
+        // Property: "no vector contains an element >= 10". The minimal
+        // counterexample is a single element equal to 10.
+        let result = std::panic::catch_unwind(|| {
+            check(
+                &Config::with_cases(200),
+                |rng| {
+                    let n = rng.gen_range(1usize..=20);
+                    (0..n).map(|_| rng.gen_range(0i64..100)).collect::<Vec<i64>>()
+                },
+                |v| shrink_vec(v, |&x| shrink_i64(x)),
+                |v| {
+                    if v.iter().any(|&x| x >= 10) {
+                        Err("contains large element".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+        });
+        let msg = *result.expect_err("property must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("minimal input"), "{msg}");
+        assert!(msg.contains("[10]"), "should shrink to exactly [10]: {msg}");
+    }
+
+    #[test]
+    fn regression_seeds_run_first_and_are_reported() {
+        let mut inputs_seen: Vec<i64> = Vec::new();
+        // With a pinned regression seed, case 0 must be that seed's input.
+        const SEEDS: &[u64] = &[0xdead_beef];
+        let expected = {
+            let mut rng = Rng::seed_from_u64(SEEDS[0]);
+            rng.gen_range(0i64..1000)
+        };
+        check(
+            &Config::with_cases(3).with_regressions(SEEDS),
+            |rng| rng.gen_range(0i64..1000),
+            no_shrink,
+            |&x| {
+                inputs_seen.push(x);
+                Ok(())
+            },
+        );
+        assert_eq!(inputs_seen.len(), 4, "1 regression + 3 fresh cases");
+        assert_eq!(inputs_seen[0], expected);
+    }
+
+    #[test]
+    fn shrink_helpers_move_toward_zero() {
+        assert!(shrink_i64(10).contains(&5));
+        assert!(shrink_i64(10).contains(&0));
+        assert!(shrink_i64(-4).contains(&-2));
+        assert!(shrink_i64(0).is_empty());
+        assert!(shrink_usize(7).contains(&3));
+        assert!(shrink_usize(0).is_empty());
+    }
+}

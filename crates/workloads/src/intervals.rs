@@ -1,7 +1,6 @@
 //! Interval-set generators.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pc_rng::Rng;
 
 use crate::{RawInterval, DOMAIN};
 
@@ -29,7 +28,7 @@ pub enum IntervalDist {
 
 /// Generates `n` intervals with ids `0..n`, deterministically from `seed`.
 pub fn gen_intervals(n: usize, dist: IntervalDist, seed: u64) -> Vec<RawInterval> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     for id in 0..n {
         let (lo, hi) = match dist {
@@ -41,10 +40,10 @@ pub fn gen_intervals(n: usize, dist: IntervalDist, seed: u64) -> Vec<RawInterval
             IntervalDist::LongTail => {
                 let lo = rng.gen_range(0..DOMAIN);
                 // 1-in-16 intervals are up to domain-scale, the rest short.
-                let len = if rng.gen_range(0..16) == 0 {
+                let len = if rng.gen_range(0i64..16) == 0 {
                     rng.gen_range(1..=DOMAIN / 2)
                 } else {
-                    rng.gen_range(1..=200)
+                    rng.gen_range(1i64..=200)
                 };
                 (lo, (lo + len).min(DOMAIN))
             }

@@ -12,8 +12,10 @@
 //! * **queries** calibrated to hit a target output size `t`, since every
 //!   bound in the paper is output-sensitive (`O(log_B n + t/B)`).
 //!
-//! All generators are deterministic given a seed (`StdRng`), so every
-//! experiment in EXPERIMENTS.md is exactly reproducible.
+//! All generators are deterministic given a seed (`pc_rng::Rng`, the
+//! in-tree xoshiro256** generator), so every experiment in EXPERIMENTS.md
+//! is exactly reproducible bit-for-bit across machines — pinned by the
+//! golden-value tests in `tests/determinism.rs`.
 //!
 //! Geometric data is produced as plain tuples to keep this crate free of
 //! storage-layer dependencies; the bench crate converts to

@@ -1,7 +1,6 @@
 //! Point-set generators.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pc_rng::Rng;
 
 use crate::{RawPoint, DOMAIN};
 
@@ -35,7 +34,7 @@ pub enum PointDist {
 
 /// Generates `n` points with ids `0..n`, deterministically from `seed`.
 pub fn gen_points(n: usize, dist: PointDist, seed: u64) -> Vec<RawPoint> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     let centers: Vec<(i64, i64)> = match dist {
         PointDist::Clustered { clusters, .. } => (0..clusters.max(1))

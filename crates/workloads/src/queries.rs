@@ -6,8 +6,7 @@
 //! random *anchor data item* and derive the query from the data itself,
 //! then the harness measures the exact `t` per query.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pc_rng::Rng;
 
 use crate::{RawInterval, RawPoint};
 
@@ -61,7 +60,7 @@ pub fn gen_two_sided(
     seed: u64,
 ) -> Vec<TwoSidedQ> {
     assert!(!points.is_empty());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // Sort copies of the coordinates once; each query takes the corner at a
     // rank position so roughly sqrt-fractions multiply out to t_target.
     let mut xs: Vec<i64> = points.iter().map(|p| p.0).collect();
@@ -93,7 +92,7 @@ pub fn gen_three_sided(
     seed: u64,
 ) -> Vec<ThreeSidedQ> {
     assert!(!points.is_empty());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut by_x: Vec<RawPoint> = points.to_vec();
     by_x.sort_unstable_by_key(|p| (p.0, p.1, p.2));
     let n = points.len();
@@ -115,7 +114,7 @@ pub fn gen_three_sided(
 /// domain (each query stabs at a random interval's interior point).
 pub fn gen_stabbing(intervals: &[RawInterval], count: usize, seed: u64) -> Vec<Stab> {
     assert!(!intervals.is_empty());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
             let &(lo, hi, _) = &intervals[rng.gen_range(0..intervals.len())];
@@ -128,7 +127,7 @@ pub fn gen_stabbing(intervals: &[RawInterval], count: usize, seed: u64) -> Vec<S
 /// `t_target` keys each (by rank).
 pub fn gen_range_1d(keys: &[i64], count: usize, t_target: usize, seed: u64) -> Vec<Range1d> {
     assert!(!keys.is_empty());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut sorted = keys.to_vec();
     sorted.sort_unstable();
     let n = sorted.len();

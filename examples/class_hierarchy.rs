@@ -9,7 +9,13 @@
 
 use path_caching::{ClassIndexBuilder, PageStore};
 
-fn main() -> path_caching::Result<()> {
+/// Problem size, overridable via `PC_EXAMPLE_N` so the workspace smoke
+/// test (`tests/examples_smoke.rs`) can exercise this example quickly.
+fn scaled(default_n: usize) -> usize {
+    std::env::var("PC_EXAMPLE_N").ok().and_then(|v| v.parse().ok()).unwrap_or(default_n)
+}
+
+pub fn main() -> path_caching::Result<()> {
     let store = PageStore::in_memory(4096);
     let mut builder = ClassIndexBuilder::new();
 
@@ -33,7 +39,7 @@ fn main() -> path_caching::Result<()> {
         (seed % bound as u64) as i64
     };
     let classes = [electronics, computers, laptops, desktops, phones, home, kitchen, furniture];
-    for id in 0..60_000u64 {
+    for id in 0..scaled(60_000) as u64 {
         let class = classes[rand(classes.len() as i64) as usize];
         let price = 10 + rand(5_000);
         builder.add_object(class, price, id);

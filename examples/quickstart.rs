@@ -5,13 +5,19 @@
 
 use path_caching::{PageStore, Point, PointIndex, TwoSided, Variant};
 
-fn main() -> path_caching::Result<()> {
+/// Problem size, overridable via `PC_EXAMPLE_N` so the workspace smoke
+/// test (`tests/examples_smoke.rs`) can exercise this example quickly.
+fn scaled(default_n: usize) -> usize {
+    std::env::var("PC_EXAMPLE_N").ok().and_then(|v| v.parse().ok()).unwrap_or(default_n)
+}
+
+pub fn main() -> path_caching::Result<()> {
     // A simulated disk with 4 KiB pages. Every page access counts as one
     // I/O — the standard external-memory model.
     let store = PageStore::in_memory(4096);
 
     // 100k points: think (salary, performance score) per employee.
-    let n: i64 = 100_000;
+    let n: i64 = scaled(100_000) as i64;
     let points: Vec<Point> = (0..n)
         .map(|i| {
             let x = (i * 7919) % 1_000_000; // salary

@@ -9,6 +9,12 @@
 use path_caching::segtree::{CachedSegmentTree, NaiveSegmentTree};
 use path_caching::{Interval, PageStore, Point, PointIndex, TwoSided, Variant};
 
+/// Problem size, overridable via `PC_EXAMPLE_N` so the workspace smoke
+/// test (`tests/examples_smoke.rs`) can exercise this example quickly.
+fn scaled(default_n: usize) -> usize {
+    std::env::var("PC_EXAMPLE_N").ok().and_then(|v| v.parse().ok()).unwrap_or(default_n)
+}
+
 fn xorshift(state: &mut u64, bound: i64) -> i64 {
     *state ^= *state << 13;
     *state ^= *state >> 7;
@@ -16,9 +22,9 @@ fn xorshift(state: &mut u64, bound: i64) -> i64 {
     (*state % bound as u64) as i64
 }
 
-fn main() -> path_caching::Result<()> {
+pub fn main() -> path_caching::Result<()> {
     let page = 4096;
-    let n = 60_000usize;
+    let n = scaled(60_000);
     let mut s = 0x1357_9bdf_u64;
     let points: Vec<Point> = (0..n)
         .map(|id| Point::new(xorshift(&mut s, 1_000_000), xorshift(&mut s, 1_000_000), id as u64))
@@ -59,7 +65,7 @@ fn main() -> path_caching::Result<()> {
     }
 
     println!("\n== Segment trees: the Figure 3 wasteful-I/O pathology ==");
-    let intervals: Vec<Interval> = (0..30_000)
+    let intervals: Vec<Interval> = (0..(n / 2) as u64)
         .map(|id| {
             let lo = xorshift(&mut s, 1_000_000);
             Interval::new(lo, lo + 1 + xorshift(&mut s, 50_000), id)

@@ -9,7 +9,13 @@
 
 use path_caching::{Interval, IntervalStore, PageStore};
 
-fn main() -> path_caching::Result<()> {
+/// Problem size, overridable via `PC_EXAMPLE_N` so the workspace smoke
+/// test (`tests/examples_smoke.rs`) can exercise this example quickly.
+fn scaled(default_n: usize) -> usize {
+    std::env::var("PC_EXAMPLE_N").ok().and_then(|v| v.parse().ok()).unwrap_or(default_n)
+}
+
+pub fn main() -> path_caching::Result<()> {
     let store = PageStore::in_memory(4096);
     let mut contracts = IntervalStore::new(&store)?;
 
@@ -22,7 +28,7 @@ fn main() -> path_caching::Result<()> {
         (seed % bound as u64) as i64
     };
     let horizon = 20_000; // days ~ 55 years
-    for id in 0..50_000u64 {
+    for id in 0..scaled(50_000) as u64 {
         let start = rand(horizon);
         let len = 1 + rand(3000);
         contracts.insert(&store, Interval::new(start, (start + len).min(horizon), id))?;

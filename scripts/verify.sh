@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Hermetic verification gate.
+#
+# Proves the workspace builds and tests with the network disabled and that
+# the dependency graph contains only workspace-local crates — i.e. nothing
+# resolves from crates.io or any other registry. Run from anywhere; it
+# cd's to the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo build --offline --benches (bench harness compiles)"
+cargo build --offline --benches --workspace
+
+echo "==> checking that the dependency graph is workspace-only"
+# Every package in the resolved graph must come from a local path source
+# (cargo metadata reports `"source": null` for path dependencies). Any
+# registry/git source means the build is no longer hermetic.
+METADATA="$(cargo metadata --format-version 1 --offline)"
+NON_LOCAL="$(
+  printf '%s' "$METADATA" | python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+bad = [p["id"] for p in meta["packages"] if p["source"] is not None]
+print("\n".join(bad))
+'
+)"
+if [ -n "$NON_LOCAL" ]; then
+    echo "ERROR: non-workspace packages in the dependency graph:" >&2
+    echo "$NON_LOCAL" >&2
+    exit 1
+fi
+
+COUNT="$(printf '%s' "$METADATA" | python3 -c 'import json,sys; print(len(json.load(sys.stdin)["packages"]))')"
+echo "OK: all $COUNT packages are workspace-local; hermetic build verified"

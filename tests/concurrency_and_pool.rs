@@ -34,9 +34,9 @@ fn parallel_queries_agree_with_serial() {
 
     // 8 threads × all queries, interleaved.
     let errors = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..8 {
-            s.spawn(|_| {
+            s.spawn(|| {
                 for (i, q) in queries.iter().enumerate() {
                     let got = index
                         .query(&store, TwoSided { x0: q.x0, y0: q.y0 })
@@ -48,8 +48,7 @@ fn parallel_queries_agree_with_serial() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     assert_eq!(errors.load(Ordering::Relaxed), 0);
 }
 
