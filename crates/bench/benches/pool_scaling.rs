@@ -1,0 +1,186 @@
+//! Buffer-pool scaling benchmark: sharded vs single-mutex pool under
+//! concurrent readers, plus an adversarial all-one-shard workload.
+//!
+//! Two configurations at *equal total capacity*:
+//!   * `single` — 1 shard, the classic global-mutex pool;
+//!   * `sharded` — auto-sized power-of-two shard count.
+//!
+//! The uniform workload keeps the working set fully resident, so every
+//! read is a pool hit: the measurement isolates lock contention and the
+//! zero-copy hand-out, which is exactly what sharding is supposed to fix.
+//! The adversarial workload picks pages that all hash to one shard of the
+//! sharded pool — its worst case, which must stay comparable to the
+//! single-lock pool (it *is* a single lock then, just with a smaller ring).
+//!
+//! Writes a machine-readable `BENCH_pool.json` (override the path with
+//! `PC_BENCH_OUT`) so later PRs have a perf trajectory to compare against:
+//! median ns/op per thread count for both pools, hit rates, speedups.
+//! `PC_BENCH_OPS` scales the per-thread op count (default 100000).
+//!
+//! Run with `cargo bench --bench pool_scaling` or `scripts/verify.sh
+//! --bench`. Note: the ≥3× 8-thread scaling win needs ≥8 hardware
+//! threads; on smaller hosts the speedup column degrades toward 1× because
+//! timeslicing serializes the threads anyway.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use pc_bench::Json;
+use pc_pagestore::{PageId, PageStore};
+use pc_rng::Rng;
+
+const PAGE: usize = 4096;
+const POOL_PAGES: usize = 4096;
+const WORKING_SET: usize = 2048;
+const SAMPLES: usize = 5;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn ops_per_thread() -> usize {
+    std::env::var("PC_BENCH_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(100_000)
+}
+
+/// Builds a pooled store whose whole working set is resident, so the
+/// benchmark measures the hit path only.
+fn build_store(shards: usize) -> (PageStore, Vec<PageId>) {
+    let store = PageStore::in_memory_pooled_sharded(PAGE, POOL_PAGES, shards);
+    let ids: Vec<PageId> = (0..WORKING_SET)
+        .map(|i| {
+            let id = store.alloc().unwrap();
+            store.write(id, &[(i % 251) as u8; 64]).unwrap();
+            id
+        })
+        .collect();
+    for &id in &ids {
+        store.read(id).unwrap();
+    }
+    store.reset_stats();
+    (store, ids)
+}
+
+/// Runs `threads` readers doing `ops` random reads each over `ids`;
+/// returns the median wall-clock ns per read across samples.
+fn measure(store: &PageStore, ids: &[PageId], threads: usize, ops: usize) -> u64 {
+    let mut samples: Vec<u64> = (0..SAMPLES)
+        .map(|sample| {
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let mut rng =
+                        Rng::seed_from_u64(0xB00C_0000 + (sample * threads + t) as u64);
+                    s.spawn(move || {
+                        let mut acc = 0u64;
+                        for _ in 0..ops {
+                            let id = ids[rng.gen_range(0usize..ids.len())];
+                            let page = store.read(id).unwrap();
+                            acc ^= u64::from(page[0]);
+                        }
+                        black_box(acc);
+                    });
+                }
+            });
+            start.elapsed().as_nanos() as u64 / (threads * ops) as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Hit rate observed by the store since the last `reset_stats`.
+fn hit_rate(store: &PageStore) -> f64 {
+    let s = store.stats();
+    if s.reads + s.cache_hits == 0 {
+        return 0.0;
+    }
+    s.cache_hits as f64 / (s.reads + s.cache_hits) as f64
+}
+
+fn main() {
+    let ops = ops_per_thread();
+    let (single, single_ids) = build_store(1);
+    let (sharded, sharded_ids) = build_store(0);
+    let shard_count = sharded.pool_shards();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "pool_scaling: {POOL_PAGES} frames, working set {WORKING_SET} pages, \
+         sharded={shard_count} shards, {cores} hardware threads, {ops} ops/thread\n"
+    );
+
+    println!(
+        "{:>8} {:>16} {:>16} {:>9}",
+        "threads", "single ns/op", "sharded ns/op", "speedup"
+    );
+    let mut uniform_rows: Vec<Json> = Vec::new();
+    let mut speedup_8t = 0.0f64;
+    for &threads in &THREAD_COUNTS {
+        let single_ns = measure(&single, &single_ids, threads, ops);
+        let single_hits = hit_rate(&single);
+        single.reset_stats();
+        let sharded_ns = measure(&sharded, &sharded_ids, threads, ops);
+        let sharded_hits = hit_rate(&sharded);
+        sharded.reset_stats();
+        let speedup = single_ns as f64 / sharded_ns.max(1) as f64;
+        if threads == 8 {
+            speedup_8t = speedup;
+        }
+        println!("{threads:>8} {single_ns:>16} {sharded_ns:>16} {speedup:>8.2}x");
+        uniform_rows.push(Json::obj(vec![
+            ("threads", Json::Int(threads as u64)),
+            ("single_ns_per_op", Json::Int(single_ns)),
+            ("sharded_ns_per_op", Json::Int(sharded_ns)),
+            ("speedup", Json::Num(speedup)),
+            ("single_hit_rate", Json::Num(single_hits)),
+            ("sharded_hit_rate", Json::Num(sharded_hits)),
+        ]));
+    }
+
+    // Adversarial: every page hashes to one shard of the sharded pool, so
+    // its parallelism collapses to one lock — it must not be slower than
+    // the global-lock pool on the same ids.
+    let target_shard = 0usize;
+    let hot_ids: Vec<PageId> = sharded_ids
+        .iter()
+        .copied()
+        .filter(|&id| sharded.pool_shard_of(id) == Some(target_shard))
+        .collect();
+    assert!(!hot_ids.is_empty(), "working set must cover shard {target_shard}");
+    let adv_threads = 8usize;
+    let adv_single_ns = measure(&single, &hot_ids, adv_threads, ops);
+    single.reset_stats();
+    let adv_sharded_ns = measure(&sharded, &hot_ids, adv_threads, ops);
+    sharded.reset_stats();
+    let adv_ratio = adv_sharded_ns as f64 / adv_single_ns.max(1) as f64;
+    println!(
+        "\nadversarial same-shard ({} pages on shard {target_shard}, {adv_threads} threads): \
+         single {adv_single_ns} ns/op, sharded {adv_sharded_ns} ns/op, ratio {adv_ratio:.2} \
+         (<= ~1 means no regression)",
+        hot_ids.len()
+    );
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("pool_scaling".into())),
+        ("page_size", Json::Int(PAGE as u64)),
+        ("pool_pages", Json::Int(POOL_PAGES as u64)),
+        ("working_set", Json::Int(WORKING_SET as u64)),
+        ("shards", Json::Int(shard_count as u64)),
+        ("hardware_threads", Json::Int(cores as u64)),
+        ("ops_per_thread", Json::Int(ops as u64)),
+        ("uniform", Json::Arr(uniform_rows)),
+        (
+            "adversarial_same_shard",
+            Json::obj(vec![
+                ("threads", Json::Int(adv_threads as u64)),
+                ("pages", Json::Int(hot_ids.len() as u64)),
+                ("single_ns_per_op", Json::Int(adv_single_ns)),
+                ("sharded_ns_per_op", Json::Int(adv_sharded_ns)),
+                ("ratio", Json::Num(adv_ratio)),
+            ]),
+        ),
+        ("speedup_8t", Json::Num(speedup_8t)),
+    ]);
+    // Default to the workspace root (cargo runs benches with the package
+    // dir as cwd), so the artifact lands next to EXPERIMENTS.md.
+    let out = std::env::var("PC_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pool.json").into());
+    std::fs::write(&out, format!("{report}\n")).expect("write benchmark artifact");
+    println!("\nwrote {out}");
+}

@@ -676,8 +676,14 @@ fn e16_buffer_pool() {
     let raw = gen_points(n, PointDist::Uniform, 27);
     let points = to_points(&raw);
     let queries = gen_two_sided(&raw, 200, n / 100, 28);
-    let mut table =
-        Table::new(&["pool pages", "backend reads/query", "hits/query", "hit rate"]);
+    let mut table = Table::new(&[
+        "pool pages",
+        "shards",
+        "backend reads/query",
+        "hits/query",
+        "hit rate",
+        "evictions/query",
+    ]);
     for pool in [0usize, 64, 256, 1024, 4096] {
         let store = if pool == 0 {
             PageStore::in_memory(PAGE)
@@ -698,9 +704,11 @@ fn e16_buffer_pool() {
         };
         table.row(vec![
             pool.to_string(),
+            store.pool_shards().to_string(),
             f1(s.reads as f64 / nq),
             f1(s.cache_hits as f64 / nq),
             f2(rate),
+            f1(s.pool_evictions as f64 / nq),
         ]);
     }
     table.print();

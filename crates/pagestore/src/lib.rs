@@ -11,7 +11,9 @@
 //! * [`PageStore`] — allocation, checksummed page frames, I/O statistics,
 //!   and an optional buffer pool. With the pool disabled (the default) the
 //!   store implements the *strict* I/O model used by every experiment: each
-//!   logical page read/write is one backend transfer.
+//!   logical page read/write is one backend transfer. The pool is a
+//!   [`ShardedPool`]: per-shard CLOCK rings behind independent locks, with
+//!   zero-copy `Arc` hand-out on hits (see DESIGN.md §"Buffer manager").
 //! * [`backend`] — where the bytes live: [`backend::MemBackend`] (RAM) or
 //!   [`backend::FileBackend`] (a real file, positional I/O).
 //! * [`codec`] — bounds-checked little-endian cursors for page layouts.
@@ -46,6 +48,7 @@ pub mod types;
 
 pub use error::{Result, StoreError};
 pub use page::Page;
+pub use pool::{BufferPool, ShardStats, ShardedPool};
 pub use stats::IoStats;
 pub use store::{PageId, PageStore, StoreConfig, NULL_PAGE};
 pub use types::{Interval, Point, Record};

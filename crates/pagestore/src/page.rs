@@ -34,6 +34,13 @@ impl Page {
     pub fn as_slice(&self) -> &[u8] {
         &self.0
     }
+
+    /// True if `self` and `other` share the same underlying buffer — i.e.
+    /// one was cloned from the other without copying payload bytes. This is
+    /// how tests prove buffer-pool hits are zero-copy.
+    pub fn ptr_eq(&self, other: &Page) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
 }
 
 impl From<Vec<u8>> for Page {

@@ -1,29 +1,59 @@
-//! Clock-replacement buffer pool.
+//! Sharded clock-replacement buffer pool with zero-copy reads.
 //!
 //! The pool sits between logical page operations and the backend. It is
 //! optional: the paper's strict I/O model is the pool-less configuration,
 //! where every logical access is a backend transfer. With a pool, repeated
 //! hits on hot pages (e.g. the skeletal B-tree root) become free, modelling
 //! a real DBMS buffer manager.
+//!
+//! ## Sharding
+//!
+//! [`ShardedPool`] splits its frame budget over N independent
+//! [`BufferPool`] CLOCK rings (N a power of two), each behind its own
+//! mutex. A page's shard is fixed by a Fibonacci hash of its [`PageId`], so
+//! concurrent readers of distinct pages contend only when their pages
+//! collide on a shard — the single global lock of the classic design is the
+//! N = 1 special case. Per-shard hit/miss/eviction counters are plain
+//! relaxed atomics; [`crate::PageStore`] folds them into its
+//! [`crate::IoStats`] snapshot so the paper's transfer accounting stays
+//! exact in pooled mode.
+//!
+//! ## Zero-copy hits
+//!
+//! Resident frames hold [`Page`] handles (`Arc<[u8]>`). A pool hit clones
+//! the refcount — no payload bytes move — and a later write to the same
+//! page *replaces* the slot's handle rather than mutating it, so every
+//! reader keeps an immutable snapshot of the page as of its read.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pc_sync::Mutex;
 
 use crate::error::Result;
+use crate::page::Page;
 use crate::store::PageId;
 
 struct Slot {
     id: PageId,
-    data: Box<[u8]>,
+    data: Page,
     dirty: bool,
     referenced: bool,
 }
 
 /// Fixed-capacity page cache with CLOCK (second-chance) eviction.
+///
+/// One shard of a [`ShardedPool`]; usable standalone as the classic
+/// single-lock buffer pool.
 pub struct BufferPool {
     capacity: usize,
     slots: Vec<Option<Slot>>,
     map: HashMap<u64, usize>,
     hand: usize,
+    /// Empty slot indices. Fills and discards go through this stack, so an
+    /// insert never scans `slots` looking for a hole.
+    free: Vec<usize>,
 }
 
 impl BufferPool {
@@ -37,7 +67,14 @@ impl BufferPool {
             slots: (0..capacity).map(|_| None).collect(),
             map: HashMap::with_capacity(capacity),
             hand: 0,
+            // Reversed so pops hand out slots 0, 1, 2, … in order.
+            free: (0..capacity).rev().collect(),
         }
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of pages currently resident.
@@ -50,72 +87,62 @@ impl BufferPool {
         self.map.is_empty()
     }
 
-    /// Looks up a resident page, marking it recently used.
-    pub fn get(&mut self, id: PageId) -> Option<&[u8]> {
+    /// True if `id` is resident. Does not touch the reference bit.
+    pub fn contains(&self, id: PageId) -> bool {
+        self.map.contains_key(&id.0)
+    }
+
+    /// Looks up a resident page, marking it recently used. A hit clones the
+    /// page's `Arc` — no payload bytes are copied.
+    pub fn get(&mut self, id: PageId) -> Option<Page> {
         let &slot_idx = self.map.get(&id.0)?;
         let slot = self.slots[slot_idx].as_mut().expect("mapped slot must be occupied");
         slot.referenced = true;
-        Some(&slot.data)
+        Some(slot.data.clone())
     }
 
-    /// Updates a resident page in place, marking it dirty. Returns `false`
-    /// if the page is not resident.
-    pub fn update(&mut self, id: PageId, data: &[u8]) -> bool {
-        let Some(&slot_idx) = self.map.get(&id.0) else { return false };
-        let slot = self.slots[slot_idx].as_mut().expect("mapped slot must be occupied");
-        slot.data.copy_from_slice(data);
-        slot.dirty = true;
-        slot.referenced = true;
-        true
-    }
-
-    /// Inserts a page, evicting a victim if full. `write_back` is invoked
-    /// with the victim's id and bytes when a dirty page is evicted.
+    /// Inserts a page, evicting a victim if full; returns `true` when a
+    /// resident page was evicted to make room. `write_back` is invoked with
+    /// the victim's id and bytes when a dirty page is evicted.
+    ///
+    /// The map is probed exactly once: a resident page is updated through
+    /// the occupied entry, a miss fills the vacant entry with the victim
+    /// slot. Updating a resident page swaps the slot's `Page` handle;
+    /// readers holding the old handle keep their snapshot.
     pub fn insert(
         &mut self,
         id: PageId,
-        data: Box<[u8]>,
+        data: Page,
         dirty: bool,
         mut write_back: impl FnMut(PageId, &[u8]) -> Result<()>,
-    ) -> Result<()> {
-        if self.update_or_replace(id, &data, dirty) {
-            return Ok(());
-        }
-        let victim_idx = self.find_victim();
-        if let Some(victim) = self.slots[victim_idx].take() {
-            self.map.remove(&victim.id.0);
-            if victim.dirty {
-                write_back(victim.id, &victim.data)?;
+    ) -> Result<bool> {
+        let victim_idx = match self.map.entry(id.0) {
+            Entry::Occupied(e) => {
+                let slot = self.slots[*e.get()].as_mut().expect("mapped slot must be occupied");
+                slot.data = data;
+                slot.dirty |= dirty;
+                slot.referenced = true;
+                return Ok(false);
             }
-        }
-        self.slots[victim_idx] = Some(Slot { id, data, dirty, referenced: true });
-        self.map.insert(id.0, victim_idx);
-        Ok(())
-    }
-
-    fn update_or_replace(&mut self, id: PageId, data: &[u8], dirty: bool) -> bool {
-        let Some(&slot_idx) = self.map.get(&id.0) else { return false };
-        let slot = self.slots[slot_idx].as_mut().expect("mapped slot must be occupied");
-        slot.data.copy_from_slice(data);
-        slot.dirty = slot.dirty || dirty;
-        slot.referenced = true;
-        true
-    }
-
-    fn find_victim(&mut self) -> usize {
-        // Prefer an empty slot (only possible before first fill).
-        if self.map.len() < self.capacity {
-            if let Some(idx) = self.slots.iter().position(|s| s.is_none()) {
-                return idx;
+            // `find_victim` is a free function over the non-map fields so
+            // the vacant entry can be filled without a second probe.
+            Entry::Vacant(v) => {
+                let idx =
+                    find_victim(&mut self.slots, &mut self.hand, &mut self.free, self.capacity);
+                v.insert(idx);
+                idx
             }
-        }
-        loop {
-            let idx = self.hand;
-            self.hand = (self.hand + 1) % self.capacity;
-            match &mut self.slots[idx] {
-                Some(slot) if slot.referenced => slot.referenced = false,
-                _ => return idx,
+        };
+        let victim = self.slots[victim_idx].replace(Slot { id, data, dirty, referenced: true });
+        match victim {
+            Some(victim) => {
+                self.map.remove(&victim.id.0);
+                if victim.dirty {
+                    write_back(victim.id, &victim.data)?;
+                }
+                Ok(true)
             }
+            None => Ok(false),
         }
     }
 
@@ -123,6 +150,7 @@ impl BufferPool {
     pub fn discard(&mut self, id: PageId) {
         if let Some(slot_idx) = self.map.remove(&id.0) {
             self.slots[slot_idx] = None;
+            self.free.push(slot_idx);
         }
     }
 
@@ -139,35 +167,259 @@ impl BufferPool {
     }
 }
 
+/// CLOCK victim selection. Free-standing (rather than a method) so
+/// [`BufferPool::insert`] can call it while holding a `map` entry — the
+/// borrows of `slots`/`hand`/`free` are disjoint from the map's.
+fn find_victim(
+    slots: &mut [Option<Slot>],
+    hand: &mut usize,
+    free: &mut Vec<usize>,
+    capacity: usize,
+) -> usize {
+    if let Some(idx) = free.pop() {
+        return idx;
+    }
+    loop {
+        let idx = *hand;
+        *hand += 1;
+        if *hand == capacity {
+            *hand = 0;
+        }
+        match &mut slots[idx] {
+            Some(slot) if slot.referenced => slot.referenced = false,
+            _ => return idx,
+        }
+    }
+}
+
+/// Snapshot of one shard's counters (see [`ShardedPool::shard_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Logical reads served from this shard's resident frames.
+    pub hits: u64,
+    /// Logical reads that had to fetch from the backend.
+    pub misses: u64,
+    /// Resident frames evicted to make room (dirty or clean).
+    pub evictions: u64,
+}
+
+struct Shard {
+    pool: Mutex<BufferPool>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Multiplicative (Fibonacci) hash constant: ⌊2⁶⁴/φ⌋, odd, so sequential
+/// page ids spray across shards instead of clustering.
+const FIB_HASH: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A buffer pool split over independent CLOCK shards (see module docs).
+pub struct ShardedPool {
+    shards: Box<[Shard]>,
+    /// `shard count - 1`; the shard index masks the mixed hash.
+    mask: usize,
+    capacity: usize,
+}
+
+impl ShardedPool {
+    /// Creates a pool of `pool_pages` frames over `shards` CLOCK rings.
+    /// `shards` must be a power of two and at most `pool_pages`; use
+    /// [`ShardedPool::resolve_shards`] to turn a free-form request into a
+    /// valid count. Frame budget is split evenly (remainder to the first
+    /// shards), so the total is exactly `pool_pages`.
+    pub fn new(pool_pages: usize, shards: usize) -> Self {
+        assert!(pool_pages > 0, "buffer pool capacity must be nonzero");
+        assert!(shards.is_power_of_two(), "shard count must be a power of two");
+        assert!(shards <= pool_pages, "cannot have more shards than pool pages");
+        let base = pool_pages / shards;
+        let extra = pool_pages % shards;
+        let shards: Box<[Shard]> = (0..shards)
+            .map(|i| Shard {
+                pool: Mutex::new(BufferPool::new(base + usize::from(i < extra))),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            })
+            .collect();
+        ShardedPool { mask: shards.len() - 1, shards, capacity: pool_pages }
+    }
+
+    /// Turns a requested shard count into a valid one: rounds up to a power
+    /// of two and clamps to `pool_pages`. `0` means auto — a few shards per
+    /// hardware thread (capped at 64) so readers rarely collide.
+    pub fn resolve_shards(requested: usize, pool_pages: usize) -> usize {
+        let mut shards = match requested {
+            0 => {
+                let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+                (4 * cores).next_power_of_two().min(64)
+            }
+            n => n.next_power_of_two(),
+        };
+        while shards > pool_pages.max(1) {
+            shards /= 2;
+        }
+        shards.max(1)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total frame capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The shard index page `id` maps to (stable for the pool's lifetime).
+    pub fn shard_of(&self, id: PageId) -> usize {
+        ((id.0.wrapping_mul(FIB_HASH) >> 33) as usize) & self.mask
+    }
+
+    /// Number of pages currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.pool.lock().len()).sum()
+    }
+
+    /// True when no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.pool.lock().is_empty())
+    }
+
+    /// True if `id` is resident. Does not touch reference bits or counters.
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.shards[self.shard_of(id)].pool.lock().contains(id)
+    }
+
+    /// Reads `id` through the pool: a hit clones the resident `Arc` (zero
+    /// payload copies); a miss runs `fetch` and installs the result,
+    /// writing back a dirty victim via `write_back` if one is evicted.
+    ///
+    /// The shard lock is held across `fetch`, so a miss serializes only
+    /// against accesses to the *same shard* — this is what keeps a racing
+    /// write to the same page linearized, exactly as the old global lock
+    /// did, without serializing the other shards.
+    pub fn read_through(
+        &self,
+        id: PageId,
+        fetch: impl FnOnce() -> Result<Page>,
+        write_back: impl FnMut(PageId, &[u8]) -> Result<()>,
+    ) -> Result<Page> {
+        let shard = &self.shards[self.shard_of(id)];
+        let mut pool = shard.pool.lock();
+        if let Some(page) = pool.get(id) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(page);
+        }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        let page = fetch()?;
+        if pool.insert(id, page.clone(), false, write_back)? {
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(page)
+    }
+
+    /// Installs `data` as the dirty contents of `id`, deferring the backend
+    /// write until eviction or [`ShardedPool::flush`].
+    pub fn write(
+        &self,
+        id: PageId,
+        data: Page,
+        write_back: impl FnMut(PageId, &[u8]) -> Result<()>,
+    ) -> Result<()> {
+        let shard = &self.shards[self.shard_of(id)];
+        if shard.pool.lock().insert(id, data, true, write_back)? {
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Drops a page from its shard without write-back (used by `free`).
+    pub fn discard(&self, id: PageId) {
+        self.shards[self.shard_of(id)].pool.lock().discard(id);
+    }
+
+    /// Writes every dirty resident page through `write_back` and marks them
+    /// clean, one shard at a time in shard order. Pages stay resident.
+    pub fn flush(&self, mut write_back: impl FnMut(PageId, &[u8]) -> Result<()>) -> Result<()> {
+        for shard in self.shards.iter() {
+            shard.pool.lock().flush(&mut write_back)?;
+        }
+        Ok(())
+    }
+
+    /// Total pool hits across shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.hits.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total evictions across shards.
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.evictions.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-shard counter snapshot, index-aligned with [`ShardedPool::shard_of`].
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Zeroes all per-shard counters (resident pages are untouched).
+    pub fn reset_stats(&self) {
+        for s in self.shards.iter() {
+            s.hits.store(0, Ordering::Relaxed);
+            s.misses.store(0, Ordering::Relaxed);
+            s.evictions.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn bx(fill: u8, len: usize) -> Box<[u8]> {
-        vec![fill; len].into_boxed_slice()
+    fn pg(fill: u8, len: usize) -> Page {
+        Page::from(vec![fill; len])
     }
 
     #[test]
     fn hit_after_insert() {
         let mut pool = BufferPool::new(2);
-        pool.insert(PageId(1), bx(7, 4), false, |_, _| Ok(())).unwrap();
-        assert_eq!(pool.get(PageId(1)).unwrap(), &[7, 7, 7, 7]);
+        pool.insert(PageId(1), pg(7, 4), false, |_, _| Ok(())).unwrap();
+        assert_eq!(&pool.get(PageId(1)).unwrap()[..], &[7, 7, 7, 7]);
         assert!(pool.get(PageId(2)).is_none());
+    }
+
+    #[test]
+    fn hits_clone_the_same_buffer() {
+        let mut pool = BufferPool::new(2);
+        pool.insert(PageId(1), pg(7, 4), false, |_, _| Ok(())).unwrap();
+        let a = pool.get(PageId(1)).unwrap();
+        let b = pool.get(PageId(1)).unwrap();
+        assert!(a.ptr_eq(&b), "a pool hit must not copy page bytes");
     }
 
     #[test]
     fn eviction_writes_back_dirty_victims_only() {
         let mut pool = BufferPool::new(2);
         let mut written: Vec<u64> = Vec::new();
-        pool.insert(PageId(1), bx(1, 4), true, |_, _| Ok(())).unwrap();
-        pool.insert(PageId(2), bx(2, 4), false, |_, _| Ok(())).unwrap();
+        assert!(!pool.insert(PageId(1), pg(1, 4), true, |_, _| Ok(())).unwrap());
+        assert!(!pool.insert(PageId(2), pg(2, 4), false, |_, _| Ok(())).unwrap());
         // Insert a third page: one of the two must be evicted. Touch neither
         // so the clock can pick either; record what gets written back.
-        pool.insert(PageId(3), bx(3, 4), false, |id, _| {
-            written.push(id.0);
-            Ok(())
-        })
-        .unwrap();
+        assert!(pool
+            .insert(PageId(3), pg(3, 4), false, |id, _| {
+                written.push(id.0);
+                Ok(())
+            })
+            .unwrap());
         // Page 2 was clean: if it was the victim nothing is written.
         // Page 1 was dirty: if it was the victim it must be written.
         assert_eq!(pool.len(), 2);
@@ -179,10 +431,10 @@ mod tests {
     }
 
     #[test]
-    fn update_marks_dirty_and_flush_cleans() {
+    fn dirty_insert_then_flush_cleans() {
         let mut pool = BufferPool::new(2);
-        pool.insert(PageId(9), bx(0, 4), false, |_, _| Ok(())).unwrap();
-        assert!(pool.update(PageId(9), &[5, 5, 5, 5]));
+        pool.insert(PageId(9), pg(0, 4), false, |_, _| Ok(())).unwrap();
+        pool.insert(PageId(9), pg(5, 4), true, |_, _| Ok(())).unwrap();
         let mut flushed = Vec::new();
         pool.flush(|id, data| {
             flushed.push((id.0, data.to_vec()));
@@ -201,9 +453,10 @@ mod tests {
     }
 
     #[test]
-    fn discard_removes_without_writeback() {
+    fn discard_removes_without_writeback_and_recycles_the_slot() {
         let mut pool = BufferPool::new(2);
-        pool.insert(PageId(4), bx(1, 4), true, |_, _| Ok(())).unwrap();
+        pool.insert(PageId(4), pg(1, 4), true, |_, _| Ok(())).unwrap();
+        pool.insert(PageId(5), pg(2, 4), true, |_, _| Ok(())).unwrap();
         pool.discard(PageId(4));
         assert!(pool.get(PageId(4)).is_none());
         let mut flushed = 0;
@@ -212,23 +465,26 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert_eq!(flushed, 0);
+        assert_eq!(flushed, 1, "only page 5 is still resident+dirty");
+        // The freed slot is reused: inserting a new page evicts nothing.
+        assert!(!pool.insert(PageId(6), pg(3, 4), false, |_, _| Ok(())).unwrap());
+        assert_eq!(pool.len(), 2);
     }
 
     #[test]
     fn clock_gives_second_chance_to_referenced_pages() {
         let mut pool = BufferPool::new(3);
         for id in 1..=3u64 {
-            pool.insert(PageId(id), bx(id as u8, 4), false, |_, _| Ok(())).unwrap();
+            pool.insert(PageId(id), pg(id as u8, 4), false, |_, _| Ok(())).unwrap();
         }
         // First eviction sweep clears every reference bit and evicts one
         // page (FIFO from the hand when all are referenced).
-        pool.insert(PageId(4), bx(4, 4), false, |_, _| Ok(())).unwrap();
+        pool.insert(PageId(4), pg(4, 4), false, |_, _| Ok(())).unwrap();
         // Find a survivor among the original pages, reference it, and force
         // another eviction: the referenced survivor must be spared while an
         // unreferenced page is chosen.
         let hot = (1..=3u64).find(|&id| pool.get(PageId(id)).is_some()).unwrap();
-        pool.insert(PageId(5), bx(5, 4), false, |_, _| Ok(())).unwrap();
+        pool.insert(PageId(5), pg(5, 4), false, |_, _| Ok(())).unwrap();
         assert!(
             pool.get(PageId(hot)).is_some(),
             "referenced page {hot} should get a second chance"
@@ -238,9 +494,80 @@ mod tests {
     #[test]
     fn reinsert_same_page_does_not_duplicate() {
         let mut pool = BufferPool::new(4);
-        pool.insert(PageId(1), bx(1, 4), false, |_, _| Ok(())).unwrap();
-        pool.insert(PageId(1), bx(2, 4), true, |_, _| Ok(())).unwrap();
+        pool.insert(PageId(1), pg(1, 4), false, |_, _| Ok(())).unwrap();
+        pool.insert(PageId(1), pg(2, 4), true, |_, _| Ok(())).unwrap();
         assert_eq!(pool.len(), 1);
-        assert_eq!(pool.get(PageId(1)).unwrap(), &[2, 2, 2, 2]);
+        assert_eq!(&pool.get(PageId(1)).unwrap()[..], &[2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn resolve_shards_is_a_clamped_power_of_two() {
+        assert_eq!(ShardedPool::resolve_shards(1, 1024), 1);
+        assert_eq!(ShardedPool::resolve_shards(3, 1024), 4);
+        assert_eq!(ShardedPool::resolve_shards(16, 1024), 16);
+        // Clamped: never more shards than frames.
+        assert_eq!(ShardedPool::resolve_shards(64, 8), 8);
+        assert_eq!(ShardedPool::resolve_shards(64, 3), 2);
+        assert_eq!(ShardedPool::resolve_shards(64, 1), 1);
+        // Auto mode picks something valid.
+        let auto = ShardedPool::resolve_shards(0, 256);
+        assert!(auto.is_power_of_two() && auto <= 256);
+        assert_eq!(ShardedPool::resolve_shards(0, 2), 2);
+    }
+
+    #[test]
+    fn sharded_capacity_splits_exactly() {
+        // 10 frames over 4 shards: 3+3+2+2.
+        let pool = ShardedPool::new(10, 4);
+        assert_eq!(pool.capacity(), 10);
+        assert_eq!(pool.shard_count(), 4);
+        let caps: usize = pool.shards.iter().map(|s| s.pool.lock().capacity()).sum();
+        assert_eq!(caps, 10);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let pool = ShardedPool::new(64, 8);
+        for id in 0..1000u64 {
+            let s = pool.shard_of(PageId(id));
+            assert!(s < 8);
+            assert_eq!(s, pool.shard_of(PageId(id)), "shard map must be deterministic");
+        }
+        // The Fibonacci hash must actually spread sequential ids.
+        let mut seen = [false; 8];
+        for id in 0..64u64 {
+            seen[pool.shard_of(PageId(id))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "sequential ids should touch every shard");
+    }
+
+    #[test]
+    fn single_shard_pool_maps_everything_to_shard_zero() {
+        let pool = ShardedPool::new(4, 1);
+        for id in [0u64, 1, 17, u64::MAX - 1] {
+            assert_eq!(pool.shard_of(PageId(id)), 0);
+        }
+    }
+
+    #[test]
+    fn read_through_counts_hits_misses_evictions() {
+        let pool = ShardedPool::new(2, 1);
+        let fetch = || Ok(Page::from(vec![9u8; 4]));
+        for id in [1u64, 2, 3] {
+            pool.read_through(PageId(id), fetch, |_, _| Ok(())).unwrap();
+        }
+        // Third fill evicted one of the first two.
+        let resident = [1u64, 2].iter().filter(|&&id| pool.is_resident(PageId(id))).count();
+        assert_eq!(resident, 1);
+        // Hit on the survivor.
+        let hot = if pool.is_resident(PageId(1)) { 1 } else { 2 };
+        pool.read_through(PageId(hot), || unreachable!("resident page must not fetch"), |_, _| {
+            Ok(())
+        })
+        .unwrap();
+        let s = &pool.shard_stats()[0];
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 3, 1));
+        pool.reset_stats();
+        assert_eq!(pool.shard_stats()[0], ShardStats::default());
     }
 }

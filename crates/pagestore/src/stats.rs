@@ -21,6 +21,9 @@ pub struct IoStats {
     pub allocs: u64,
     /// Pages freed over the store's lifetime.
     pub frees: u64,
+    /// Buffer-pool frames evicted to make room (dirty or clean; 0 in
+    /// strict mode). Dirty evictions also count one backend write.
+    pub pool_evictions: u64,
 }
 
 impl IoStats {
@@ -48,6 +51,7 @@ impl Sub for IoStats {
             cache_hits: self.cache_hits - rhs.cache_hits,
             allocs: self.allocs - rhs.allocs,
             frees: self.frees - rhs.frees,
+            pool_evictions: self.pool_evictions - rhs.pool_evictions,
         }
     }
 }
@@ -56,8 +60,9 @@ impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reads={} writes={} hits={} allocs={} frees={}",
-            self.reads, self.writes, self.cache_hits, self.allocs, self.frees
+            "reads={} writes={} hits={} allocs={} frees={} evictions={}",
+            self.reads, self.writes, self.cache_hits, self.allocs, self.frees,
+            self.pool_evictions
         )
     }
 }
@@ -68,10 +73,11 @@ mod tests {
 
     #[test]
     fn delta_and_totals() {
-        let a = IoStats { reads: 10, writes: 4, cache_hits: 2, allocs: 5, frees: 1 };
-        let b = IoStats { reads: 25, writes: 9, cache_hits: 7, allocs: 8, frees: 2 };
+        let a = IoStats { reads: 10, writes: 4, cache_hits: 2, allocs: 5, frees: 1, pool_evictions: 0 };
+        let b = IoStats { reads: 25, writes: 9, cache_hits: 7, allocs: 8, frees: 2, pool_evictions: 3 };
         let d = b - a;
         assert_eq!(d.reads, 15);
+        assert_eq!(d.pool_evictions, 3);
         assert_eq!(d.writes, 5);
         assert_eq!(d.total_io(), 20);
         assert_eq!(b.live_pages(), 6);
@@ -79,8 +85,16 @@ mod tests {
 
     #[test]
     fn display_contains_all_counters() {
-        let s = IoStats { reads: 1, writes: 2, cache_hits: 3, allocs: 4, frees: 5 }.to_string();
-        for needle in ["reads=1", "writes=2", "hits=3", "allocs=4", "frees=5"] {
+        let s = IoStats {
+            reads: 1,
+            writes: 2,
+            cache_hits: 3,
+            allocs: 4,
+            frees: 5,
+            pool_evictions: 6,
+        }
+        .to_string();
+        for needle in ["reads=1", "writes=2", "hits=3", "allocs=4", "frees=5", "evictions=6"] {
             assert!(s.contains(needle), "{s} missing {needle}");
         }
     }

@@ -4,19 +4,22 @@
 //! Concurrency model: statistics are atomic counters, the allocation table
 //! sits behind a read-write lock (shared on the hot read path), and the
 //! backend itself is internally synchronized — so concurrent readers of a
-//! static structure scale across threads (experiment E15). Only the
-//! optional buffer pool takes an exclusive lock per access.
+//! static structure scale across threads (experiment E15). The optional
+//! buffer pool is sharded ([`crate::pool::ShardedPool`]): an access locks
+//! only the shard its page hashes to, so pooled readers of distinct pages
+//! scale too, and a pool hit hands back the resident `Arc` without copying
+//! payload bytes.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use pc_sync::{Mutex, RwLock};
+use pc_sync::RwLock;
 
 use crate::backend::{Backend, FileBackend, MemBackend};
 use crate::codec::fnv1a64;
 use crate::error::{Result, StoreError};
 use crate::page::Page;
-use crate::pool::BufferPool;
+use crate::pool::ShardedPool;
 use crate::stats::IoStats;
 
 /// Identifier of a page within one [`PageStore`].
@@ -43,22 +46,35 @@ pub struct StoreConfig {
     /// Buffer-pool capacity in pages; `0` disables the pool and yields the
     /// strict I/O model (every logical access is one transfer).
     pub pool_pages: usize,
+    /// Number of buffer-pool shards; `0` picks a hardware-sized power of
+    /// two automatically, `1` is the classic single-lock pool. Ignored in
+    /// strict mode. Free-form values are rounded up to a power of two and
+    /// clamped to `pool_pages` (see [`ShardedPool::resolve_shards`]).
+    pub pool_shards: usize,
 }
 
 impl StoreConfig {
     /// Strict-model configuration with the given page size.
     pub fn strict(page_size: usize) -> Self {
-        StoreConfig { page_size, pool_pages: 0 }
+        StoreConfig { page_size, pool_pages: 0, pool_shards: 0 }
+    }
+
+    /// Pooled configuration with auto-sized sharding.
+    pub fn pooled(page_size: usize, pool_pages: usize) -> Self {
+        StoreConfig { page_size, pool_pages, pool_shards: 0 }
     }
 }
 
 const CHECKSUM_LEN: usize = 8;
 
+/// Store-global counters. Pool hits and evictions live in per-shard
+/// atomics inside [`ShardedPool`] and are folded in by
+/// [`PageStore::stats`], so the hot hit path touches only shard-local
+/// state.
 #[derive(Default)]
 struct AtomicStats {
     reads: AtomicU64,
     writes: AtomicU64,
-    cache_hits: AtomicU64,
     allocs: AtomicU64,
     frees: AtomicU64,
 }
@@ -68,16 +84,16 @@ impl AtomicStats {
         IoStats {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_hits: 0,
             allocs: self.allocs.load(Ordering::Relaxed),
             frees: self.frees.load(Ordering::Relaxed),
+            pool_evictions: 0,
         }
     }
 
     fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
-        self.cache_hits.store(0, Ordering::Relaxed);
         self.allocs.store(0, Ordering::Relaxed);
         self.frees.store(0, Ordering::Relaxed);
     }
@@ -99,7 +115,7 @@ pub struct PageStore {
     backend: Box<dyn Backend>,
     stats: AtomicStats,
     alloc: RwLock<AllocState>,
-    pool: Option<Mutex<BufferPool>>,
+    pool: Option<ShardedPool>,
 }
 
 impl PageStore {
@@ -119,7 +135,10 @@ impl PageStore {
             backend,
             stats: AtomicStats::default(),
             alloc: RwLock::new(AllocState::default()),
-            pool: (config.pool_pages > 0).then(|| Mutex::new(BufferPool::new(config.pool_pages))),
+            pool: (config.pool_pages > 0).then(|| {
+                let shards = ShardedPool::resolve_shards(config.pool_shards, config.pool_pages);
+                ShardedPool::new(config.pool_pages, shards)
+            }),
         }
     }
 
@@ -130,10 +149,21 @@ impl PageStore {
         PageStore::new(StoreConfig::strict(page_size), Box::new(backend))
     }
 
-    /// In-memory store with a buffer pool of `pool_pages` pages.
+    /// In-memory store with a buffer pool of `pool_pages` pages and
+    /// auto-sized sharding.
     pub fn in_memory_pooled(page_size: usize, pool_pages: usize) -> Self {
         let backend = MemBackend::new(page_size + CHECKSUM_LEN);
-        PageStore::new(StoreConfig { page_size, pool_pages }, Box::new(backend))
+        PageStore::new(StoreConfig::pooled(page_size, pool_pages), Box::new(backend))
+    }
+
+    /// In-memory pooled store with an explicit shard count (`1` reproduces
+    /// the classic single-mutex pool; used by the scaling benchmarks).
+    pub fn in_memory_pooled_sharded(page_size: usize, pool_pages: usize, shards: usize) -> Self {
+        let backend = MemBackend::new(page_size + CHECKSUM_LEN);
+        PageStore::new(
+            StoreConfig { page_size, pool_pages, pool_shards: shards },
+            Box::new(backend),
+        )
     }
 
     /// File-backed strict-model store at `path`.
@@ -186,7 +216,7 @@ impl PageStore {
             a.free_list.push(id.0);
         }
         if let Some(pool) = &self.pool {
-            pool.lock().discard(id);
+            pool.discard(id);
         }
         self.stats.frees.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -203,19 +233,18 @@ impl PageStore {
     /// Reads page `id`, returning its full `page_size`-byte payload.
     ///
     /// Costs one backend read in strict mode; with a pool, resident pages
-    /// cost nothing and are counted as `cache_hits`.
+    /// cost nothing, are counted as `cache_hits`, and are returned by
+    /// cloning the resident `Arc` — a hit copies zero payload bytes. The
+    /// returned [`Page`] is an immutable snapshot: a later write to the
+    /// same page replaces the pool's handle without touching it.
     pub fn read(&self, id: PageId) -> Result<Page> {
         self.check_allocated(id)?;
         if let Some(pool) = &self.pool {
-            let mut pool = pool.lock();
-            if let Some(data) = pool.get(id) {
-                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Page::copy_from_slice(data));
-            }
-            let payload = self.backend_read(id)?;
-            let data: Box<[u8]> = payload.to_vec().into_boxed_slice();
-            pool.insert(id, data, false, |vid, vdata| self.backend_write(vid, vdata))?;
-            return Ok(payload);
+            return pool.read_through(
+                id,
+                || self.backend_read(id),
+                |vid, vdata| self.backend_write(vid, vdata),
+            );
         }
         self.backend_read(id)
     }
@@ -234,11 +263,11 @@ impl PageStore {
         }
         self.check_allocated(id)?;
         if let Some(pool) = &self.pool {
-            let mut padded = vec![0u8; self.page_size].into_boxed_slice();
+            let mut padded = vec![0u8; self.page_size];
             padded[..data.len()].copy_from_slice(data);
-            let mut pool = pool.lock();
-            pool.insert(id, padded, true, |vid, vdata| self.backend_write(vid, vdata))?;
-            return Ok(());
+            return pool.write(id, Page::from(padded), |vid, vdata| {
+                self.backend_write(vid, vdata)
+            });
         }
         self.backend_write(id, data)
     }
@@ -261,22 +290,52 @@ impl PageStore {
         self.backend.write_frame(id, &frame)
     }
 
-    /// Flushes all buffered dirty pages and syncs the backend.
+    /// Flushes all buffered dirty pages (shard by shard, in shard order)
+    /// and syncs the backend.
     pub fn sync(&self) -> Result<()> {
         if let Some(pool) = &self.pool {
-            pool.lock().flush(|vid, vdata| self.backend_write(vid, vdata))?;
+            pool.flush(|vid, vdata| self.backend_write(vid, vdata))?;
         }
         self.backend.sync()
     }
 
-    /// Snapshot of cumulative I/O counters.
+    /// Snapshot of cumulative I/O counters. Per-shard pool counters are
+    /// folded in here, so `cache_hits` and `pool_evictions` are exact
+    /// totals across shards.
     pub fn stats(&self) -> IoStats {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        if let Some(pool) = &self.pool {
+            s.cache_hits = pool.hits();
+            s.pool_evictions = pool.evictions();
+        }
+        s
     }
 
-    /// Resets all I/O counters to zero (allocation state is untouched).
+    /// Resets all I/O counters — including per-shard pool counters — to
+    /// zero (allocation state and resident pages are untouched).
     pub fn reset_stats(&self) {
         self.stats.reset();
+        if let Some(pool) = &self.pool {
+            pool.reset_stats();
+        }
+    }
+
+    /// Number of buffer-pool shards (`0` in strict mode).
+    pub fn pool_shards(&self) -> usize {
+        self.pool.as_ref().map_or(0, ShardedPool::shard_count)
+    }
+
+    /// The pool shard page `id` maps to, or `None` in strict mode. Exposed
+    /// so tests and benchmarks can construct same-shard (adversarial) and
+    /// cross-shard workloads.
+    pub fn pool_shard_of(&self, id: PageId) -> Option<usize> {
+        self.pool.as_ref().map(|p| p.shard_of(id))
+    }
+
+    /// Per-shard pool counter snapshot (`None` in strict mode), index-
+    /// aligned with [`PageStore::pool_shard_of`].
+    pub fn pool_shard_stats(&self) -> Option<Vec<crate::pool::ShardStats>> {
+        self.pool.as_ref().map(ShardedPool::shard_stats)
     }
 
     /// Number of currently allocated pages — the measured *space* in every
@@ -292,7 +351,7 @@ impl PageStore {
     pub fn inject_corruption(&self, id: PageId, byte_offset: usize) -> Result<()> {
         self.check_allocated(id)?;
         if let Some(pool) = &self.pool {
-            pool.lock().discard(id);
+            pool.discard(id);
         }
         let mut frame = vec![0u8; self.page_size + CHECKSUM_LEN];
         self.backend.read_frame(id, &mut frame)?;
@@ -405,6 +464,49 @@ mod tests {
         assert_eq!(s.writes, 0, "write is still buffered");
         store.sync().unwrap();
         assert_eq!(store.stats().writes, 1);
+    }
+
+    #[test]
+    fn pool_hits_are_zero_copy() {
+        let store = PageStore::in_memory_pooled(64, 4);
+        let id = store.alloc().unwrap();
+        store.write(id, b"zc").unwrap();
+        let a = store.read(id).unwrap();
+        let b = store.read(id).unwrap();
+        assert!(a.ptr_eq(&b), "repeated pooled reads must share one buffer");
+        // A write replaces the pool's handle; old snapshots are untouched.
+        store.write(id, b"new").unwrap();
+        let c = store.read(id).unwrap();
+        assert!(!a.ptr_eq(&c), "a write must install a fresh buffer");
+        assert_eq!(&a[..2], b"zc");
+        assert_eq!(&c[..3], b"new");
+    }
+
+    #[test]
+    fn pooled_evictions_count_in_stats() {
+        let store = PageStore::in_memory_pooled_sharded(64, 2, 1);
+        assert_eq!(store.pool_shards(), 1);
+        let ids: Vec<PageId> = (0..4).map(|_| store.alloc().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            store.write(id, &[i as u8]).unwrap();
+        }
+        let s = store.stats();
+        assert_eq!(s.pool_evictions, 2, "4 dirty pages through a 2-frame pool");
+        assert_eq!(s.writes, 2, "each dirty eviction is one backend write");
+        store.reset_stats();
+        assert_eq!(store.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn strict_mode_has_no_pool_counters() {
+        let store = PageStore::in_memory(64);
+        let id = store.alloc().unwrap();
+        store.write(id, b"x").unwrap();
+        store.read(id).unwrap();
+        let s = store.stats();
+        assert_eq!((s.cache_hits, s.pool_evictions), (0, 0));
+        assert_eq!(store.pool_shards(), 0);
+        assert!(store.pool_shard_of(id).is_none());
     }
 
     #[test]

@@ -1,13 +1,26 @@
 #!/usr/bin/env bash
 # Hermetic verification gate.
 #
-# Proves the workspace builds and tests with the network disabled and that
-# the dependency graph contains only workspace-local crates — i.e. nothing
-# resolves from crates.io or any other registry. Run from anywhere; it
-# cd's to the repo root.
+# Proves the workspace builds and tests with the network disabled, passes
+# clippy with warnings denied, and that the dependency graph contains only
+# workspace-local crates — i.e. nothing resolves from crates.io or any
+# other registry. Run from anywhere; it cd's to the repo root.
+#
+# Usage: scripts/verify.sh [--bench]
+#   --bench   additionally run the buffer-pool scaling benchmark, which
+#             refreshes the BENCH_pool.json perf-trajectory artifact at the
+#             repo root (slow-ish; see crates/bench/benches/pool_scaling.rs).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+RUN_BENCH=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench) RUN_BENCH=1 ;;
+        *) echo "unknown argument: $arg (supported: --bench)" >&2; exit 2 ;;
+    esac
+done
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
@@ -17,6 +30,9 @@ cargo test -q --offline --workspace
 
 echo "==> cargo build --offline --benches (bench harness compiles)"
 cargo build --offline --benches --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> checking that the dependency graph is workspace-only"
 # Every package in the resolved graph must come from a local path source
@@ -39,3 +55,9 @@ fi
 
 COUNT="$(printf '%s' "$METADATA" | python3 -c 'import json,sys; print(len(json.load(sys.stdin)["packages"]))')"
 echo "OK: all $COUNT packages are workspace-local; hermetic build verified"
+
+if [ "$RUN_BENCH" = 1 ]; then
+    echo "==> cargo bench -p pc-bench --bench pool_scaling (perf trajectory)"
+    cargo bench --offline -p pc-bench --bench pool_scaling
+    echo "OK: BENCH_pool.json refreshed"
+fi

@@ -1,10 +1,11 @@
 //! Concurrency and buffer-pool behaviour of the storage substrate and the
 //! read-only index structures.
 //!
-//! `PageStore` guards its state with a mutex and hands out owned page
-//! copies, so a *static* index can be queried from many threads at once;
-//! these tests pin that contract down (and the E15 experiment measures its
-//! throughput).
+//! `PageStore` hands out immutable `Arc`-backed page snapshots, and its
+//! buffer pool is sharded — an access locks only the shard its page hashes
+//! to — so a *static* index can be queried from many threads at once in
+//! both strict and pooled mode; these tests pin that contract down (and
+//! the E15 experiment plus the `pool_scaling` bench measure throughput).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -89,6 +90,52 @@ fn pooled_store_returns_identical_results_with_fewer_backend_reads() {
 }
 
 #[test]
+fn parallel_queries_against_pooled_store_agree_with_serial() {
+    let raw = gen_points(20_000, PointDist::Uniform, 37);
+    let points = to_points(&raw);
+    let store = PageStore::in_memory_pooled(1024, 256);
+    let index = PointIndex::build(&store, &points, Variant::Segmented).unwrap();
+    let queries = gen_two_sided(&raw, 64, 500, 38);
+    store.reset_stats();
+
+    let serial: Vec<usize> = queries
+        .iter()
+        .map(|q| index.query(&store, TwoSided { x0: q.x0, y0: q.y0 }).unwrap().len())
+        .collect();
+    let serial_logical = {
+        let s = store.stats();
+        s.reads + s.cache_hits
+    };
+    store.reset_stats();
+
+    let errors = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for (i, q) in queries.iter().enumerate() {
+                    let got = index
+                        .query(&store, TwoSided { x0: q.x0, y0: q.y0 })
+                        .unwrap()
+                        .len();
+                    if got != serial[i] {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(errors.load(Ordering::Relaxed), 0);
+    // Logical access accounting stays exact across shards: 8 threads ran
+    // the same read-only access pattern, so reads + hits = 8 × serial.
+    let s = store.stats();
+    assert_eq!(
+        s.reads + s.cache_hits,
+        8 * serial_logical,
+        "per-shard counters must not drop increments"
+    );
+}
+
+#[test]
 fn pooled_file_backed_store_round_trips() {
     let dir = std::env::temp_dir().join(format!("pc-poolfile-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -98,7 +145,7 @@ fn pooled_file_backed_store_round_trips() {
     {
         let backend = pc_pagestore::backend::FileBackend::open(&path, 1024 + 8).unwrap();
         let store = pc_pagestore::PageStore::new(
-            pc_pagestore::StoreConfig { page_size: 1024, pool_pages: 64 },
+            pc_pagestore::StoreConfig { page_size: 1024, pool_pages: 64, pool_shards: 4 },
             Box::new(backend),
         );
         let index = PointIndex::build(&store, &points, Variant::Segmented).unwrap();
