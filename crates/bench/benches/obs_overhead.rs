@@ -1,0 +1,119 @@
+//! Observability overhead benchmark (pc-obs).
+//!
+//! The `obs` feature's contract is that the *disabled* mode costs nothing:
+//! every `span!` / `add_items` / `record_io` call site compiles to an
+//! inert no-op. This bench pins that contract with a same-binary A/B
+//! measurement:
+//!
+//!   * `baseline` — a query loop against a fully resident pooled store;
+//!   * `instrumented` — the identical loop with an explicit extra span
+//!     opened and an item reported around every operation, i.e. the
+//!     *marginal* cost of one span.
+//!
+//! Samples are interleaved (baseline, instrumented, baseline, …) so clock
+//! drift hits both arms equally; medians are reported. With `obs` off the
+//! marginal cost must vanish (`scripts/verify.sh --bench` gates it at
+//! ≤ 1%); with `obs` on the same number is the real per-span price, which
+//! EXPERIMENTS.md documents rather than gates.
+//!
+//! Writes `BENCH_obs.json` (override with `PC_BENCH_OUT`); verify.sh runs
+//! the bench in both modes and merges the two reports into one artifact.
+//! `PC_BENCH_OPS` scales the op count (default 200000).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use pc_bench::Json;
+use pc_btree::BTree;
+use pc_pagestore::PageStore;
+use pc_rng::Rng;
+
+const PAGE: usize = 4096;
+const POOL_PAGES: usize = 4096;
+const KEYS: i64 = 50_000;
+const SAMPLES: usize = 7;
+
+fn ops() -> usize {
+    std::env::var("PC_BENCH_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000)
+}
+
+fn build() -> (PageStore, BTree<i64, u64>) {
+    let store = PageStore::in_memory_pooled(PAGE, POOL_PAGES);
+    let entries: Vec<(i64, u64)> = (0..KEYS).map(|k| (k * 3, k as u64)).collect();
+    let tree = BTree::bulk_build(&store, &entries).unwrap();
+    // Touch everything once so the measurement loop sees only pool hits.
+    for k in 0..KEYS {
+        tree.get(&store, &(k * 3)).unwrap();
+    }
+    (store, tree)
+}
+
+/// One timed pass of `n` point lookups; `extra_span` adds the explicit
+/// span + item report whose marginal cost we are measuring.
+fn pass(store: &PageStore, tree: &BTree<i64, u64>, n: usize, extra_span: bool) -> u64 {
+    let mut rng = Rng::seed_from_u64(0x0B5_0B5);
+    let start = Instant::now();
+    for _ in 0..n {
+        let k = rng.gen_range(0i64..KEYS) * 3;
+        let v = if extra_span {
+            let _span = pc_obs::span!("bench_overhead_probe");
+            let v = tree.get(store, &k).unwrap();
+            pc_obs::add_items(1);
+            v
+        } else {
+            tree.get(store, &k).unwrap()
+        };
+        black_box(v);
+    }
+    start.elapsed().as_nanos() as u64 / n as u64
+}
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn main() {
+    let n = ops();
+    let (store, tree) = build();
+    let enabled = pc_obs::enabled();
+    println!(
+        "obs_overhead: obs {} | {KEYS} keys resident, {n} lookups/sample, {SAMPLES} samples",
+        if enabled { "ENABLED" } else { "disabled" }
+    );
+
+    // Warm both paths before sampling.
+    pass(&store, &tree, n / 10, false);
+    pass(&store, &tree, n / 10, true);
+
+    let mut base = Vec::with_capacity(SAMPLES);
+    let mut instr = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        base.push(pass(&store, &tree, n, false));
+        instr.push(pass(&store, &tree, n, true));
+    }
+    let base_ns = median(base);
+    let instr_ns = median(instr);
+    let overhead_pct = (instr_ns as f64 - base_ns as f64) * 100.0 / base_ns.max(1) as f64;
+
+    println!("baseline      {base_ns:>6} ns/op");
+    println!("instrumented  {instr_ns:>6} ns/op");
+    println!("marginal span overhead: {overhead_pct:+.2}%");
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("obs_overhead".into())),
+        ("obs_enabled", Json::Str(if enabled { "true".into() } else { "false".into() })),
+        ("page_size", Json::Int(PAGE as u64)),
+        ("keys", Json::Int(KEYS as u64)),
+        ("ops", Json::Int(n as u64)),
+        ("baseline_ns_per_op", Json::Int(base_ns)),
+        ("instrumented_ns_per_op", Json::Int(instr_ns)),
+        ("overhead_pct", Json::Num(overhead_pct)),
+    ]);
+    // Default to the workspace root (cargo runs benches with the package
+    // dir as cwd), so the artifact lands next to EXPERIMENTS.md.
+    let out = std::env::var("PC_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json").into());
+    std::fs::write(&out, format!("{report}\n")).expect("write benchmark artifact");
+    println!("wrote {out}");
+}

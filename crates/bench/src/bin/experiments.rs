@@ -480,9 +480,22 @@ fn e11_dynamic_three_sided() {
 // ---------------------------------------------------------------------------
 fn e12_naive_vs_cached() {
     println!("## E12 — naive [IKO] vs path-cached PST: the log n vs log_B n gap\n");
-    println!("small-t queries at growing n; output terms cancel, navigation dominates\n");
+    println!("small-t queries at growing n; output terms cancel, navigation dominates");
+    if pc_obs::enabled() {
+        println!("waste/q = per-query wasteful transfers (pc-obs span classifier)\n");
+    } else {
+        println!("waste/q columns need `--features obs` (tracing compiled out)\n");
+    }
     let mut table = Table::new(&[
-        "n", "t", "naive I/O", "segmented I/O", "two-level I/O", "log2(n/B)", "log_B n",
+        "n",
+        "t",
+        "naive I/O",
+        "seg I/O",
+        "two-lvl I/O",
+        "naive waste/q",
+        "seg waste/q",
+        "log2(n/B)",
+        "log_B n",
     ]);
     for n in [50_000usize, 200_000, 800_000] {
         let raw = gen_points(n, PointDist::Uniform, 20);
@@ -495,22 +508,30 @@ fn e12_naive_vs_cached() {
         let queries: Vec<TwoSided> =
             (0..30).map(|i| TwoSided { x0: 1_000_001 + i, y0: 0 }).collect();
         let mut ios = Vec::new();
+        let mut wastes = Vec::new();
         let mut t_avg = 0.0;
         for pst in [&naive as &dyn PstLike, &seg, &two] {
             store.reset_stats();
+            let waste_before = pc_obs::snapshot().counter("pc_op_wasteful_io_total");
             let mut t_total = 0usize;
             for q in &queries {
                 t_total += pst.run(&store, *q);
             }
+            let waste = pc_obs::snapshot().counter("pc_op_wasteful_io_total") - waste_before;
             ios.push(store.stats().reads as f64 / queries.len() as f64);
+            wastes.push(waste as f64 / queries.len() as f64);
             t_avg = t_total as f64 / queries.len() as f64;
         }
+        let waste_col =
+            |w: f64| if pc_obs::enabled() { f1(w) } else { "-".to_string() };
         table.row(vec![
             n.to_string(),
             f1(t_avg),
             f1(ios[0]),
             f1(ios[1]),
             f1(ios[2]),
+            waste_col(wastes[0]),
+            waste_col(wastes[1]),
             f1((n as f64 / B).log2()),
             f1(log_base(n as f64, B)),
         ]);

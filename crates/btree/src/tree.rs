@@ -84,6 +84,7 @@ impl<K: Record + Ord + Clone, V: Record + Clone> BTree<K, V> {
 
     /// Point lookup: the value stored under `key`, if any. `O(log_B n)`.
     pub fn get(&self, store: &PageStore, key: &K) -> Result<Option<V>> {
+        let _span = pc_obs::span!("btree_get");
         let (_, _, leaf) = self.descend(store, key)?;
         Ok(leaf
             .entries
@@ -95,6 +96,7 @@ impl<K: Record + Ord + Clone, V: Record + Clone> BTree<K, V> {
     /// Predecessor lookup: the entry with the greatest key `<= key`.
     /// `O(log_B n)` — at most one extra I/O to hop to the previous leaf.
     pub fn pred(&self, store: &PageStore, key: &K) -> Result<Option<(K, V)>> {
+        let _span = pc_obs::span!("btree_pred");
         let (_, _, leaf) = self.descend(store, key)?;
         let idx = leaf.entries.partition_point(|(k, _)| k <= key);
         if idx > 0 {
@@ -110,21 +112,28 @@ impl<K: Record + Ord + Clone, V: Record + Clone> BTree<K, V> {
     /// Range scan over `lo..=hi` in key order. `O(log_B n + t/B)` I/Os:
     /// one root-to-leaf descent plus a walk along the leaf chain.
     pub fn range(&self, store: &PageStore, lo: &K, hi: &K) -> Result<Vec<(K, V)>> {
+        let _span = pc_obs::span!("btree_range");
+        pc_obs::set_block_capacity(Node::<K, V>::leaf_capacity(store.page_size()) as u64);
         let mut out = Vec::new();
         if lo > hi {
             return Ok(out);
         }
         let (_, _, mut leaf) = self.descend(store, lo)?;
+        let _scan = pc_obs::span!(output: "leaf_scan");
         loop {
+            let before = out.len();
+            let mut past_hi = false;
             for (k, v) in &leaf.entries {
                 if k > hi {
-                    return Ok(out);
+                    past_hi = true;
+                    break;
                 }
                 if k >= lo {
                     out.push((k.clone(), v.clone()));
                 }
             }
-            if leaf.next.is_null() {
+            pc_obs::add_items((out.len() - before) as u64);
+            if past_hi || leaf.next.is_null() {
                 return Ok(out);
             }
             leaf = Node::<K, V>::read(store, leaf.next)?.expect_leaf();
@@ -133,15 +142,19 @@ impl<K: Record + Ord + Clone, V: Record + Clone> BTree<K, V> {
 
     /// Every entry in key order (testing/diagnostics; `O(n/B)` I/Os).
     pub fn scan_all(&self, store: &PageStore) -> Result<Vec<(K, V)>> {
+        let _span = pc_obs::span!("btree_scan");
+        pc_obs::set_block_capacity(Node::<K, V>::leaf_capacity(store.page_size()) as u64);
         // Walk down the leftmost spine, then along the leaf chain.
         let mut cur = self.root;
         loop {
             match Node::<K, V>::read(store, cur)? {
                 Node::Internal(n) => cur = n.children[0],
                 Node::Leaf(first) => {
+                    let _scan = pc_obs::span!(output: "leaf_scan");
                     let mut out = Vec::with_capacity(self.len as usize);
                     let mut leaf = first;
                     loop {
+                        pc_obs::add_items(leaf.entries.len() as u64);
                         out.extend(leaf.entries.iter().cloned());
                         if leaf.next.is_null() {
                             return Ok(out);
@@ -157,6 +170,7 @@ impl<K: Record + Ord + Clone, V: Record + Clone> BTree<K, V> {
     /// present. `O(log_B n)` worst case (one descent, splits on the way
     /// back up).
     pub fn insert(&mut self, store: &PageStore, key: K, value: V) -> Result<Option<V>> {
+        let _span = pc_obs::span!("btree_insert");
         let leaf_cap = Node::<K, V>::leaf_capacity(store.page_size());
         let internal_cap = Node::<K, V>::internal_capacity(store.page_size());
 
@@ -230,6 +244,7 @@ impl<K: Record + Ord + Clone, V: Record + Clone> BTree<K, V> {
     /// case, with borrow/merge rebalancing so all non-root nodes stay at
     /// least half full.
     pub fn delete(&mut self, store: &PageStore, key: &K) -> Result<Option<V>> {
+        let _span = pc_obs::span!("btree_delete");
         let (mut path, leaf_id, mut leaf) = self.descend(store, key)?;
         let removed = match leaf.entries.binary_search_by(|(k, _)| k.cmp(key)) {
             Ok(i) => leaf.entries.remove(i).1,

@@ -18,12 +18,18 @@ impl ExternalIntervalTree {
     /// Stabbing query returning `(results, page_reads)` for the experiment
     /// harness.
     pub fn stab_with_ios(&self, store: &PageStore, q: i64) -> Result<(Vec<Interval>, u64)> {
+        let _span = pc_obs::span!("ivtree_stab");
         let before = store.stats();
         let cap_iv = BlockList::<Interval>::capacity(store.page_size());
+        pc_obs::set_block_capacity(cap_iv as u64);
         let mut results = Vec::new();
 
         let mut cur_page = self.root_page;
-        let mut page = store.read(cur_page)?;
+        let mut skeletal_depth = 0u64;
+        let mut page = {
+            let _lvl = pc_obs::span!("level", skeletal_depth);
+            store.read(cur_page)?
+        };
         let mut slot = 0u16;
         // In-page strict ancestors of the current node, keyed by slot.
         let mut inpage: HashMap<u16, (BlockList<Interval>, BlockList<Interval>)> =
@@ -36,8 +42,11 @@ impl ExternalIntervalTree {
                         // below this node can (left subtree: hi < q; right
                         // subtree: lo > q).
                         self.drain_caches(store, q, cap_iv, &anc_l, &anc_r, &inpage, &mut results)?;
+                        let _scan = pc_obs::span!(output: "cover_list");
                         for block in l_list.blocks(store) {
-                            results.extend(block?);
+                            let block = block?;
+                            pc_obs::add_items(block.len() as u64);
+                            results.extend(block);
                         }
                         break;
                     }
@@ -59,6 +68,8 @@ impl ExternalIntervalTree {
                     }
                     inpage.clear();
                     cur_page = next.page;
+                    skeletal_depth += 1;
+                    let _lvl = pc_obs::span!("level", skeletal_depth);
                     page = store.read(cur_page)?;
                     slot = next.slot;
                 }
@@ -93,15 +104,21 @@ impl ExternalIntervalTree {
     ) -> Result<()> {
         for (cache, is_left) in [(anc_l, true), (anc_r, false)] {
             let mut qualified: HashMap<u16, usize> = HashMap::new();
-            'outer: for block in cache.blocks(store) {
-                for e in block? {
-                    let ok = if is_left { e.iv.lo <= q } else { e.iv.hi >= q };
-                    if !ok {
-                        break 'outer;
+            {
+                let _probe = pc_obs::span!("path_cache_probe");
+                pc_obs::set_block_capacity(BlockList::<CacheEntry>::capacity(store.page_size()) as u64);
+                let before = results.len();
+                'outer: for block in cache.blocks(store) {
+                    for e in block? {
+                        let ok = if is_left { e.iv.lo <= q } else { e.iv.hi >= q };
+                        if !ok {
+                            break 'outer;
+                        }
+                        results.push(e.iv);
+                        *qualified.entry(e.src_slot).or_insert(0) += 1;
                     }
-                    results.push(e.iv);
-                    *qualified.entry(e.src_slot).or_insert(0) += 1;
                 }
+                pc_obs::add_items((results.len() - before) as u64);
             }
             for (src_slot, count) in qualified {
                 let (l, r) = inpage
@@ -126,6 +143,21 @@ impl ExternalIntervalTree {
 /// starting at block `skip_blocks`; stops reading at the first
 /// non-qualifying entry.
 fn scan_prefix(
+    store: &PageStore,
+    list: &BlockList<Interval>,
+    skip_blocks: usize,
+    pred: impl Fn(&Interval) -> bool,
+    results: &mut Vec<Interval>,
+) -> Result<()> {
+    let _span = pc_obs::span!(output: "list_scan");
+    pc_obs::set_block_capacity(BlockList::<Interval>::capacity(store.page_size()) as u64);
+    let before = results.len();
+    let r = scan_prefix_inner(store, list, skip_blocks, pred, results);
+    pc_obs::add_items((results.len() - before) as u64);
+    r
+}
+
+fn scan_prefix_inner(
     store: &PageStore,
     list: &BlockList<Interval>,
     skip_blocks: usize,

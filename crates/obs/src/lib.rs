@@ -1,0 +1,506 @@
+//! Per-query observability for the path-caching workspace.
+//!
+//! The paper's entire cost argument is about one observable quantity: the
+//! number of *wasteful I/Os* a query performs — transfers that return fewer
+//! than `B` useful output items (§3 of Ramaswamy & Subramanian). The page
+//! store can only report flat cumulative [`IoStats`-style counters]; this
+//! crate attributes transfers to individual queries, tree levels, and
+//! path-cache probes so that claim becomes measurable.
+//!
+//! Three layers, all std-only (no dependencies):
+//!
+//! 1. **Tracing** — a thread-local span stack. Query code brackets regions
+//!    with [`span!`] guards; the page store reports every transfer through
+//!    [`record_io`]; on drop each span knows exactly which I/Os happened
+//!    inside it ([`IoDelta`]). Spans carry a [`SpanKind`]: `Nav` spans are
+//!    navigation (their reads are *search* I/Os), `Output` spans report how
+//!    many result items they produced via [`add_items`], and any read beyond
+//!    the full blocks those items account for is classified *wasteful*
+//!    ([`wasteful_transfers`]).
+//! 2. **Metrics** — a global registry of relaxed-atomic [`Counter`]s and
+//!    power-of-two-bucket [`Histogram`]s (query latency, per-query total and
+//!    wasteful I/O), with a Prometheus-style [`render_text`] exposition and a
+//!    structured [`snapshot`] API.
+//! 3. **Flight recorder** — a bounded per-thread ring of the K worst queries
+//!    by I/O count, each retaining its full span tree ([`flight_top`]), for
+//!    "why was this query expensive" dumps.
+//!
+//! Everything compiles to an inert no-op unless the `obs` cargo feature is
+//! enabled (check at runtime with [`enabled`]); the off-mode overhead is
+//! pinned ≤ 1% by the `obs_overhead` bench gate in `scripts/verify.sh`.
+//! Instrumentation is purely observational: it never changes which pages a
+//! structure touches, so strict-mode transfer counts are bit-identical with
+//! the feature on or off.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// True when this build carries live instrumentation (`--features obs`).
+pub const fn enabled() -> bool {
+    cfg!(feature = "obs")
+}
+
+/// One observable page-store event, reported via [`record_io`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoEvent {
+    /// A backend page transfer into memory (a *read* I/O).
+    Read,
+    /// A backend page transfer out of memory (a *write* I/O).
+    Write,
+    /// A buffer-pool hit that absorbed a would-be read.
+    CacheHit,
+    /// A page allocation.
+    Alloc,
+    /// A page free.
+    Free,
+    /// A buffer-pool eviction.
+    PoolEvict,
+}
+
+impl IoEvent {
+    /// Number of event kinds (array dimension for per-kind counters).
+    pub const COUNT: usize = 6;
+
+    /// Dense index of this event kind.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            IoEvent::Read => 0,
+            IoEvent::Write => 1,
+            IoEvent::CacheHit => 2,
+            IoEvent::Alloc => 3,
+            IoEvent::Free => 4,
+            IoEvent::PoolEvict => 5,
+        }
+    }
+
+    /// Registry counter name for this event kind.
+    pub const fn counter_name(self) -> &'static str {
+        match self {
+            IoEvent::Read => "pc_io_reads_total",
+            IoEvent::Write => "pc_io_writes_total",
+            IoEvent::CacheHit => "pc_io_cache_hits_total",
+            IoEvent::Alloc => "pc_io_allocs_total",
+            IoEvent::Free => "pc_io_frees_total",
+            IoEvent::PoolEvict => "pc_io_pool_evictions_total",
+        }
+    }
+
+    /// All event kinds in [`IoEvent::index`] order.
+    pub const ALL: [IoEvent; IoEvent::COUNT] = [
+        IoEvent::Read,
+        IoEvent::Write,
+        IoEvent::CacheHit,
+        IoEvent::Alloc,
+        IoEvent::Free,
+        IoEvent::PoolEvict,
+    ];
+}
+
+/// The I/O events observed inside one span (the per-span `IoStats` delta).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoDelta {
+    /// Backend page reads.
+    pub reads: u64,
+    /// Backend page writes.
+    pub writes: u64,
+    /// Buffer-pool hits.
+    pub cache_hits: u64,
+    /// Page allocations.
+    pub allocs: u64,
+    /// Page frees.
+    pub frees: u64,
+    /// Buffer-pool evictions.
+    pub pool_evictions: u64,
+}
+
+impl IoDelta {
+    /// Builds a delta from two cumulative per-kind count arrays.
+    #[inline]
+    pub fn from_counts(now: &[u64; IoEvent::COUNT], start: &[u64; IoEvent::COUNT]) -> IoDelta {
+        IoDelta {
+            reads: now[0] - start[0],
+            writes: now[1] - start[1],
+            cache_hits: now[2] - start[2],
+            allocs: now[3] - start[3],
+            frees: now[4] - start[4],
+            pool_evictions: now[5] - start[5],
+        }
+    }
+
+    /// Total transfers (reads + writes) — the paper's cost unit.
+    #[inline]
+    pub fn total_io(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl fmt::Display for IoDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r={} w={} hit={} alloc={} free={} evict={}",
+            self.reads, self.writes, self.cache_hits, self.allocs, self.frees, self.pool_evictions
+        )
+    }
+}
+
+/// How a span's reads are classified in the paper's I/O taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Navigation: this span's own reads are *search* I/Os (paid to find
+    /// output, never wasteful — e.g. a root-to-leaf descent).
+    Nav,
+    /// Output production: this span reports result items via [`add_items`];
+    /// its own reads beyond `ceil`-free full blocks (`items / B`) are
+    /// *wasteful* I/Os.
+    Output,
+}
+
+/// Number of transfers that were wasteful: `reads` minus the full output
+/// blocks accounted for by `items` results at `block_capacity` items per
+/// block. This is the paper's §3 classification (a transfer is "useful" only
+/// if it returns a full block of output), shared with
+/// `IoStats::wasteful` in `pc-pagestore`.
+///
+/// `block_capacity == 0` is treated as 1 so the helper is total.
+#[inline]
+pub fn wasteful_transfers(reads: u64, items: u64, block_capacity: u64) -> u64 {
+    reads.saturating_sub(items / block_capacity.max(1))
+}
+
+/// One finished span, with its subtree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Static span name (e.g. `"level"`, `"path_cache_probe"`).
+    pub name: &'static str,
+    /// Numeric argument from [`span!`] (e.g. the tree depth), 0 if unused.
+    pub arg: u64,
+    /// Navigation vs output classification.
+    pub kind: SpanKind,
+    /// I/O events observed in this span *including* child spans.
+    pub io: IoDelta,
+    /// Reads attributed to this span itself (subtree reads minus reads that
+    /// happened inside child spans).
+    pub self_reads: u64,
+    /// Output items reported via [`add_items`] while this span was innermost.
+    pub items: u64,
+    /// Effective output block capacity `B` (own setting, else inherited from
+    /// the nearest enclosing span that called [`set_block_capacity`], else 1).
+    pub block_capacity: u64,
+    /// Child spans in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Wasteful transfers charged to this node alone (zero for `Nav` nodes).
+    pub fn wasteful(&self) -> u64 {
+        match self.kind {
+            SpanKind::Output => wasteful_transfers(self.self_reads, self.items, self.block_capacity),
+            SpanKind::Nav => 0,
+        }
+    }
+
+    /// Subtree total of wasteful transfers.
+    pub fn wasteful_ios(&self) -> u64 {
+        self.wasteful() + self.children.iter().map(SpanNode::wasteful_ios).sum::<u64>()
+    }
+
+    /// Subtree total of search (navigation) reads.
+    pub fn search_ios(&self) -> u64 {
+        let own = match self.kind {
+            SpanKind::Nav => self.self_reads,
+            SpanKind::Output => 0,
+        };
+        own + self.children.iter().map(SpanNode::search_ios).sum::<u64>()
+    }
+
+    /// Subtree total of reported output items.
+    pub fn output_items(&self) -> u64 {
+        self.items + self.children.iter().map(SpanNode::output_items).sum::<u64>()
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(self.name);
+        if self.arg != 0 {
+            out.push_str(&format!("({})", self.arg));
+        }
+        let kind = match self.kind {
+            SpanKind::Nav => "nav",
+            SpanKind::Output => "out",
+        };
+        out.push_str(&format!(" [{kind}] io[{}] self_reads={}", self.io, self.self_reads));
+        if self.kind == SpanKind::Output {
+            out.push_str(&format!(
+                " items={} B={} wasteful={}",
+                self.items,
+                self.block_capacity,
+                self.wasteful()
+            ));
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+
+    /// Indented multi-line rendering of the span tree.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(0, &mut s);
+        s
+    }
+}
+
+/// A finished root span retained by the flight recorder.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// Root span name.
+    pub name: &'static str,
+    /// Wall-clock duration of the root span, nanoseconds.
+    pub latency_ns: u64,
+    /// Total transfers (reads + writes) in the whole query.
+    pub total_io: u64,
+    /// Search (navigation) reads in the whole query.
+    pub search_ios: u64,
+    /// Wasteful transfers in the whole query.
+    pub wasteful_ios: u64,
+    /// Output items reported by the whole query.
+    pub items: u64,
+    /// The full span tree.
+    pub root: SpanNode,
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+impl QueryTrace {
+    /// Human-readable "why was this query expensive" dump: a summary line
+    /// followed by the indented span tree.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{}: io={} (search={}, wasteful={}) items={} latency={}\n",
+            self.name,
+            self.total_io,
+            self.search_ios,
+            self.wasteful_ios,
+            self.items,
+            fmt_ns(self.latency_ns)
+        );
+        s.push_str(&self.root.render());
+        s
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Point-in-time copy of the whole metrics registry, from [`snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of the named counter (0 when absent — e.g. `obs` off).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0)
+    }
+
+    /// The named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Buffer-pool hit ratio `hits / (hits + reads)`, 0.0 when no traffic.
+    pub fn pool_hit_ratio(&self) -> f64 {
+        let hits = self.counter("pc_io_cache_hits_total");
+        let reads = self.counter("pc_io_reads_total");
+        if hits + reads == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + reads) as f64
+        }
+    }
+}
+
+/// Opens a span guard; the span closes (and records its I/O delta) when the
+/// guard drops. Bind it to a named `_guard`-style variable — `let _ = ...`
+/// would drop it immediately.
+///
+/// * `span!("name")` / `span!("name", arg)` — a [`SpanKind::Nav`] span.
+/// * `span!(output: "name")` / `span!(output: "name", arg)` — a
+///   [`SpanKind::Output`] span; report its result count with [`add_items`].
+#[macro_export]
+macro_rules! span {
+    (output: $name:expr, $arg:expr) => {
+        $crate::Span::enter($name, $crate::SpanKind::Output, $arg as u64)
+    };
+    (output: $name:expr) => {
+        $crate::Span::enter($name, $crate::SpanKind::Output, 0)
+    };
+    ($name:expr, $arg:expr) => {
+        $crate::Span::enter($name, $crate::SpanKind::Nav, $arg as u64)
+    };
+    ($name:expr) => {
+        $crate::Span::enter($name, $crate::SpanKind::Nav, 0)
+    };
+}
+
+#[cfg(feature = "obs")]
+mod metrics;
+#[cfg(feature = "obs")]
+mod recorder;
+#[cfg(feature = "obs")]
+mod trace;
+
+#[cfg(feature = "obs")]
+pub use metrics::{counter, histogram, render_text, snapshot, Counter, Histogram};
+#[cfg(feature = "obs")]
+pub use recorder::{flight_clear, flight_top};
+#[cfg(feature = "obs")]
+pub use trace::{add_items, record_io, set_block_capacity, Span};
+
+#[cfg(not(feature = "obs"))]
+mod noop;
+
+#[cfg(not(feature = "obs"))]
+pub use noop::{
+    add_items, counter, flight_clear, flight_top, histogram, record_io, render_text,
+    set_block_capacity, snapshot, Counter, Histogram, Span,
+};
+
+/// Serializes tests that observe global registry / flight-recorder state.
+#[cfg(all(test, feature = "obs"))]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wasteful_transfers_matches_paper_taxonomy() {
+        // A transfer is useful only when it returns a full block of output.
+        assert_eq!(wasteful_transfers(0, 0, 170), 0);
+        assert_eq!(wasteful_transfers(1, 0, 170), 1); // empty block: wasteful
+        assert_eq!(wasteful_transfers(1, 169, 170), 1); // underfull block: wasteful
+        assert_eq!(wasteful_transfers(1, 170, 170), 0); // full block: useful
+        assert_eq!(wasteful_transfers(3, 2 * 170 + 5, 170), 1); // 2 full + 1 tail
+        assert_eq!(wasteful_transfers(3, 3 * 170, 170), 0);
+        // More full blocks than reads (items over-reported): saturates at 0.
+        assert_eq!(wasteful_transfers(1, 1000 * 170, 170), 0);
+        // Degenerate capacity is treated as 1.
+        assert_eq!(wasteful_transfers(5, 3, 0), 2);
+    }
+
+    #[test]
+    fn enabled_reflects_feature() {
+        assert_eq!(enabled(), cfg!(feature = "obs"));
+    }
+
+    #[test]
+    fn io_delta_from_counts_and_display() {
+        let start = [1, 2, 3, 4, 5, 6];
+        let now = [11, 12, 13, 14, 15, 16];
+        let d = IoDelta::from_counts(&now, &start);
+        assert_eq!(
+            d,
+            IoDelta {
+                reads: 10,
+                writes: 10,
+                cache_hits: 10,
+                allocs: 10,
+                frees: 10,
+                pool_evictions: 10
+            }
+        );
+        assert_eq!(d.total_io(), 20);
+        assert_eq!(d.to_string(), "r=10 w=10 hit=10 alloc=10 free=10 evict=10");
+    }
+
+    #[test]
+    fn span_node_taxonomy_sums() {
+        let leaf_out = SpanNode {
+            name: "list_scan",
+            arg: 0,
+            kind: SpanKind::Output,
+            io: IoDelta { reads: 3, ..IoDelta::default() },
+            self_reads: 3,
+            items: 2 * 4, // two full blocks at B=4, one empty tail read
+            block_capacity: 4,
+            children: Vec::new(),
+        };
+        let root = SpanNode {
+            name: "query",
+            arg: 0,
+            kind: SpanKind::Nav,
+            io: IoDelta { reads: 5, ..IoDelta::default() },
+            self_reads: 2,
+            items: 0,
+            block_capacity: 1,
+            children: vec![leaf_out],
+        };
+        assert_eq!(root.search_ios(), 2);
+        assert_eq!(root.wasteful_ios(), 1);
+        assert_eq!(root.output_items(), 8);
+        let text = root.render();
+        assert!(text.contains("query [nav]"), "{text}");
+        assert!(text.contains("list_scan [out]"), "{text}");
+        assert!(text.contains("wasteful=1"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_lookups_and_hit_ratio() {
+        let snap = Snapshot {
+            counters: vec![
+                ("pc_io_reads_total".into(), 25),
+                ("pc_io_cache_hits_total".into(), 75),
+            ],
+            histograms: vec![(
+                "h".into(),
+                HistogramSnapshot { count: 2, sum: 3, buckets: vec![(1, 2)] },
+            )],
+        };
+        assert_eq!(snap.counter("pc_io_reads_total"), 25);
+        assert_eq!(snap.counter("missing"), 0);
+        assert!(snap.histogram("h").is_some());
+        assert!(snap.histogram("missing").is_none());
+        assert!((snap.pool_hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(Snapshot::default().pool_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(1_250_000_000), "1.25s");
+    }
+}

@@ -1,0 +1,311 @@
+//! Global metrics registry: relaxed-atomic counters and power-of-two-bucket
+//! histograms, with a Prometheus-style text exposition.
+//!
+//! Hot-path metrics (the per-[`IoEvent`] counters and the per-query
+//! histograms) live in a fixed struct reached through one `OnceLock` — no
+//! name lookup or locking on the record path. Ad-hoc named metrics from
+//! [`counter`]/[`histogram`] go through a mutex-guarded registration list
+//! and are leaked (`&'static`), so callers pay the lock once and then share
+//! the same lock-free atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::{HistogramSnapshot, IoEvent, Snapshot};
+
+/// A monotonically increasing counter (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Buckets: index 0 holds value 0; index `i ≥ 1` holds values with bit
+/// length `i`, i.e. the range `[2^(i-1), 2^i - 1]`. 65 buckets cover all of
+/// `u64`.
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket histogram with power-of-two bucket bounds.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Relaxed);
+    }
+
+    /// Bucket index for a value (0 for 0, else the bit length).
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    pub fn le_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Point-in-time copy (non-empty buckets only).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Relaxed);
+            if c > 0 {
+                buckets.push((Self::le_bound(i), c));
+            }
+        }
+        HistogramSnapshot { count: self.count.load(Relaxed), sum: self.sum.load(Relaxed), buckets }
+    }
+}
+
+/// The always-registered metrics, reachable without any locking.
+#[derive(Debug, Default)]
+pub(crate) struct FixedMetrics {
+    /// One counter per [`IoEvent`] kind, indexed by [`IoEvent::index`].
+    pub(crate) io: [Counter; IoEvent::COUNT],
+    /// Finished root spans (one per traced operation).
+    pub(crate) ops_total: Counter,
+    /// Total wasteful transfers across all finished root spans.
+    pub(crate) wasteful_total: Counter,
+    /// Total output items across all finished root spans.
+    pub(crate) items_total: Counter,
+    /// Per-operation total transfers.
+    pub(crate) hist_op_io: Histogram,
+    /// Per-operation wasteful transfers.
+    pub(crate) hist_wasteful: Histogram,
+    /// Per-operation wall latency in nanoseconds.
+    pub(crate) hist_latency: Histogram,
+}
+
+const OPS_TOTAL: &str = "pc_ops_total";
+const WASTEFUL_TOTAL: &str = "pc_op_wasteful_io_total";
+const ITEMS_TOTAL: &str = "pc_op_output_items_total";
+const HIST_OP_IO: &str = "pc_op_total_io";
+const HIST_WASTEFUL: &str = "pc_op_wasteful_io";
+const HIST_LATENCY: &str = "pc_op_latency_ns";
+const POOL_HIT_RATIO: &str = "pc_pool_hit_ratio";
+
+enum DynMetric {
+    C(&'static Counter),
+    H(&'static Histogram),
+}
+
+struct Registry {
+    fixed: FixedMetrics,
+    dynamic: Mutex<Vec<(&'static str, DynMetric)>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Registry { fixed: FixedMetrics::default(), dynamic: Mutex::new(Vec::new()) })
+}
+
+/// Fast path to the fixed metrics for the tracing layer.
+#[inline]
+pub(crate) fn fixed() -> &'static FixedMetrics {
+    &registry().fixed
+}
+
+fn dynamic() -> MutexGuard<'static, Vec<(&'static str, DynMetric)>> {
+    registry().dynamic.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The named counter, registering it on first use. Callers on hot paths
+/// should cache the returned reference; lookups take a registry lock.
+///
+/// Panics if `name` is already registered as a histogram.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut d = dynamic();
+    for (n, m) in d.iter() {
+        if *n == name {
+            match m {
+                DynMetric::C(c) => return c,
+                DynMetric::H(_) => panic!("metric {name:?} is already a histogram"),
+            }
+        }
+    }
+    let c: &'static Counter = Box::leak(Box::default());
+    d.push((name, DynMetric::C(c)));
+    c
+}
+
+/// The named histogram, registering it on first use (see [`counter`]).
+///
+/// Panics if `name` is already registered as a counter.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut d = dynamic();
+    for (n, m) in d.iter() {
+        if *n == name {
+            match m {
+                DynMetric::H(h) => return h,
+                DynMetric::C(_) => panic!("metric {name:?} is already a counter"),
+            }
+        }
+    }
+    let h: &'static Histogram = Box::leak(Box::default());
+    d.push((name, DynMetric::H(h)));
+    h
+}
+
+/// Structured point-in-time copy of every registered metric.
+pub fn snapshot() -> Snapshot {
+    let r = registry();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    for ev in IoEvent::ALL {
+        counters.push((ev.counter_name().to_string(), r.fixed.io[ev.index()].get()));
+    }
+    counters.push((OPS_TOTAL.to_string(), r.fixed.ops_total.get()));
+    counters.push((WASTEFUL_TOTAL.to_string(), r.fixed.wasteful_total.get()));
+    counters.push((ITEMS_TOTAL.to_string(), r.fixed.items_total.get()));
+    let mut histograms: Vec<(String, HistogramSnapshot)> = vec![
+        (HIST_OP_IO.to_string(), r.fixed.hist_op_io.snapshot()),
+        (HIST_WASTEFUL.to_string(), r.fixed.hist_wasteful.snapshot()),
+        (HIST_LATENCY.to_string(), r.fixed.hist_latency.snapshot()),
+    ];
+    for (n, m) in dynamic().iter() {
+        match m {
+            DynMetric::C(c) => counters.push((n.to_string(), c.get())),
+            DynMetric::H(h) => histograms.push((n.to_string(), h.snapshot())),
+        }
+    }
+    Snapshot { counters, histograms }
+}
+
+/// Prometheus-style text exposition of every registered metric, plus the
+/// derived `pc_pool_hit_ratio` gauge.
+pub fn render_text() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for &(le, c) in &h.buckets {
+            cumulative += c;
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+    }
+    out.push_str(&format!(
+        "# TYPE {POOL_HIT_RATIO} gauge\n{POOL_HIT_RATIO} {:.6}\n",
+        snap.pool_hit_ratio()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::le_bound(0), 0);
+        assert_eq!(Histogram::le_bound(1), 1);
+        assert_eq!(Histogram::le_bound(10), 1023);
+        assert_eq!(Histogram::le_bound(64), u64::MAX);
+        // Every value lands in a bucket whose bound contains it.
+        for v in [0u64, 1, 2, 3, 7, 8, 1 << 20, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::le_bound(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > Histogram::le_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::default();
+        for v in [0, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1007);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 2), (7, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn dynamic_registration_is_idempotent() {
+        let a = counter("test_metrics_dyn_counter");
+        let b = counter("test_metrics_dyn_counter");
+        assert!(std::ptr::eq(a, b));
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        let h1 = histogram("test_metrics_dyn_hist");
+        let h2 = histogram("test_metrics_dyn_hist");
+        assert!(std::ptr::eq(h1, h2));
+    }
+
+    #[test]
+    fn render_text_is_prometheus_shaped() {
+        counter("test_metrics_render_counter").add(7);
+        let h = histogram("test_metrics_render_hist");
+        h.record(3);
+        h.record(100);
+        let text = render_text();
+        assert!(text.contains("# TYPE test_metrics_render_counter counter"), "{text}");
+        assert!(text.contains("test_metrics_render_counter 7"), "{text}");
+        assert!(text.contains("# TYPE test_metrics_render_hist histogram"), "{text}");
+        assert!(text.contains("test_metrics_render_hist_bucket{le=\"3\"} 1"), "{text}");
+        assert!(text.contains("test_metrics_render_hist_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("test_metrics_render_hist_sum 103"), "{text}");
+        assert!(text.contains("test_metrics_render_hist_count 2"), "{text}");
+        assert!(text.contains("# TYPE pc_pool_hit_ratio gauge"), "{text}");
+        assert!(text.contains("# TYPE pc_ops_total counter"), "{text}");
+        assert!(text.contains("# TYPE pc_op_latency_ns histogram"), "{text}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Flight recorder: keeps the K worst finished queries by total I/O count,
+//! each with its full span tree.
+//!
+//! Recording is per-thread — each thread owns a small sorted buffer behind
+//! its own mutex (uncontended in steady state), registered once in a global
+//! list. [`flight_top`] merges the per-thread buffers on drain, so threads
+//! never contend with each other while recording, and traces survive thread
+//! exit (the registry holds an `Arc` to every buffer).
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use crate::QueryTrace;
+
+/// Per-thread retention. The global worst-K over T threads is always
+/// contained in the union of per-thread worst-K buffers, so the merged
+/// drain can serve any `k ≤ K` exactly.
+const K: usize = 8;
+
+type Buf = Arc<Mutex<Vec<QueryTrace>>>;
+
+fn bufs() -> &'static Mutex<Vec<Buf>> {
+    static BUFS: OnceLock<Mutex<Vec<Buf>>> = OnceLock::new();
+    BUFS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Buf>> = const { RefCell::new(None) };
+}
+
+/// Offers a finished query to this thread's worst-K buffer.
+pub(crate) fn offer(trace: QueryTrace) {
+    LOCAL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let buf = slot
+            .get_or_insert_with(|| {
+                let b: Buf = Arc::default();
+                lock(bufs()).push(b.clone());
+                b
+            })
+            .clone();
+        let mut v = lock(&buf);
+        // Kept sorted by descending total_io; drop the offer early when it
+        // can't displace anything.
+        let pos = v.partition_point(|t| t.total_io >= trace.total_io);
+        if pos < K {
+            v.insert(pos, trace);
+            v.truncate(K);
+        }
+    });
+}
+
+/// The `k` worst queries by total I/O across all threads, descending.
+/// `k` larger than the per-thread retention (currently 8) may be served
+/// partially.
+pub fn flight_top(k: usize) -> Vec<QueryTrace> {
+    let mut all: Vec<QueryTrace> = Vec::new();
+    for buf in lock(bufs()).iter() {
+        all.extend(lock(buf).iter().cloned());
+    }
+    all.sort_by_key(|t| std::cmp::Reverse(t.total_io));
+    all.truncate(k);
+    all
+}
+
+/// Clears every thread's buffer.
+pub fn flight_clear() {
+    for buf in lock(bufs()).iter() {
+        lock(buf).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IoDelta, SpanKind, SpanNode};
+
+    fn trace(io: u64) -> QueryTrace {
+        QueryTrace {
+            name: "t",
+            latency_ns: 0,
+            total_io: io,
+            search_ios: 0,
+            wasteful_ios: 0,
+            items: 0,
+            root: SpanNode {
+                name: "t",
+                arg: 0,
+                kind: SpanKind::Nav,
+                io: IoDelta { reads: io, ..IoDelta::default() },
+                self_reads: io,
+                items: 0,
+                block_capacity: 1,
+                children: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn keeps_worst_k_in_descending_order() {
+        let _g = crate::test_guard();
+        flight_clear();
+        for io in [5, 1, 9, 3, 7, 2, 8, 4, 6, 10, 0, 11] {
+            offer(trace(io));
+        }
+        let top = flight_top(3);
+        let ios: Vec<u64> = top.iter().map(|t| t.total_io).collect();
+        assert_eq!(ios, vec![11, 10, 9]);
+        // Per-thread retention caps at K.
+        let all = flight_top(usize::MAX);
+        assert!(all.len() <= K, "{}", all.len());
+        assert_eq!(all[0].total_io, 11);
+        flight_clear();
+        assert!(flight_top(10).is_empty());
+    }
+
+    #[test]
+    fn merges_across_threads() {
+        let _g = crate::test_guard();
+        flight_clear();
+        offer(trace(100));
+        std::thread::scope(|s| {
+            s.spawn(|| offer(trace(200)));
+            s.spawn(|| offer(trace(50)));
+        });
+        let top = flight_top(3);
+        let ios: Vec<u64> = top.iter().map(|t| t.total_io).collect();
+        assert_eq!(ios, vec![200, 100, 50]);
+        flight_clear();
+    }
+}

@@ -1,0 +1,257 @@
+//! The thread-local span stack (live `obs` implementation).
+//!
+//! A [`Span`] guard pushes a frame recording the thread's cumulative I/O
+//! counts at open; [`record_io`] bumps those counts; on drop the frame's
+//! delta becomes a [`SpanNode`] attached to its parent. When the *root*
+//! frame pops, the finished tree is folded into the metrics registry and
+//! offered to the flight recorder.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::metrics::fixed;
+use crate::{recorder, IoDelta, IoEvent, QueryTrace, SpanKind, SpanNode};
+
+struct Frame {
+    name: &'static str,
+    arg: u64,
+    kind: SpanKind,
+    /// Thread-cumulative per-kind counts when this frame opened.
+    start: [u64; IoEvent::COUNT],
+    /// Reads already attributed to closed child spans.
+    child_reads: u64,
+    /// Items reported via [`add_items`] while this frame was innermost.
+    items: u64,
+    /// Capacity set via [`set_block_capacity`] on this frame, if any.
+    block_capacity: Option<u64>,
+    children: Vec<SpanNode>,
+    /// Set only on root frames, for the latency histogram.
+    opened_at: Option<Instant>,
+}
+
+#[derive(Default)]
+struct Tracer {
+    /// Thread-cumulative per-kind event counts (monotonic).
+    io: [u64; IoEvent::COUNT],
+    stack: Vec<Frame>,
+}
+
+thread_local! {
+    static TRACER: RefCell<Tracer> = RefCell::new(Tracer::default());
+}
+
+/// Reports one page-store event to the tracing layer and the global
+/// per-event counters. Called by the `pc-pagestore` observer hook; purely
+/// observational (never alters store behavior or its own `IoStats`).
+#[inline]
+pub fn record_io(ev: IoEvent) {
+    fixed().io[ev.index()].inc();
+    TRACER.with(|t| t.borrow_mut().io[ev.index()] += 1);
+}
+
+/// Adds `n` to the innermost open span's output-item count. No-op when no
+/// span is open.
+#[inline]
+pub fn add_items(n: u64) {
+    if n == 0 {
+        return;
+    }
+    TRACER.with(|t| {
+        if let Some(f) = t.borrow_mut().stack.last_mut() {
+            f.items += n;
+        }
+    });
+}
+
+/// Sets the output block capacity `B` on the innermost open span. Spans
+/// without their own setting inherit from the nearest enclosing span, so
+/// nested structures (e.g. a mini segment tree inside an interval tree)
+/// keep independent capacities. Defaults to 1.
+#[inline]
+pub fn set_block_capacity(b: u64) {
+    TRACER.with(|t| {
+        if let Some(f) = t.borrow_mut().stack.last_mut() {
+            f.block_capacity = Some(b);
+        }
+    });
+}
+
+/// RAII guard for one tracing span; see the [`span!`](crate::span) macro.
+#[must_use = "a span records nothing unless the guard is held"]
+#[derive(Debug)]
+pub struct Span {
+    _priv: (),
+}
+
+impl Span {
+    /// Opens a span. Prefer the [`span!`](crate::span) macro.
+    #[inline]
+    pub fn enter(name: &'static str, kind: SpanKind, arg: u64) -> Span {
+        TRACER.with(|t| {
+            let mut t = t.borrow_mut();
+            let opened_at = if t.stack.is_empty() { Some(Instant::now()) } else { None };
+            let start = t.io;
+            t.stack.push(Frame {
+                name,
+                arg,
+                kind,
+                start,
+                child_reads: 0,
+                items: 0,
+                block_capacity: None,
+                children: Vec::new(),
+                opened_at,
+            });
+        });
+        Span { _priv: () }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let finished = TRACER.with(|t| {
+            let mut tr = t.borrow_mut();
+            let frame = tr.stack.pop()?;
+            let io = IoDelta::from_counts(&tr.io, &frame.start);
+            let block_capacity = frame
+                .block_capacity
+                .or_else(|| tr.stack.iter().rev().find_map(|f| f.block_capacity))
+                .unwrap_or(1);
+            let node = SpanNode {
+                name: frame.name,
+                arg: frame.arg,
+                kind: frame.kind,
+                io,
+                self_reads: io.reads.saturating_sub(frame.child_reads),
+                items: frame.items,
+                block_capacity,
+                children: frame.children,
+            };
+            match tr.stack.last_mut() {
+                Some(parent) => {
+                    parent.child_reads += io.reads;
+                    parent.children.push(node);
+                    None
+                }
+                None => {
+                    let ns =
+                        frame.opened_at.map(|t0| t0.elapsed().as_nanos() as u64).unwrap_or(0);
+                    Some((node, ns))
+                }
+            }
+        });
+        if let Some((root, latency_ns)) = finished {
+            finalize(root, latency_ns);
+        }
+    }
+}
+
+/// Folds a finished root span into the metrics registry and the flight
+/// recorder.
+fn finalize(root: SpanNode, latency_ns: u64) {
+    let total_io = root.io.total_io();
+    let wasteful_ios = root.wasteful_ios();
+    let search_ios = root.search_ios();
+    let items = root.output_items();
+    let m = fixed();
+    m.ops_total.inc();
+    m.wasteful_total.add(wasteful_ios);
+    m.items_total.add(items);
+    m.hist_op_io.record(total_io);
+    m.hist_wasteful.record(wasteful_ios);
+    m.hist_latency.record(latency_ns);
+    recorder::offer(QueryTrace {
+        name: root.name,
+        latency_ns,
+        total_io,
+        search_ios,
+        wasteful_ios,
+        items,
+        root,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{flight_clear, flight_top, snapshot};
+
+    /// Simulates the page-store hook: n reads.
+    fn reads(n: u64) {
+        for _ in 0..n {
+            record_io(IoEvent::Read);
+        }
+    }
+
+    #[test]
+    fn span_tree_attributes_self_and_child_reads() {
+        let _g = crate::test_guard();
+        flight_clear();
+        {
+            let _root = crate::span!("query");
+            set_block_capacity(4);
+            reads(2); // root self: search
+            {
+                let _lvl = crate::span!("level", 1u64);
+                reads(1); // level self: search
+            }
+            {
+                let _probe = crate::span!(output: "path_cache_probe");
+                reads(3);
+                add_items(9); // 2 full blocks at B=4 + tail → 1 wasteful
+            }
+        }
+        let top = flight_top(1);
+        assert_eq!(top.len(), 1);
+        let t = &top[0];
+        assert_eq!(t.name, "query");
+        assert_eq!(t.total_io, 6);
+        assert_eq!(t.search_ios, 3);
+        assert_eq!(t.wasteful_ios, 1);
+        assert_eq!(t.items, 9);
+        assert_eq!(t.root.children.len(), 2);
+        let probe = &t.root.children[1];
+        assert_eq!(probe.name, "path_cache_probe");
+        assert_eq!(probe.self_reads, 3);
+        assert_eq!(probe.block_capacity, 4, "capacity inherited from root");
+        assert_eq!(probe.wasteful(), 1);
+        flight_clear();
+    }
+
+    #[test]
+    fn root_finalization_updates_metrics() {
+        let _g = crate::test_guard();
+        let before = snapshot();
+        {
+            let _root = crate::span!(output: "solo");
+            reads(2);
+            add_items(1);
+        }
+        let after = snapshot();
+        assert_eq!(after.counter("pc_ops_total") - before.counter("pc_ops_total"), 1);
+        // B defaults to 1: 2 reads, 1 item → 1 wasteful.
+        assert_eq!(
+            after.counter("pc_op_wasteful_io_total") - before.counter("pc_op_wasteful_io_total"),
+            1
+        );
+        assert_eq!(
+            after.counter("pc_op_output_items_total")
+                - before.counter("pc_op_output_items_total"),
+            1
+        );
+        assert!(after.counter("pc_io_reads_total") >= before.counter("pc_io_reads_total") + 2);
+    }
+
+    #[test]
+    fn io_outside_any_span_only_hits_global_counters() {
+        let _g = crate::test_guard();
+        let before = snapshot();
+        record_io(IoEvent::Write);
+        let after = snapshot();
+        assert_eq!(
+            after.counter("pc_io_writes_total") - before.counter("pc_io_writes_total"),
+            1
+        );
+        assert_eq!(after.counter("pc_ops_total"), before.counter("pc_ops_total"));
+    }
+}

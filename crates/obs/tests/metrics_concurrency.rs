@@ -1,0 +1,78 @@
+//! Satellite 3: the metrics registry under concurrent writers and a
+//! concurrent reader.
+//!
+//! N threads hammer a shared counter and histogram while another thread
+//! repeatedly drains `render_text()` and `snapshot()`; when the writers
+//! finish, the drained totals must be exact (relaxed atomics lose no
+//! increments — only the *moment* a snapshot observes them is unordered).
+#![cfg(feature = "obs")]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const WRITERS: usize = 8;
+const INCREMENTS: u64 = 20_000;
+
+#[test]
+fn concurrent_bumps_are_exact_under_a_draining_reader() {
+    let counter = pc_obs::counter("test_concurrency_counter_total");
+    let histogram = pc_obs::histogram("test_concurrency_histogram");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut drains = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Both render paths must stay coherent while written to.
+                let text = pc_obs::render_text();
+                assert!(text.contains("test_concurrency_counter_total"));
+                let snap = pc_obs::snapshot();
+                let c = snap.counter("test_concurrency_counter_total");
+                assert!(
+                    c <= (WRITERS as u64) * INCREMENTS,
+                    "snapshot overshot: {c}"
+                );
+                drains += 1;
+            }
+            drains
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            thread::spawn(move || {
+                let c = pc_obs::counter("test_concurrency_counter_total");
+                let h = pc_obs::histogram("test_concurrency_histogram");
+                for i in 0..INCREMENTS {
+                    c.inc();
+                    h.record((w as u64) * INCREMENTS + i);
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let drains = reader.join().unwrap();
+    assert!(drains > 0, "reader never drained");
+
+    let expected = (WRITERS as u64) * INCREMENTS;
+    assert_eq!(counter.get(), expected);
+
+    let snap = pc_obs::snapshot();
+    assert_eq!(snap.counter("test_concurrency_counter_total"), expected);
+    let h = snap.histogram("test_concurrency_histogram").expect("histogram registered");
+    assert_eq!(h.count, expected);
+    let bucket_total: u64 = h.buckets.iter().map(|&(_, n)| n).sum();
+    assert_eq!(bucket_total, expected, "every sample lands in exactly one bucket");
+    // Sum of 0..WRITERS*INCREMENTS.
+    assert_eq!(h.sum, expected * (expected - 1) / 2);
+
+    let text = pc_obs::render_text();
+    assert!(text.contains(&format!("test_concurrency_counter_total {expected}")));
+    assert!(text.contains(&format!("test_concurrency_histogram_count {expected}")));
+    assert_eq!(histogram.snapshot().count, expected);
+}

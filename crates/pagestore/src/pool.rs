@@ -310,12 +310,14 @@ impl ShardedPool {
         let mut pool = shard.pool.lock();
         if let Some(page) = pool.get(id) {
             shard.hits.fetch_add(1, Ordering::Relaxed);
+            pc_obs::record_io(pc_obs::IoEvent::CacheHit);
             return Ok(page);
         }
         shard.misses.fetch_add(1, Ordering::Relaxed);
         let page = fetch()?;
         if pool.insert(id, page.clone(), false, write_back)? {
             shard.evictions.fetch_add(1, Ordering::Relaxed);
+            pc_obs::record_io(pc_obs::IoEvent::PoolEvict);
         }
         Ok(page)
     }
@@ -331,6 +333,7 @@ impl ShardedPool {
         let shard = &self.shards[self.shard_of(id)];
         if shard.pool.lock().insert(id, data, true, write_back)? {
             shard.evictions.fetch_add(1, Ordering::Relaxed);
+            pc_obs::record_io(pc_obs::IoEvent::PoolEvict);
         }
         Ok(())
     }

@@ -13,6 +13,7 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use pc_obs::IoEvent;
 use pc_sync::RwLock;
 
 use crate::backend::{Backend, FileBackend, MemBackend};
@@ -202,6 +203,7 @@ impl PageStore {
             self.backend_write(PageId(id), &[])?;
         }
         self.stats.allocs.fetch_add(1, Ordering::Relaxed);
+        pc_obs::record_io(IoEvent::Alloc);
         Ok(PageId(id))
     }
 
@@ -219,6 +221,7 @@ impl PageStore {
             pool.discard(id);
         }
         self.stats.frees.fetch_add(1, Ordering::Relaxed);
+        pc_obs::record_io(IoEvent::Free);
         Ok(())
     }
 
@@ -274,6 +277,10 @@ impl PageStore {
 
     fn backend_read(&self, id: PageId) -> Result<Page> {
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        // Observer hook for pc-obs (a no-op unless the `obs` feature is on):
+        // purely observational, so `IoStats` and transfer behavior stay
+        // bit-identical either way.
+        pc_obs::record_io(IoEvent::Read);
         let mut frame = vec![0u8; self.page_size + CHECKSUM_LEN];
         self.backend.read_frame(id, &mut frame)?;
         verify_frame(&frame, self.page_size, id)?;
@@ -283,6 +290,7 @@ impl PageStore {
 
     fn backend_write(&self, id: PageId, data: &[u8]) -> Result<()> {
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        pc_obs::record_io(IoEvent::Write);
         let mut frame = vec![0u8; self.page_size + CHECKSUM_LEN];
         frame[..data.len()].copy_from_slice(data);
         let checksum = fnv1a64(&frame[..self.page_size]);

@@ -101,6 +101,7 @@ impl DynamicPst {
 
     /// Inserts a point. Amortized `O(log_B n)` I/Os.
     pub fn insert(&mut self, store: &PageStore, p: Point) -> Result<()> {
+        let _span = pc_obs::span!("dynpst_insert");
         self.seq += 1;
         self.live += 1;
         let rec = UpdateRec { is_delete: false, seq: self.seq, p };
@@ -111,6 +112,7 @@ impl DynamicPst {
     /// non-existent point is a no-op apart from buffer traffic).
     /// Amortized `O(log_B n)` I/Os.
     pub fn delete(&mut self, store: &PageStore, p: Point) -> Result<()> {
+        let _span = pc_obs::span!("dynpst_delete");
         self.seq += 1;
         self.live = self.live.saturating_sub(1);
         let rec = UpdateRec { is_delete: true, seq: self.seq, p };
@@ -690,6 +692,7 @@ impl DynamicThreeSidedPst {
 
     /// Inserts a point.
     pub fn insert(&mut self, store: &PageStore, p: Point) -> Result<()> {
+        let _span = pc_obs::span!("dynpst3_insert");
         self.seq += 1;
         let rec = UpdateRec { is_delete: false, seq: self.seq, p };
         self.log(store, rec)
@@ -697,6 +700,7 @@ impl DynamicThreeSidedPst {
 
     /// Deletes a point (by full identity).
     pub fn delete(&mut self, store: &PageStore, p: Point) -> Result<()> {
+        let _span = pc_obs::span!("dynpst3_delete");
         self.seq += 1;
         let rec = UpdateRec { is_delete: true, seq: self.seq, p };
         self.log(store, rec)

@@ -3,10 +3,11 @@
 
 use std::collections::HashMap;
 
+use pc_pagestore::layout::BlockList;
 use pc_pagestore::{PageId, PageStore, Point, Result};
 
 use crate::build::{
-    decode_record, points_capacity, read_points_page, CacheMode, PstCore, SkeletalRecord,
+    decode_record, points_capacity, read_points_page, CacheMode, PstCore, SEntry, SkeletalRecord,
 };
 use crate::mem::TwoSided;
 
@@ -35,6 +36,12 @@ pub fn run_two_sided(
     core: &PstCore,
     q: TwoSided,
 ) -> Result<(Vec<Point>, QueryCounters)> {
+    let _span = pc_obs::span!(match core.mode {
+        CacheMode::None => "pst2_naive",
+        CacheMode::FullPath => "pst2_fullpath",
+        CacheMode::InPage => "pst2_segmented",
+    });
+    pc_obs::set_block_capacity(points_capacity(store.page_size()) as u64);
     let mut ctx = Ctx {
         store,
         q,
@@ -46,7 +53,10 @@ pub fn run_two_sided(
     let mut sib: HashMap<u16, (PageId, u16)> = HashMap::new();
 
     let mut cur_page_id = core.root_page;
-    let mut page = store.read(cur_page_id)?;
+    let mut page = {
+        let _lvl = pc_obs::span!("level", 0u64);
+        store.read(cur_page_id)?
+    };
     ctx.counters.skeletal += 1;
     let mut slot = 0u16;
     let mut depth = 0u16;
@@ -57,11 +67,11 @@ pub fn run_two_sided(
         if is_corner {
             match core.mode {
                 CacheMode::None => {
-                    ctx.read_own_filtered(&rec)?;
+                    ctx.read_own_filtered(&rec, true)?;
                 }
                 CacheMode::FullPath | CacheMode::InPage => {
                     ctx.drain_caches_and_seed(&rec, &sib)?;
-                    ctx.read_own_filtered(&rec)?;
+                    ctx.read_own_filtered(&rec, true)?;
                 }
             }
             break;
@@ -80,7 +90,7 @@ pub fn run_two_sided(
             CacheMode::None => {
                 // Read every path node and every right sibling directly —
                 // the Figure 3 pathology, one block each.
-                ctx.read_own_filtered(&rec)?;
+                ctx.read_own_filtered(&rec, true)?;
                 if go_left && rec.right_cnt > 0 {
                     ctx.traverse(rec.right_pts, true)?;
                 }
@@ -95,7 +105,7 @@ pub fn run_two_sided(
                     // (the next segment's caches restart below it), so it
                     // is read directly — one paid I/O per segment.
                     ctx.drain_caches_and_seed(&rec, &sib)?;
-                    ctx.read_own_filtered(&rec)?;
+                    ctx.read_own_filtered(&rec, false)?;
                     if go_left && rec.right_cnt > 0 {
                         ctx.traverse(rec.right_pts, true)?;
                     }
@@ -105,6 +115,7 @@ pub fn run_two_sided(
 
         if crosses_page {
             cur_page_id = next.page;
+            let _lvl = pc_obs::span!("level", ctx.counters.skeletal);
             page = store.read(cur_page_id)?;
             ctx.counters.skeletal += 1;
         }
@@ -124,13 +135,26 @@ struct Ctx<'a> {
 
 impl Ctx<'_> {
     /// Reads a path node's own block and keeps the qualifying points.
-    fn read_own_filtered(&mut self, rec: &SkeletalRecord) -> Result<()> {
+    ///
+    /// `output_scan` distinguishes reads whose cost the paper amortizes
+    /// against the output (the corner's block, and every per-ancestor read
+    /// the naive variant makes — the Figure 3 pathology) from the cached
+    /// variants' segment-exit reads, which are part of the fixed
+    /// `O(1)`-per-segment search overhead and therefore never wasteful.
+    fn read_own_filtered(&mut self, rec: &SkeletalRecord, output_scan: bool) -> Result<()> {
         if rec.own_cnt == 0 {
             return Ok(());
         }
+        let _scan = if output_scan {
+            pc_obs::span!(output: "node_block")
+        } else {
+            pc_obs::span!("node_block")
+        };
+        let before = self.results.len();
         let pp = read_points_page(self.store, rec.own_pts)?;
         self.counters.node_blocks += 1;
         self.results.extend(pp.points.iter().filter(|p| self.q.contains(p)));
+        pc_obs::add_items((self.results.len() - before) as u64);
         Ok(())
     }
 
@@ -143,27 +167,37 @@ impl Ctx<'_> {
     ) -> Result<()> {
         // A-list: descending x; prefix with x >= x0 qualifies (covered
         // ancestors are all above the corner, so y >= y0 holds).
-        'a_scan: for block in rec.a_list.blocks(self.store) {
-            self.counters.cache_blocks += 1;
-            for p in block? {
-                if p.x < self.q.x0 {
-                    break 'a_scan;
-                }
-                self.results.push(p);
-            }
-        }
-        // S-list: descending y; prefix with y >= y0 qualifies (siblings lie
-        // wholly right of x0). Count per source depth for the descent rule.
         let mut qualified: HashMap<u16, u16> = HashMap::new();
-        's_scan: for block in rec.s_list.blocks(self.store) {
-            self.counters.cache_blocks += 1;
-            for e in block? {
-                if e.p.y < self.q.y0 {
-                    break 's_scan;
+        {
+            // S-blocks hold the fewer entries per page, so classifying both
+            // scans against that capacity never flags a full A-block as
+            // wasteful.
+            let _probe = pc_obs::span!("path_cache_probe");
+            pc_obs::set_block_capacity(BlockList::<SEntry>::capacity(self.store.page_size()) as u64);
+            let before = self.results.len();
+            'a_scan: for block in rec.a_list.blocks(self.store) {
+                self.counters.cache_blocks += 1;
+                for p in block? {
+                    if p.x < self.q.x0 {
+                        break 'a_scan;
+                    }
+                    self.results.push(p);
                 }
-                self.results.push(e.p);
-                *qualified.entry(e.depth).or_insert(0) += 1;
             }
+            // S-list: descending y; prefix with y >= y0 qualifies (siblings
+            // lie wholly right of x0). Count per source depth for the
+            // descent rule.
+            's_scan: for block in rec.s_list.blocks(self.store) {
+                self.counters.cache_blocks += 1;
+                for e in block? {
+                    if e.p.y < self.q.y0 {
+                        break 's_scan;
+                    }
+                    self.results.push(e.p);
+                    *qualified.entry(e.depth).or_insert(0) += 1;
+                }
+            }
+            pc_obs::add_items((self.results.len() - before) as u64);
         }
         // Descend into a sibling's children only when its region is fully
         // inside the query (§3's paid-for rule). Underfull nodes are leaves
@@ -189,6 +223,21 @@ impl Ctx<'_> {
 /// 3-sided engines — in both, visited subtrees lie wholly inside the
 /// query's x-range, so only the y-filter applies.
 pub(crate) fn traverse_descendants(
+    store: &PageStore,
+    pts_page: PageId,
+    add: bool,
+    y0: i64,
+    results: &mut Vec<Point>,
+    counters: &mut QueryCounters,
+) -> Result<()> {
+    let _span = pc_obs::span!(output: "traverse");
+    let before = results.len();
+    let r = traverse_descendants_inner(store, pts_page, add, y0, results, counters);
+    pc_obs::add_items((results.len() - before) as u64);
+    r
+}
+
+fn traverse_descendants_inner(
     store: &PageStore,
     pts_page: PageId,
     add: bool,

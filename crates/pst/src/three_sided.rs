@@ -355,6 +355,8 @@ impl ThreeSidedPst {
         q: ThreeSided,
     ) -> Result<(Vec<Point>, QueryCounters)> {
         assert!(q.x1 <= q.x2, "3-sided query bounds out of order");
+        let _span = pc_obs::span!("pst3_query");
+        pc_obs::set_block_capacity(points_capacity(store.page_size()) as u64);
         let mut ctx = TsCtx {
             store,
             q,
@@ -365,7 +367,10 @@ impl ThreeSidedPst {
 
         // --- Shared prefix -------------------------------------------------
         let mut cur_page_id = self.root_page;
-        let mut page = store.read(cur_page_id)?;
+        let mut page = {
+            let _lvl = pc_obs::span!("level", 0u64);
+            store.read(cur_page_id)?
+        };
         ctx.counters.skeletal += 1;
         let mut slot = 0u16;
         let mut inpage_depth = 0u16;
@@ -377,7 +382,7 @@ impl ThreeSidedPst {
                 // Everything below fails the y bound; the shared prefix is
                 // the whole relevant tree.
                 ctx.middle_run_desc(&rec, 0)?;
-                ctx.read_own(&rec)?;
+                ctx.read_own(&rec, true)?;
                 return Ok((ctx.results, ctx.counters));
             }
             // Routing keys: qx1 = (x1, -inf, -inf), qx2 = (x2, +inf, +inf).
@@ -387,7 +392,7 @@ impl ThreeSidedPst {
                 // Split node: middle-filter it and its covered ancestors,
                 // then walk each boundary independently.
                 ctx.middle_run_desc(&rec, 0)?;
-                ctx.read_own(&rec)?;
+                ctx.read_own(&rec, false)?;
                 let thr_left = inpage_threshold(rec.left.page, cur_page_id, inpage_depth);
                 let thr_right = inpage_threshold(rec.right.page, cur_page_id, inpage_depth);
                 ctx.boundary_walk::<true>(rec.left, thr_left, cur_page_id, &page)?;
@@ -398,9 +403,12 @@ impl ThreeSidedPst {
             if next.page != cur_page_id {
                 // Shared-segment exit: middle contributions for this page.
                 ctx.middle_run_desc(&rec, 0)?;
-                ctx.read_own(&rec)?;
+                ctx.read_own(&rec, false)?;
                 cur_page_id = next.page;
-                page = store.read(cur_page_id)?;
+                page = {
+                    let _lvl = pc_obs::span!("level", ctx.counters.skeletal);
+                    store.read(cur_page_id)?
+                };
                 ctx.counters.skeletal += 1;
                 inpage_depth = 0;
             } else {
@@ -431,13 +439,23 @@ struct TsCtx<'a> {
 
 impl TsCtx<'_> {
     /// Reads a node's own block, filtering with the full predicate.
-    fn read_own(&mut self, rec: &TsRecord) -> Result<()> {
+    ///
+    /// `output_scan` marks the corner's block (output-amortized); the
+    /// per-segment exit and split-node reads are fixed search overhead.
+    fn read_own(&mut self, rec: &TsRecord, output_scan: bool) -> Result<()> {
         if rec.own_cnt == 0 {
             return Ok(());
         }
+        let _scan = if output_scan {
+            pc_obs::span!(output: "node_block")
+        } else {
+            pc_obs::span!("node_block")
+        };
+        let before = self.results.len();
         let pp = read_points_page(self.store, rec.own_pts)?;
         self.counters.node_blocks += 1;
         self.results.extend(pp.points.iter().filter(|p| self.q.contains(p)));
+        pc_obs::add_items((self.results.len() - before) as u64);
         Ok(())
     }
 
@@ -449,6 +467,8 @@ impl TsCtx<'_> {
         if rec.a_desc.is_empty() {
             return Ok(());
         }
+        // The directory jump is navigation I/O; only the run blocks are an
+        // output scan.
         let dir = read_directory(self.store, rec.a_desc_dir)?;
         self.counters.cache_blocks += 1;
         // boundary_x is the block's smallest x (descending list): the first
@@ -456,13 +476,16 @@ impl TsCtx<'_> {
         let Some(start) = dir.iter().position(|&(bx, _)| bx <= self.q.x2) else {
             return Ok(());
         };
+        let _probe = pc_obs::span!("path_cache_probe");
+        pc_obs::set_block_capacity(BlockList::<SEntry>::capacity(self.store.page_size()) as u64);
+        let before = self.results.len();
         let mut next = dir[start].1;
-        while !next.is_null() {
+        'run: while !next.is_null() {
             let (entries, nxt) = BlockList::<SEntry>::read_block(self.store, next)?;
             self.counters.cache_blocks += 1;
             for e in entries {
                 if e.p.x < self.q.x1 {
-                    return Ok(());
+                    break 'run;
                 }
                 if e.p.x <= self.q.x2 && e.depth >= min_depth {
                     self.results.push(e.p);
@@ -470,6 +493,7 @@ impl TsCtx<'_> {
             }
             next = nxt;
         }
+        pc_obs::add_items((self.results.len() - before) as u64);
         Ok(())
     }
 
@@ -485,13 +509,16 @@ impl TsCtx<'_> {
         let Some(start) = dir.iter().position(|&(bx, _)| bx >= self.q.x1) else {
             return Ok(());
         };
+        let _probe = pc_obs::span!("path_cache_probe");
+        pc_obs::set_block_capacity(BlockList::<SEntry>::capacity(self.store.page_size()) as u64);
+        let before = self.results.len();
         let mut next = dir[start].1;
-        while !next.is_null() {
+        'run: while !next.is_null() {
             let (entries, nxt) = BlockList::<SEntry>::read_block(self.store, next)?;
             self.counters.cache_blocks += 1;
             for e in entries {
                 if e.p.x > self.q.x2 {
-                    return Ok(());
+                    break 'run;
                 }
                 if e.p.x >= self.q.x1 && e.depth >= min_depth {
                     self.results.push(e.p);
@@ -499,6 +526,7 @@ impl TsCtx<'_> {
             }
             next = nxt;
         }
+        pc_obs::add_items((self.results.len() - before) as u64);
         Ok(())
     }
 
@@ -528,15 +556,23 @@ impl TsCtx<'_> {
         let list = if LEFT { right_sibs } else { left_sibs };
 
         let mut qualified: HashMap<u16, u16> = HashMap::new();
-        's_scan: for block in list.blocks(self.store) {
-            self.counters.cache_blocks += 1;
-            for e in block? {
-                if e.p.y < self.q.y0 {
-                    break 's_scan;
+        {
+            let _probe = pc_obs::span!("path_cache_probe");
+            pc_obs::set_block_capacity(
+                BlockList::<SEntry>::capacity(self.store.page_size()) as u64
+            );
+            let before = self.results.len();
+            's_scan: for block in list.blocks(self.store) {
+                self.counters.cache_blocks += 1;
+                for e in block? {
+                    if e.p.y < self.q.y0 {
+                        break 's_scan;
+                    }
+                    self.results.push(e.p);
+                    *qualified.entry(e.depth).or_insert(0) += 1;
                 }
-                self.results.push(e.p);
-                *qualified.entry(e.depth).or_insert(0) += 1;
             }
+            pc_obs::add_items((self.results.len() - before) as u64);
         }
         for (d, cnt) in qualified {
             let &(pts, total) = sib.get(&d).expect("S entries come from recorded siblings");
@@ -573,7 +609,10 @@ impl TsCtx<'_> {
             page = split_page.clone();
         } else {
             cur_page_id = start.page;
-            page = self.store.read(cur_page_id)?;
+            page = {
+                let _lvl = pc_obs::span!("level", self.counters.skeletal);
+                self.store.read(cur_page_id)?
+            };
             self.counters.skeletal += 1;
         }
         let mut slot = start.slot;
@@ -593,7 +632,7 @@ impl TsCtx<'_> {
                     self.middle_run_asc(&rec, threshold)?;
                 }
                 self.drain_s::<LEFT>(&rec, threshold, &sib)?;
-                self.read_own(&rec)?;
+                self.read_own(&rec, true)?;
                 return Ok(());
             }
             // Route by this walk's boundary.
@@ -616,7 +655,7 @@ impl TsCtx<'_> {
                     self.middle_run_asc(&rec, threshold)?;
                 }
                 self.drain_s::<LEFT>(&rec, threshold, &sib)?;
-                self.read_own(&rec)?;
+                self.read_own(&rec, false)?;
                 // The exit's inside sibling belongs to no S-list below it.
                 if let Some((pts, _)) = inside_sib {
                     traverse_descendants(
@@ -631,7 +670,10 @@ impl TsCtx<'_> {
                 sib.clear();
                 threshold = 0;
                 cur_page_id = next.page;
-                page = self.store.read(cur_page_id)?;
+                page = {
+                    let _lvl = pc_obs::span!("level", self.counters.skeletal);
+                    self.store.read(cur_page_id)?
+                };
                 self.counters.skeletal += 1;
                 inpage_depth = 0;
                 slot = next.slot;

@@ -436,13 +436,19 @@ pub(crate) fn run_region_query(
     counters: &mut QueryCounters,
     pending: &mut Vec<UpdateRec>,
 ) -> Result<()> {
+    // Nested region levels open nested spans; each sets its own B.
+    let _span = pc_obs::span!("pst_region");
+    pc_obs::set_block_capacity(block_capacity(store.page_size()) as u64);
     // In-page ancestor info by depth: X-list; sibling info by depth:
     // (Y-list, count, is_leaf, skeletal ref).
     let mut anc: HashMap<u16, BlockList<Point>> = HashMap::new();
     let mut sib: HashMap<u16, (BlockList<Point>, u16, bool, NodeRef)> = HashMap::new();
 
     let mut cur_page_id = root_page;
-    let mut page = store.read(cur_page_id)?;
+    let mut page = {
+        let _lvl = pc_obs::span!("level", 0u64);
+        store.read(cur_page_id)?
+    };
     counters.skeletal += 1;
     collect_page_buffer(store, &page, counters, pending)?;
     let mut slot = 0u16;
@@ -498,7 +504,10 @@ pub(crate) fn run_region_query(
             anc.clear();
             sib.clear();
             cur_page_id = next.page;
-            page = store.read(cur_page_id)?;
+            page = {
+                let _lvl = pc_obs::span!("level", counters.skeletal);
+                store.read(cur_page_id)?
+            };
             counters.skeletal += 1;
             collect_page_buffer(store, &page, counters, pending)?;
             slot = next.slot;
@@ -614,6 +623,7 @@ impl TlCtx<'_> {
     /// Scans an X-list prefix (descending x) starting at `skip` blocks,
     /// keeping points with `x >= x0` and stopping at the first failure.
     fn scan_x_prefix(&mut self, list: &BlockList<Point>, skip: usize) -> Result<u64> {
+        let _scan = pc_obs::span!(output: "list_scan");
         let mut kept = 0u64;
         let mut blocks = list.blocks(self.store);
         for _ in 0..skip {
@@ -621,22 +631,27 @@ impl TlCtx<'_> {
                 return Ok(0);
             }
         }
-        for block in blocks {
+        'scan: for block in blocks {
             self.counters.node_blocks += 1;
             for p in block? {
                 if p.x < self.q.x0 {
-                    return Ok(kept);
+                    break 'scan;
                 }
                 self.results.push(p);
                 kept += 1;
             }
         }
+        pc_obs::add_items(kept);
         Ok(kept)
     }
 
     /// Scans a Y-list prefix (descending y), keeping points with
     /// `y >= y0`. Returns the number kept.
     fn scan_y_prefix(&mut self, list: &BlockList<Point>, skip: usize, add: bool) -> Result<u64> {
+        // `kept` counts qualifying points even when `add` is false (they
+        // were already reported from an S-cache): the reads still produce
+        // useful entries, so they are not wasteful.
+        let _scan = pc_obs::span!(output: "list_scan");
         let mut kept = 0u64;
         let mut blocks = list.blocks(self.store);
         for _ in 0..skip {
@@ -644,11 +659,11 @@ impl TlCtx<'_> {
                 return Ok(0);
             }
         }
-        for block in blocks {
+        'scan: for block in blocks {
             self.counters.node_blocks += 1;
             for p in block? {
                 if p.y < self.q.y0 {
-                    return Ok(kept);
+                    break 'scan;
                 }
                 if add {
                     self.results.push(p);
@@ -656,6 +671,7 @@ impl TlCtx<'_> {
                 kept += 1;
             }
         }
+        pc_obs::add_items(kept);
         Ok(kept)
     }
 
@@ -669,15 +685,23 @@ impl TlCtx<'_> {
     ) -> Result<()> {
         // A-cache: first blocks of ancestors' X-lists, descending x.
         let mut a_qualified: HashMap<u16, u64> = HashMap::new();
-        'a_scan: for block in rec.a_list.blocks(self.store) {
-            self.counters.cache_blocks += 1;
-            for e in block? {
-                if e.p.x < self.q.x0 {
-                    break 'a_scan;
+        {
+            let _probe = pc_obs::span!("path_cache_probe");
+            pc_obs::set_block_capacity(
+                BlockList::<SEntry>::capacity(self.store.page_size()) as u64
+            );
+            let before = self.results.len();
+            'a_scan: for block in rec.a_list.blocks(self.store) {
+                self.counters.cache_blocks += 1;
+                for e in block? {
+                    if e.p.x < self.q.x0 {
+                        break 'a_scan;
+                    }
+                    self.results.push(e.p);
+                    *a_qualified.entry(e.depth).or_insert(0) += 1;
                 }
-                self.results.push(e.p);
-                *a_qualified.entry(e.depth).or_insert(0) += 1;
             }
+            pc_obs::add_items((self.results.len() - before) as u64);
         }
         for (d, cnt) in a_qualified {
             let list = anc.get(&d).expect("A entries come from recorded ancestors");
@@ -689,15 +713,23 @@ impl TlCtx<'_> {
 
         // S-cache: first blocks of siblings' Y-lists, descending y.
         let mut s_qualified: HashMap<u16, u64> = HashMap::new();
-        's_scan: for block in rec.s_list.blocks(self.store) {
-            self.counters.cache_blocks += 1;
-            for e in block? {
-                if e.p.y < self.q.y0 {
-                    break 's_scan;
+        {
+            let _probe = pc_obs::span!("path_cache_probe");
+            pc_obs::set_block_capacity(
+                BlockList::<SEntry>::capacity(self.store.page_size()) as u64
+            );
+            let before = self.results.len();
+            's_scan: for block in rec.s_list.blocks(self.store) {
+                self.counters.cache_blocks += 1;
+                for e in block? {
+                    if e.p.y < self.q.y0 {
+                        break 's_scan;
+                    }
+                    self.results.push(e.p);
+                    *s_qualified.entry(e.depth).or_insert(0) += 1;
                 }
-                self.results.push(e.p);
-                *s_qualified.entry(e.depth).or_insert(0) += 1;
             }
+            pc_obs::add_items((self.results.len() - before) as u64);
         }
         for (d, cnt) in s_qualified {
             let (list, total, is_leaf, sref) =

@@ -93,6 +93,8 @@ impl Engine<'_> {
     /// Reads a whole block list, classifying each block as useful/wasteful.
     fn drain_list(&self, list: &BlockList<Interval>, profile: &mut QueryProfile) -> Result<()> {
         let cap = BlockList::<Interval>::capacity(self.store.page_size());
+        let _span = pc_obs::span!(output: "cover_list");
+        pc_obs::set_block_capacity(cap as u64);
         for block in list.blocks(self.store) {
             let block = block?;
             if block.len() == cap {
@@ -100,6 +102,7 @@ impl Engine<'_> {
             } else {
                 profile.wasteful_ios += 1;
             }
+            pc_obs::add_items(block.len() as u64);
             profile.results.extend(block);
         }
         Ok(())
@@ -119,12 +122,17 @@ impl Engine<'_> {
             return Ok(());
         }
         if dir_cache.is_none() {
+            // Loaded before the output span opens: the directory read is a
+            // navigation I/O, exactly as `search_ios` classifies it.
             let dir_id = decode_shared_dir_id(page)?;
             *dir_cache = Some(read_shared_dir(self.store, dir_id)?);
         }
         let dir = dir_cache.as_ref().expect("just loaded");
-        let (entries, blocks) = read_shared_range(self.store, dir, off, len)?;
         let cap = shared_page_capacity(self.store.page_size()) as u64;
+        let _span = pc_obs::span!(output: "shared_scan");
+        pc_obs::set_block_capacity(cap);
+        let (entries, blocks) = read_shared_range(self.store, dir, off, len)?;
+        pc_obs::add_items(entries.len() as u64);
         let useful = u64::from(len) / cap;
         profile.useful_ios += useful;
         profile.wasteful_ios += blocks - useful;
@@ -133,6 +141,7 @@ impl Engine<'_> {
     }
 
     fn stab(&self, q: i64) -> Result<QueryProfile> {
+        let _span = pc_obs::span!("segtree_stab");
         let mut profile = QueryProfile::default();
         let before = self.store.stats();
         let target = self.slab_of_query(q)?;
@@ -142,7 +151,11 @@ impl Engine<'_> {
         // Slot through which the path entered the current page; its record
         // carries the above-path cache for this page visit.
         let mut entry_slot = 0u16;
-        let mut page = self.store.read(cur_page)?;
+        let mut skeletal_depth = 0u64;
+        let mut page = {
+            let _lvl = pc_obs::span!("level", skeletal_depth);
+            self.store.read(cur_page)?
+        };
         let mut dir_cache: Option<Vec<PageId>> = None;
         loop {
             let rec = decode_record(&page, cur_slot)?;
@@ -171,6 +184,8 @@ impl Engine<'_> {
             let next = if target <= rec.split { rec.left } else { rec.right };
             if next.page != cur_page {
                 cur_page = next.page;
+                skeletal_depth += 1;
+                let _lvl = pc_obs::span!("level", skeletal_depth);
                 page = self.store.read(cur_page)?;
                 dir_cache = None;
                 entry_slot = next.slot;

@@ -2,6 +2,12 @@
 //! watching the I/O counters that the paper's bounds are stated in.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! With `PC_OBS_DUMP=1` and the `obs` feature, the example exits with an
+//! observability dump — the metrics exposition plus the flight recorder's
+//! three most I/O-expensive query traces:
+//!
+//! `PC_OBS_DUMP=1 cargo run --features obs --example quickstart`
 
 use path_caching::{PageStore, Point, PointIndex, TwoSided, Variant};
 
@@ -57,5 +63,29 @@ pub fn main() -> path_caching::Result<()> {
         let hits = index.query(&store, q)?;
         println!("{:>10} {:>10} {:>12}", frac, hits.len(), store.stats().reads);
     }
+
+    obs_dump();
     Ok(())
+}
+
+/// `PC_OBS_DUMP=1` exit hook: print the metrics exposition and the flight
+/// recorder's worst queries. A no-op unless requested; with `obs` compiled
+/// out it explains how to get a live dump instead of printing empty output.
+fn obs_dump() {
+    if std::env::var("PC_OBS_DUMP").as_deref() != Ok("1") {
+        return;
+    }
+    if !pc_obs::enabled() {
+        println!(
+            "\nPC_OBS_DUMP=1 set, but this build has tracing compiled out; \
+             re-run with `--features obs` for metrics and flight traces"
+        );
+        return;
+    }
+    println!("\n=== pc-obs metrics ===");
+    print!("{}", pc_obs::render_text());
+    println!("=== flight recorder: top 3 queries by I/O ===");
+    for trace in pc_obs::flight_top(3) {
+        print!("{}", trace.render());
+    }
 }

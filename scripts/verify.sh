@@ -6,10 +6,15 @@
 # workspace-local crates — i.e. nothing resolves from crates.io or any
 # other registry. Run from anywhere; it cd's to the repo root.
 #
+# Both instrumentation modes are exercised: the default build (pc-obs
+# compiled to no-ops) and `--features obs` (live tracing/metrics).
+#
 # Usage: scripts/verify.sh [--bench]
-#   --bench   additionally run the buffer-pool scaling benchmark, which
-#             refreshes the BENCH_pool.json perf-trajectory artifact at the
-#             repo root (slow-ish; see crates/bench/benches/pool_scaling.rs).
+#   --bench   additionally run the perf-trajectory benchmarks:
+#             * pool_scaling, refreshing BENCH_pool.json;
+#             * obs_overhead in both modes, merging the two reports into
+#               BENCH_obs.json and GATING the off-mode marginal span cost
+#               at <= 1% (the "observability is free when off" contract).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,11 +33,17 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "==> cargo test -q --offline --workspace --features obs"
+cargo test -q --offline --workspace --features obs
+
 echo "==> cargo build --offline --benches (bench harness compiles)"
 cargo build --offline --benches --workspace
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo clippy --workspace --all-targets --features obs -- -D warnings"
+cargo clippy --workspace --all-targets --offline --features obs -- -D warnings
 
 echo "==> checking that the dependency graph is workspace-only"
 # Every package in the resolved graph must come from a local path source
@@ -60,4 +71,30 @@ if [ "$RUN_BENCH" = 1 ]; then
     echo "==> cargo bench -p pc-bench --bench pool_scaling (perf trajectory)"
     cargo bench --offline -p pc-bench --bench pool_scaling
     echo "OK: BENCH_pool.json refreshed"
+
+    echo "==> cargo bench -p pc-bench --bench obs_overhead (both modes)"
+    OBS_OFF_JSON="$(mktemp)"
+    OBS_ON_JSON="$(mktemp)"
+    trap 'rm -f "$OBS_OFF_JSON" "$OBS_ON_JSON"' EXIT
+    PC_BENCH_OUT="$OBS_OFF_JSON" cargo bench --offline -p pc-bench --bench obs_overhead
+    PC_BENCH_OUT="$OBS_ON_JSON" cargo bench --offline -p pc-bench --features obs --bench obs_overhead
+    # Merge the two runs into one artifact and gate the off-mode cost:
+    # with pc-obs compiled out, an extra span per op must be free (<= 1%).
+    python3 - "$OBS_OFF_JSON" "$OBS_ON_JSON" <<'PY'
+import json, sys
+off = json.load(open(sys.argv[1]))
+on = json.load(open(sys.argv[2]))
+assert off["obs_enabled"] == "false" and on["obs_enabled"] == "true", \
+    f'mode mixup: off={off["obs_enabled"]} on={on["obs_enabled"]}'
+merged = {"bench": "obs_overhead", "off": off, "on": on}
+with open("BENCH_obs.json", "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+pct = off["overhead_pct"]
+print(f'off-mode marginal span overhead: {pct:+.2f}% (gate: <= 1%)')
+print(f'on-mode marginal span overhead: {on["overhead_pct"]:+.2f}% (informational)')
+if pct > 1.0:
+    sys.exit(f"GATE FAILED: disabled-mode span overhead {pct:.2f}% > 1%")
+PY
+    echo "OK: BENCH_obs.json refreshed, off-mode overhead gate passed"
 fi

@@ -1,0 +1,125 @@
+//! Workspace-level integration tests for the `obs` tracing layer: span
+//! accounting against ground-truth `IoStats`, and the paper's headline
+//! claim (path caching kills wasteful I/O) read off the flight recorder.
+//!
+//! Everything here serializes on `pc_obs::flight_clear()` + one process
+//! lock because the metrics registry and flight recorder are global.
+#![cfg(feature = "obs")]
+
+use std::sync::Mutex;
+
+use pc_pagestore::{PageStore, Point};
+use pc_pst::{NaivePst, SegmentedPst, TwoSided};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn xorshift(state: &mut u64, bound: i64) -> i64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    (*state % bound as u64) as i64
+}
+
+fn random_points(n: usize, domain: i64, seed: u64) -> Vec<Point> {
+    let mut s = seed;
+    (0..n)
+        .map(|id| Point::new(xorshift(&mut s, domain), xorshift(&mut s, domain), id as u64))
+        .collect()
+}
+
+/// A span tree's I/O totals must equal the store's own transfer counts:
+/// the observer hook sees exactly the reads `IoStats` counts (strict
+/// mode, so there is no pool to absorb any).
+#[test]
+fn span_totals_match_store_stats_delta() {
+    let _g = lock();
+    let pts = random_points(20_000, 100_000, 0xf00d);
+    let store = PageStore::in_memory(512);
+    let seg = SegmentedPst::build(&store, &pts).unwrap();
+
+    pc_obs::flight_clear();
+    let before = store.stats();
+    let (res, counters) = seg.query_counted(&store, TwoSided { x0: 40_000, y0: 40_000 }).unwrap();
+    let delta = store.stats() - before;
+
+    let traces = pc_obs::flight_top(1);
+    assert_eq!(traces.len(), 1, "the query must be recorded");
+    let t = &traces[0];
+    assert_eq!(t.name, "pst2_segmented");
+    assert_eq!(t.total_io, delta.reads, "span subtree reads == IoStats reads");
+    assert_eq!(t.total_io, counters.total(), "span reads == QueryCounters total");
+    assert_eq!(t.items, res.len() as u64, "output spans reported every result");
+    assert!(
+        t.search_ios + t.wasteful_ios <= t.total_io,
+        "search ({}) + wasteful ({}) cannot exceed total ({})",
+        t.search_ios,
+        t.wasteful_ios,
+        t.total_io
+    );
+}
+
+/// The paper's Figure 3 pathology, observed through the tracer: on
+/// small-output queries the naive structure pays ~log n wasteful
+/// transfers while the segmented (path-cached) one stays O(1).
+#[test]
+fn cached_queries_waste_less_than_naive() {
+    let _g = lock();
+    let pts = random_points(200_000, 1_000_000, 0xbeef);
+    let store = PageStore::in_memory(4096);
+    let naive = NaivePst::build(&store, &pts).unwrap();
+    let seg = SegmentedPst::build(&store, &pts).unwrap();
+
+    let mut s = 0x1234u64;
+    let mut naive_waste = 0u64;
+    let mut seg_waste = 0u64;
+    for _ in 0..20 {
+        // Just beyond the domain: empty output, deepest corner.
+        let q = TwoSided { x0: 1_000_001 + xorshift(&mut s, 100), y0: 0 };
+
+        pc_obs::flight_clear();
+        naive.query_counted(&store, q).unwrap();
+        let t = &pc_obs::flight_top(1)[0];
+        assert_eq!(t.name, "pst2_naive");
+        naive_waste += t.wasteful_ios;
+
+        pc_obs::flight_clear();
+        seg.query_counted(&store, q).unwrap();
+        let t = &pc_obs::flight_top(1)[0];
+        assert_eq!(t.name, "pst2_segmented");
+        seg_waste += t.wasteful_ios;
+    }
+    assert!(
+        naive_waste > 4 * seg_waste.max(1),
+        "naive wasteful I/O ({naive_waste}) should dwarf path-cached ({seg_waste})"
+    );
+}
+
+/// The global metrics registry aggregates per-query facts: ops counted,
+/// wasteful I/O attributed, histograms populated, exposition rendered.
+#[test]
+fn registry_reflects_query_activity() {
+    let _g = lock();
+    let pts = random_points(5_000, 50_000, 0xabc);
+    let store = PageStore::in_memory(512);
+    let seg = SegmentedPst::build(&store, &pts).unwrap();
+
+    let before = pc_obs::snapshot();
+    for i in 0..10 {
+        seg.query(&store, TwoSided { x0: i * 1000, y0: i * 1000 }).unwrap();
+    }
+    let after = pc_obs::snapshot();
+
+    assert_eq!(after.counter("pc_ops_total") - before.counter("pc_ops_total"), 10);
+    assert!(after.counter("pc_io_reads_total") > before.counter("pc_io_reads_total"));
+    let hist = after.histogram("pc_op_total_io").expect("op I/O histogram exists");
+    assert!(hist.count >= before.histogram("pc_op_total_io").map_or(0, |h| h.count) + 10);
+
+    let text = pc_obs::render_text();
+    assert!(text.contains("pc_ops_total"));
+    assert!(text.contains("pc_op_latency_ns_bucket"));
+    assert!(text.contains("pc_pool_hit_ratio"));
+}
