@@ -1,5 +1,5 @@
 //! The paper-experiment harness: one sub-command per experiment in
-//! DESIGN.md's index (E1–E17), each regenerating the measurements recorded
+//! DESIGN.md's index (E1–E18), each regenerating the measurements recorded
 //! in EXPERIMENTS.md.
 //!
 //! ```text
@@ -10,7 +10,14 @@
 //! All measurements are page-transfer counts in the strict I/O model
 //! (pool-less [`PageStore`]); the paper's bounds are printed alongside.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use pc_bench::{f1, f2, log_base, to_intervals, to_points, Table};
+use pc_pagestore::backend::MemBackend;
+use pc_pagestore::{
+    FaultBackend, FaultPlan, Interval, MirrorBackend, RetryPolicy, StoreConfig, StoreError,
+};
+use pc_rng::Rng;
 use pc_btree::BTree;
 use pc_intervaltree::ExternalIntervalTree;
 use pc_pagestore::{PageStore, Point};
@@ -32,7 +39,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-        "e14", "e15", "e16", "e17",
+        "e14", "e15", "e16", "e17", "e18",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -58,6 +65,7 @@ fn main() {
             "e15" => e15_parallel_throughput(),
             "e16" => e16_buffer_pool(),
             "e17" => e17_page_size_ablation(),
+            "e18" => e18_chaos_resilience(),
             other => eprintln!("unknown experiment {other}"),
         }
     }
@@ -774,6 +782,279 @@ fn e17_page_size_ablation() {
             f1(seg_io),
             f2(naive_io / seg_io),
             seg_store.live_pages().to_string(),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E18: chaos — seeded fault injection across every structure
+// ---------------------------------------------------------------------------
+
+/// One structure's deterministic chaos workload: build + mutate + query,
+/// one canonical log line per completed operation. Randomness comes from
+/// the seed alone (never the store), so the op sequence is identical with
+/// and without faults and the fault-free log is a golden reference.
+type ChaosScenario = fn(&PageStore, u64, &mut Vec<String>) -> Result<(), StoreError>;
+
+fn chaos_ids(mut ids: Vec<u64>) -> String {
+    ids.sort_unstable();
+    format!("{ids:?}")
+}
+
+fn chaos_points(rng: &mut Rng, n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new(rng.gen_range(0i64..400), rng.gen_range(0i64..400), i as u64))
+        .collect()
+}
+
+fn chaos_intervals(rng: &mut Rng, n: usize) -> Vec<Interval> {
+    (0..n)
+        .map(|i| {
+            let lo = rng.gen_range(0i64..400);
+            Interval::new(lo, lo + rng.gen_range(0i64..120), i as u64)
+        })
+        .collect()
+}
+
+fn chaos_btree(store: &PageStore, seed: u64, log: &mut Vec<String>) -> Result<(), StoreError> {
+    let mut rng = Rng::seed_from_u64(seed ^ 0xb7ee);
+    let mut entries: Vec<(i64, u64)> =
+        (0..300).map(|_| rng.gen_range(-500i64..500)).map(|k| (k, k.unsigned_abs())).collect();
+    entries.sort_unstable();
+    entries.dedup_by_key(|e| e.0);
+    let mut tree = BTree::bulk_build(store, &entries)?;
+    for _ in 0..50 {
+        let k = rng.gen_range(-600i64..600);
+        tree.insert(store, k, k.unsigned_abs())?;
+        log.push(format!("insert {k} len={}", tree.len()));
+    }
+    for _ in 0..15 {
+        let k = rng.gen_range(-600i64..600);
+        log.push(format!("delete {k}: {:?}", tree.delete(store, &k)?));
+    }
+    for _ in 0..15 {
+        let lo = rng.gen_range(-650i64..650);
+        let hi = lo + rng.gen_range(0i64..300);
+        log.push(format!("range {lo}..={hi}: {:?}", tree.range(store, &lo, &hi)?));
+    }
+    Ok(())
+}
+
+fn chaos_stab<T>(
+    build: impl FnOnce(&PageStore, &[Interval]) -> pc_pagestore::Result<T>,
+    stab: impl Fn(&T, &PageStore, i64) -> pc_pagestore::Result<Vec<Interval>>,
+    salt: u64,
+) -> impl FnOnce(&PageStore, u64, &mut Vec<String>) -> Result<(), StoreError> {
+    move |store, seed, log| {
+        let mut rng = Rng::seed_from_u64(seed ^ salt);
+        let intervals = chaos_intervals(&mut rng, 200);
+        let tree = build(store, &intervals)?;
+        for _ in 0..20 {
+            let q = rng.gen_range(-20i64..540);
+            let got = stab(&tree, store, q)?;
+            log.push(format!("stab {q}: {}", chaos_ids(got.iter().map(|iv| iv.id).collect())));
+        }
+        Ok(())
+    }
+}
+
+fn chaos_naive_segtree(s: &PageStore, seed: u64, l: &mut Vec<String>) -> Result<(), StoreError> {
+    chaos_stab(NaiveSegmentTree::build, |t, s, q| t.stab(s, q), 0x5e67)(s, seed, l)
+}
+
+fn chaos_cached_segtree(s: &PageStore, seed: u64, l: &mut Vec<String>) -> Result<(), StoreError> {
+    chaos_stab(CachedSegmentTree::build, |t, s, q| t.stab(s, q), 0xcac4)(s, seed, l)
+}
+
+fn chaos_interval_tree(s: &PageStore, seed: u64, l: &mut Vec<String>) -> Result<(), StoreError> {
+    chaos_stab(ExternalIntervalTree::build, |t, s, q| t.stab(s, q), 0x17ee)(s, seed, l)
+}
+
+fn chaos_two_sided<T>(
+    build: impl FnOnce(&PageStore, &[Point]) -> pc_pagestore::Result<T>,
+    query: impl Fn(&T, &PageStore, TwoSided) -> pc_pagestore::Result<Vec<Point>>,
+    salt: u64,
+) -> impl FnOnce(&PageStore, u64, &mut Vec<String>) -> Result<(), StoreError> {
+    move |store, seed, log| {
+        let mut rng = Rng::seed_from_u64(seed ^ salt);
+        let points = chaos_points(&mut rng, 300);
+        let pst = build(store, &points)?;
+        for _ in 0..20 {
+            let q = TwoSided { x0: rng.gen_range(-20i64..420), y0: rng.gen_range(-20i64..420) };
+            let got = query(&pst, store, q)?;
+            log.push(format!("{q:?}: {}", chaos_ids(got.iter().map(|p| p.id).collect())));
+        }
+        Ok(())
+    }
+}
+
+fn chaos_segmented_pst(s: &PageStore, seed: u64, l: &mut Vec<String>) -> Result<(), StoreError> {
+    chaos_two_sided(SegmentedPst::build, |t, s, q| t.query(s, q), 0x5e91)(s, seed, l)
+}
+
+fn chaos_two_level_pst(s: &PageStore, seed: u64, l: &mut Vec<String>) -> Result<(), StoreError> {
+    chaos_two_sided(TwoLevelPst::build, |t, s, q| t.query(s, q), 0x2011)(s, seed, l)
+}
+
+fn chaos_three_sided(store: &PageStore, seed: u64, log: &mut Vec<String>) -> Result<(), StoreError> {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x3510);
+    let points = chaos_points(&mut rng, 300);
+    let pst = ThreeSidedPst::build(store, &points)?;
+    for _ in 0..20 {
+        let x1 = rng.gen_range(-20i64..420);
+        let q =
+            ThreeSided { x1, x2: x1 + rng.gen_range(0i64..200), y0: rng.gen_range(-20i64..420) };
+        let got = pst.query(store, q)?;
+        log.push(format!("{q:?}: {}", chaos_ids(got.iter().map(|p| p.id).collect())));
+    }
+    Ok(())
+}
+
+fn chaos_dynamic_pst(store: &PageStore, seed: u64, log: &mut Vec<String>) -> Result<(), StoreError> {
+    let mut rng = Rng::seed_from_u64(seed ^ 0xd12d);
+    let points = chaos_points(&mut rng, 240);
+    let (base, rest) = points.split_at(140);
+    let mut pst = DynamicPst::build(store, base)?;
+    for &p in rest {
+        pst.insert(store, p)?;
+    }
+    for p in points.iter().step_by(5) {
+        pst.delete(store, *p)?;
+    }
+    for _ in 0..15 {
+        let q = TwoSided { x0: rng.gen_range(-20i64..420), y0: rng.gen_range(-20i64..420) };
+        let got = pst.query(store, q)?;
+        log.push(format!("{q:?}: {}", chaos_ids(got.iter().map(|p| p.id).collect())));
+    }
+    Ok(())
+}
+
+fn chaos_dynamic_3s(store: &PageStore, seed: u64, log: &mut Vec<String>) -> Result<(), StoreError> {
+    let mut rng = Rng::seed_from_u64(seed ^ 0xd35d);
+    let points = chaos_points(&mut rng, 240);
+    let (base, rest) = points.split_at(140);
+    let mut pst = DynamicThreeSidedPst::build(store, base)?;
+    for &p in rest {
+        pst.insert(store, p)?;
+    }
+    for p in points.iter().step_by(7) {
+        pst.delete(store, *p)?;
+    }
+    for _ in 0..15 {
+        let x1 = rng.gen_range(-20i64..420);
+        let q =
+            ThreeSided { x1, x2: x1 + rng.gen_range(0i64..200), y0: rng.gen_range(-20i64..420) };
+        let got = pst.query(store, q)?;
+        log.push(format!("{q:?}: {}", chaos_ids(got.iter().map(|p| p.id).collect())));
+    }
+    Ok(())
+}
+
+/// Runs a chaos scenario, converting a panic into a counted outcome.
+#[allow(clippy::type_complexity)]
+fn chaos_run(
+    f: ChaosScenario,
+    store: &PageStore,
+    seed: u64,
+) -> (Vec<String>, Result<(), StoreError>, bool) {
+    let mut log = Vec::new();
+    match catch_unwind(AssertUnwindSafe(|| f(store, seed, &mut log))) {
+        Ok(outcome) => (log, outcome, false),
+        Err(_) => (log, Ok(()), true),
+    }
+}
+
+fn e18_chaos_resilience() {
+    println!("## E18 — chaos: seeded faults vs the retry/failover/repair layer (§9)\n");
+    println!(
+        "fixed seed {CHAOS_SEED:#x}; mirrored = 2 replicas, shared seed, phases 0.5 apart\n\
+         (transients 1%, torn writes 4%), retries<=6: must be bit-identical to fault-free.\n\
+         single = one backend, 1% each of transient/torn/rot faults, default retries: may\n\
+         abort, but only cleanly and only after a correct prefix. mismatch + panics stay 0\n"
+    );
+    const CHAOS_SEED: u64 = 0x00C0_FFEE;
+    let scenarios: &[(&str, ChaosScenario)] = &[
+        ("btree", chaos_btree),
+        ("naive-segtree", chaos_naive_segtree),
+        ("cached-segtree", chaos_cached_segtree),
+        ("interval-tree", chaos_interval_tree),
+        ("segmented-pst", chaos_segmented_pst),
+        ("two-level-pst", chaos_two_level_pst),
+        ("three-sided-pst", chaos_three_sided),
+        ("dynamic-pst", chaos_dynamic_pst),
+        ("dynamic-3s-pst", chaos_dynamic_3s),
+    ];
+    let mut table = Table::new(&[
+        "structure", "ops", "injected", "retries", "failovers", "repairs", "clean err",
+        "mismatch", "panics",
+    ]);
+    for &(name, f) in scenarios {
+        let golden_store = PageStore::in_memory(PAGE);
+        let (golden, outcome, panicked) = chaos_run(f, &golden_store, CHAOS_SEED);
+        assert!(outcome.is_ok() && !panicked, "fault-free golden run failed for {name}");
+
+        let (mut mismatches, mut panics) = (0u64, 0u64);
+
+        // Mirrored run: phased silent corruption must be fully masked.
+        let plan_a = FaultPlan {
+            read_transient_p: 0.01,
+            write_transient_p: 0.01,
+            torn_write_p: 0.04,
+            ..FaultPlan::none(CHAOS_SEED)
+        };
+        let ra = FaultBackend::new(Box::new(MemBackend::new(PAGE + 8)), plan_a);
+        let rb = FaultBackend::new(Box::new(MemBackend::new(PAGE + 8)), plan_a.with_phase(0.5));
+        let (ha, hb) = (ra.handle(), rb.handle());
+        let mirror = MirrorBackend::new(vec![Box::new(ra), Box::new(rb)]);
+        let store = PageStore::new(
+            StoreConfig::strict(PAGE).with_retry(RetryPolicy { max_attempts: 6, backoff: None }),
+            Box::new(mirror),
+        );
+        let (log, outcome, panicked) = chaos_run(f, &store, CHAOS_SEED);
+        panics += panicked as u64;
+        if outcome.is_err() || (!panicked && log != golden) {
+            mismatches += 1;
+        }
+        let s = store.stats();
+        let mut injected = ha.injected().total() + hb.injected().total();
+        let mut retries = s.retries;
+
+        // Single-backend run: faults may surface, but only as clean errors
+        // after a correct prefix.
+        let plan = FaultPlan {
+            read_transient_p: 0.01,
+            write_transient_p: 0.01,
+            torn_write_p: 0.01,
+            bit_rot_p: 0.01,
+            ..FaultPlan::none(CHAOS_SEED)
+        };
+        let single = FaultBackend::new(Box::new(MemBackend::new(PAGE + 8)), plan);
+        let h = single.handle();
+        let store = PageStore::new(
+            StoreConfig::strict(PAGE).with_retry(RetryPolicy::default()),
+            Box::new(single),
+        );
+        let (log, outcome, panicked) = chaos_run(f, &store, CHAOS_SEED);
+        panics += panicked as u64;
+        let clean_err = u64::from(!panicked && outcome.is_err());
+        let prefix_ok = log.len() <= golden.len() && log[..] == golden[..log.len()];
+        if !panicked && !prefix_ok {
+            mismatches += 1;
+        }
+        injected += h.injected().total();
+        retries += store.stats().retries;
+
+        table.row(vec![
+            name.to_string(),
+            golden.len().to_string(),
+            injected.to_string(),
+            retries.to_string(),
+            s.failovers.to_string(),
+            s.repairs.to_string(),
+            clean_err.to_string(),
+            mismatches.to_string(),
+            panics.to_string(),
         ]);
     }
     table.print();

@@ -371,6 +371,22 @@ macro_rules! span {
     };
 }
 
+/// Registry names for the pagestore fault-tolerance counters, collected
+/// here so dashboards, tests, and the emitting code can never drift apart.
+/// All are monotonic totals; see DESIGN.md §9 "Fault model & recovery".
+pub mod fault_metrics {
+    /// Extra backend attempts issued by the store's bounded-retry loop.
+    pub const RETRIES: &str = "pc_store_retries_total";
+    /// Pages moved into the store's quarantine set (retry budget exhausted).
+    pub const QUARANTINED: &str = "pc_store_quarantined_total";
+    /// Mirror reads served by a non-primary replica.
+    pub const FAILOVERS: &str = "pc_mirror_failovers_total";
+    /// Replica frames rewritten from a good copy (read-repair or scrub).
+    pub const REPAIRS: &str = "pc_mirror_repairs_total";
+    /// Faults injected by `FaultBackend` (all kinds, all ops).
+    pub const INJECTED: &str = "pc_fault_injected_total";
+}
+
 #[cfg(feature = "obs")]
 mod metrics;
 #[cfg(feature = "obs")]

@@ -14,8 +14,35 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use pc_sync::RwLock;
 
-use crate::error::Result;
+use crate::error::{Result, StoreError};
 use crate::store::PageId;
+
+pub use crate::fault::{FaultBackend, FaultHandle, FaultPlan, InjectionStats};
+pub use crate::mirror::MirrorBackend;
+
+/// Counters exposed by resilient backends. Plain backends report zeroes;
+/// [`MirrorBackend`] counts read failovers and replica repairs, and the
+/// store folds these into [`crate::IoStats`] on snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Reads the first replica could not serve that a later replica did.
+    pub failovers: u64,
+    /// Replica frames rewritten from a known-good copy (read-repair or
+    /// [`Backend::scrub`]).
+    pub repairs: u64,
+}
+
+/// Outcome of one [`Backend::scrub`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Frames examined (for a mirror: distinct frame ordinals, not
+    /// per-replica reads).
+    pub frames_checked: u64,
+    /// Frames where at least one bad replica was rewritten from a good one.
+    pub repaired: u64,
+    /// Frames where no replica held a valid copy; left untouched.
+    pub unrecoverable: u64,
+}
 
 /// A linear array of fixed-size frames addressed by page id.
 ///
@@ -41,6 +68,23 @@ pub trait Backend: Send + Sync {
     /// Number of frames this backend has capacity for right now (grows on
     /// demand); used only for diagnostics.
     fn frame_count(&self) -> u64;
+
+    /// Failover/repair counters since construction (or the last
+    /// [`Backend::reset_resilience_stats`]). Zero for non-replicated
+    /// backends; decorators forward to their inner backend.
+    fn resilience_stats(&self) -> ResilienceStats {
+        ResilienceStats::default()
+    }
+
+    /// Resets [`Backend::resilience_stats`] to zero.
+    fn reset_resilience_stats(&self) {}
+
+    /// Verifies stored redundancy and repairs what it can. A plain backend
+    /// has no redundancy, so the default checks nothing and repairs
+    /// nothing; [`MirrorBackend`] rewrites bad replicas from good ones.
+    fn scrub(&self) -> Result<ScrubReport> {
+        Ok(ScrubReport::default())
+    }
 }
 
 /// Heap-backed backend: the "disk" is a vector of frames behind a
@@ -101,18 +145,42 @@ impl Backend for MemBackend {
 /// File-backed backend using positional reads/writes on a single file
 /// (`pread`/`pwrite`-style, so concurrent access needs no seeking lock).
 ///
-/// Frame `i` lives at byte offset `i * frame_size`. This backend exists to
+/// The file starts with a 64-byte superblock (magic + `frame_size`) so a
+/// reopen with a different frame size fails with [`StoreError::Corrupt`]
+/// instead of silently misaddressing every frame; frame `i` lives at byte
+/// offset `SUPERBLOCK_LEN + i * frame_size`. This backend exists to
 /// demonstrate that every structure in the workspace runs unmodified
 /// against a real disk file; experiments use [`MemBackend`] because only
 /// transfer *counts* matter in the paper's model.
+///
+/// **Migration note:** files written before the superblock existed have
+/// frame 0 at offset 0 and no magic, so opening one fails the magic check.
+/// Recover by prepending a 64-byte header (magic `PCPSTOR1`, then the
+/// original frame size as a little-endian `u64`, zero padding) — e.g.
+/// `(printf 'PCPSTOR1'; python3 -c "import sys;
+/// sys.stdout.buffer.write((4104).to_bytes(8,'little')+bytes(48))";
+/// cat old.bin) > new.bin` — or by rebuilding the file from source data.
+#[derive(Debug)]
 pub struct FileBackend {
     file: File,
     frame_size: usize,
     frames: AtomicU64,
 }
 
+/// Bytes reserved at the front of a [`FileBackend`] file for the
+/// superblock: 8-byte magic, 8-byte little-endian frame size, zero padding.
+pub const SUPERBLOCK_LEN: u64 = 64;
+
+const SUPERBLOCK_MAGIC: &[u8; 8] = b"PCPSTOR1";
+
 impl FileBackend {
     /// Opens (creating if necessary) `path` as a frame file.
+    ///
+    /// A new or empty file gets a superblock recording `frame_size`; an
+    /// existing file must carry a matching superblock, otherwise this
+    /// returns [`StoreError::Corrupt`] (wrong frame size, a pre-superblock
+    /// file — see the migration note on [`FileBackend`] — or not a frame
+    /// file at all).
     pub fn open(path: &Path, frame_size: usize) -> Result<Self> {
         let file = OpenOptions::new()
             .read(true)
@@ -121,7 +189,38 @@ impl FileBackend {
             .truncate(false)
             .open(path)?;
         let len = file.metadata()?.len();
-        Ok(FileBackend { file, frame_size, frames: AtomicU64::new(len / frame_size as u64) })
+        if len == 0 {
+            let mut sb = [0u8; SUPERBLOCK_LEN as usize];
+            sb[..8].copy_from_slice(SUPERBLOCK_MAGIC);
+            sb[8..16].copy_from_slice(&(frame_size as u64).to_le_bytes());
+            write_at(&file, &sb, 0)?;
+            file.sync_data()?;
+            return Ok(FileBackend { file, frame_size, frames: AtomicU64::new(0) });
+        }
+        let mut sb = [0u8; SUPERBLOCK_LEN as usize];
+        if len < SUPERBLOCK_LEN || {
+            read_at(&file, &mut sb, 0)?;
+            &sb[..8] != SUPERBLOCK_MAGIC
+        } {
+            return Err(StoreError::Corrupt(format!(
+                "{} is not a frame file: superblock magic missing (pre-superblock \
+                 files need a 64-byte header prepended; see FileBackend docs)",
+                path.display()
+            )));
+        }
+        let stored = u64::from_le_bytes(sb[8..16].try_into().unwrap());
+        if stored != frame_size as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "{} was written with frame_size {stored}, reopened with {frame_size}",
+                path.display()
+            )));
+        }
+        let frames = (len - SUPERBLOCK_LEN) / frame_size as u64;
+        Ok(FileBackend { file, frame_size, frames: AtomicU64::new(frames) })
+    }
+
+    fn frame_offset(&self, id: PageId) -> u64 {
+        SUPERBLOCK_LEN + id.0 * self.frame_size as u64
     }
 }
 
@@ -151,13 +250,13 @@ impl Backend for FileBackend {
             buf.fill(0);
             return Ok(());
         }
-        read_at(&self.file, buf, id.0 * self.frame_size as u64)?;
+        read_at(&self.file, buf, self.frame_offset(id))?;
         Ok(())
     }
 
     fn write_frame(&self, id: PageId, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), self.frame_size);
-        write_at(&self.file, buf, id.0 * self.frame_size as u64)?;
+        write_at(&self.file, buf, self.frame_offset(id))?;
         self.frames.fetch_max(id.0 + 1, Ordering::AcqRel);
         Ok(())
     }
@@ -229,6 +328,44 @@ mod tests {
         let mut buf = vec![0u8; 64];
         b.read_frame(PageId(2), &mut buf).unwrap();
         assert_eq!(buf, frame);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backend_rejects_frame_size_mismatch_on_reopen() {
+        let dir = std::env::temp_dir().join(format!("pcps-sbsize-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frames.bin");
+        {
+            let b = FileBackend::open(&path, 64).unwrap();
+            b.write_frame(PageId(0), &[7u8; 64]).unwrap();
+            b.sync().unwrap();
+        }
+        let err = FileBackend::open(&path, 128).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err}");
+        assert!(err.to_string().contains("64"), "{err}");
+        assert!(err.to_string().contains("128"), "{err}");
+        // The matching size still opens and reads back intact.
+        let b = FileBackend::open(&path, 64).unwrap();
+        let mut buf = [0u8; 64];
+        b.read_frame(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 64]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backend_rejects_pre_superblock_files() {
+        let dir = std::env::temp_dir().join(format!("pcps-legacy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.bin");
+        // A legacy frame file: raw frames from offset 0, no magic.
+        std::fs::write(&path, vec![0xaau8; 192]).unwrap();
+        let err = FileBackend::open(&path, 64).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err}");
+        assert!(err.to_string().contains("superblock"), "{err}");
+        // Too-short garbage (shorter than a superblock) is rejected too.
+        std::fs::write(&path, b"PCx").unwrap();
+        assert!(FileBackend::open(&path, 64).is_err());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -178,6 +178,25 @@ pub fn fnv1a64(data: &[u8]) -> u64 {
     h
 }
 
+/// True if a raw frame (payload + trailing 8-byte [`fnv1a64`] checksum) is
+/// internally consistent: either the stored checksum matches the payload,
+/// or the frame is all-zero (the "never written" state, valid by the
+/// backend contract). Frames shorter than the checksum trailer are invalid.
+///
+/// This is the one frame-validity rule in the workspace; the store's
+/// checksum verification and [`crate::backend::MirrorBackend`]'s read
+/// failover both delegate here so they can never disagree.
+pub fn frame_is_valid(frame: &[u8]) -> bool {
+    let Some(payload_len) = frame.len().checked_sub(8) else {
+        return false;
+    };
+    let stored = u64::from_le_bytes(frame[payload_len..].try_into().unwrap());
+    if stored == 0 && frame[..payload_len].iter().all(|&b| b == 0) {
+        return true;
+    }
+    stored == fnv1a64(&frame[..payload_len])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +256,28 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
         assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn frame_validity_rule() {
+        // All-zero frame: valid (never-written contract).
+        assert!(frame_is_valid(&[0u8; 32]));
+        // Checksummed frame: valid, and any payload or checksum flip breaks it.
+        let mut frame = vec![7u8; 32];
+        let sum = fnv1a64(&frame[..24]);
+        frame[24..].copy_from_slice(&sum.to_le_bytes());
+        assert!(frame_is_valid(&frame));
+        frame[3] ^= 0x01;
+        assert!(!frame_is_valid(&frame));
+        frame[3] ^= 0x01;
+        frame[30] ^= 0x01;
+        assert!(!frame_is_valid(&frame));
+        // Zero payload with a checksum is still valid (a written zero page).
+        let mut zeroed = vec![0u8; 32];
+        let sum = fnv1a64(&zeroed[..24]);
+        zeroed[24..].copy_from_slice(&sum.to_le_bytes());
+        assert!(frame_is_valid(&zeroed));
+        // Too short to carry a checksum: invalid.
+        assert!(!frame_is_valid(&[0u8; 7]));
     }
 }

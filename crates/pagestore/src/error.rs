@@ -25,6 +25,33 @@ pub enum StoreError {
     },
     /// A page-layout decode failed (truncated or malformed on-page data).
     Corrupt(String),
+    /// The page exhausted its transient-fault retry budget and is held in
+    /// the store's quarantine set; access is refused until the backend is
+    /// repaired (e.g. via [`crate::PageStore::scrub`]) or the set is
+    /// cleared with [`crate::PageStore::clear_quarantine`].
+    Quarantined(PageId),
+}
+
+impl StoreError {
+    /// True for failures worth retrying: the operation may succeed if
+    /// re-issued (interrupted/timed-out I/O, including the transient
+    /// faults injected by [`crate::backend::FaultBackend`]).
+    ///
+    /// Everything else is *permanent* for the retry layer: allocation and
+    /// size errors are caller bugs, checksum/layout corruption will not
+    /// heal by re-reading the same replica (mirror failover handles those
+    /// below the store), and quarantine is by definition sticky.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -37,6 +64,9 @@ impl fmt::Display for StoreError {
                 write!(f, "payload of {payload} bytes exceeds page size {page_size}")
             }
             StoreError::Corrupt(msg) => write!(f, "corrupt page layout: {msg}"),
+            StoreError::Quarantined(id) => {
+                write!(f, "page {id:?} is quarantined after exhausting its retry budget")
+            }
         }
     }
 }
@@ -70,6 +100,26 @@ mod tests {
         assert!(e.to_string().contains("4096"));
         let e = StoreError::Corrupt("bad header".into());
         assert!(e.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        use std::io::ErrorKind;
+        for kind in [ErrorKind::Interrupted, ErrorKind::TimedOut, ErrorKind::WouldBlock] {
+            assert!(StoreError::Io(std::io::Error::new(kind, "glitch")).is_transient());
+        }
+        assert!(!StoreError::Io(std::io::Error::other("dead disk")).is_transient());
+        assert!(!StoreError::ChecksumMismatch(PageId(1)).is_transient());
+        assert!(!StoreError::PageNotAllocated(PageId(1)).is_transient());
+        assert!(!StoreError::Corrupt("x".into()).is_transient());
+        assert!(!StoreError::Quarantined(PageId(1)).is_transient());
+    }
+
+    #[test]
+    fn quarantined_display_names_the_page() {
+        let e = StoreError::Quarantined(PageId(9));
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains("quarantin"));
     }
 
     #[test]

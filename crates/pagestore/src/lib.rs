@@ -16,6 +16,11 @@
 //!   zero-copy `Arc` hand-out on hits (see DESIGN.md §"Buffer manager").
 //! * [`backend`] — where the bytes live: [`backend::MemBackend`] (RAM) or
 //!   [`backend::FileBackend`] (a real file, positional I/O).
+//! * [`fault`] / [`mirror`] — the failure-handling half: deterministic
+//!   seeded fault injection ([`FaultBackend`]) and N-way replication with
+//!   checksum-verified read failover and a scrub/repair pass
+//!   ([`MirrorBackend`]). The store layers bounded retries and a
+//!   quarantine set on top (see DESIGN.md §9 "Fault model & recovery").
 //! * [`codec`] — bounds-checked little-endian cursors for page layouts.
 //! * [`layout`] — reusable on-page structures, most importantly
 //!   [`layout::BlockList`], the blocked linked list that implements every
@@ -39,16 +44,21 @@
 pub mod backend;
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod layout;
+pub mod mirror;
 pub mod page;
 pub mod pool;
 pub mod stats;
 pub mod store;
 pub mod types;
 
+pub use backend::{ResilienceStats, ScrubReport};
 pub use error::{Result, StoreError};
+pub use fault::{FaultBackend, FaultHandle, FaultPlan, InjectionStats};
+pub use mirror::MirrorBackend;
 pub use page::Page;
 pub use pool::{BufferPool, ShardStats, ShardedPool};
 pub use stats::IoStats;
-pub use store::{PageId, PageStore, StoreConfig, NULL_PAGE};
+pub use store::{PageId, PageStore, RetryPolicy, StoreConfig, NULL_PAGE};
 pub use types::{Interval, Point, Record};

@@ -24,6 +24,18 @@ pub struct IoStats {
     /// Buffer-pool frames evicted to make room (dirty or clean; 0 in
     /// strict mode). Dirty evictions also count one backend write.
     pub pool_evictions: u64,
+    /// Extra backend attempts issued by the retry layer after a transient
+    /// fault (a fault-free run always reports 0).
+    pub retries: u64,
+    /// Reads the primary replica could not serve that a mirror replica did
+    /// (0 unless the backend is a `MirrorBackend`).
+    pub failovers: u64,
+    /// Replica frames rewritten from a known-good copy, by read-repair or
+    /// `scrub()` (0 unless the backend is a `MirrorBackend`).
+    pub repairs: u64,
+    /// Pages moved into the quarantine set after exhausting their retry
+    /// budget (cumulative events, not the current set size).
+    pub quarantined: u64,
 }
 
 impl IoStats {
@@ -79,6 +91,10 @@ impl Sub for IoStats {
             allocs: self.allocs.saturating_sub(rhs.allocs),
             frees: self.frees.saturating_sub(rhs.frees),
             pool_evictions: self.pool_evictions.saturating_sub(rhs.pool_evictions),
+            retries: self.retries.saturating_sub(rhs.retries),
+            failovers: self.failovers.saturating_sub(rhs.failovers),
+            repairs: self.repairs.saturating_sub(rhs.repairs),
+            quarantined: self.quarantined.saturating_sub(rhs.quarantined),
         }
     }
 }
@@ -87,13 +103,18 @@ impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reads={} writes={} hits={} allocs={} frees={} evictions={} hit_ratio={:.2}",
+            "reads={} writes={} hits={} allocs={} frees={} evictions={} \
+             retries={} failovers={} repairs={} quarantined={} hit_ratio={:.2}",
             self.reads,
             self.writes,
             self.cache_hits,
             self.allocs,
             self.frees,
             self.pool_evictions,
+            self.retries,
+            self.failovers,
+            self.repairs,
+            self.quarantined,
             self.hit_ratio()
         )
     }
@@ -105,14 +126,46 @@ mod tests {
 
     #[test]
     fn delta_and_totals() {
-        let a = IoStats { reads: 10, writes: 4, cache_hits: 2, allocs: 5, frees: 1, pool_evictions: 0 };
-        let b = IoStats { reads: 25, writes: 9, cache_hits: 7, allocs: 8, frees: 2, pool_evictions: 3 };
+        let a = IoStats {
+            reads: 10,
+            writes: 4,
+            cache_hits: 2,
+            allocs: 5,
+            frees: 1,
+            ..IoStats::default()
+        };
+        let b = IoStats {
+            reads: 25,
+            writes: 9,
+            cache_hits: 7,
+            allocs: 8,
+            frees: 2,
+            pool_evictions: 3,
+            ..IoStats::default()
+        };
         let d = b - a;
         assert_eq!(d.reads, 15);
         assert_eq!(d.pool_evictions, 3);
         assert_eq!(d.writes, 5);
         assert_eq!(d.total_io(), 20);
         assert_eq!(b.live_pages(), 6);
+    }
+
+    #[test]
+    fn resilience_counters_follow_saturating_delta_rules() {
+        // The four fault-layer counters obey the same snapshot/delta
+        // semantics as the original six: exact deltas when monotonic,
+        // clamped to 0 when snapshots interleave non-monotonically.
+        let a = IoStats { retries: 2, failovers: 1, repairs: 0, quarantined: 1, ..IoStats::default() };
+        let b = IoStats { retries: 7, failovers: 1, repairs: 3, quarantined: 1, ..IoStats::default() };
+        let d = b - a;
+        assert_eq!(d.retries, 5);
+        assert_eq!(d.failovers, 0);
+        assert_eq!(d.repairs, 3);
+        assert_eq!(d.quarantined, 0);
+        let clamped = a - b;
+        assert_eq!(clamped.retries, 0);
+        assert_eq!(clamped.repairs, 0);
     }
 
     #[test]
@@ -157,6 +210,10 @@ mod tests {
             allocs: 4,
             frees: 5,
             pool_evictions: 6,
+            retries: 7,
+            failovers: 8,
+            repairs: 9,
+            quarantined: 10,
         }
         .to_string();
         for needle in [
@@ -166,6 +223,10 @@ mod tests {
             "allocs=4",
             "frees=5",
             "evictions=6",
+            "retries=7",
+            "failovers=8",
+            "repairs=9",
+            "quarantined=10",
             "hit_ratio=0.75",
         ] {
             assert!(s.contains(needle), "{s} missing {needle}");

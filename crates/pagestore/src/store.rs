@@ -10,13 +10,14 @@
 //! scale too, and a pool hit hands back the resident `Arc` without copying
 //! payload bytes.
 
+use std::collections::HashSet;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pc_obs::IoEvent;
-use pc_sync::RwLock;
+use pc_sync::{Mutex, RwLock};
 
-use crate::backend::{Backend, FileBackend, MemBackend};
+use crate::backend::{Backend, FileBackend, MemBackend, ScrubReport};
 use crate::codec::fnv1a64;
 use crate::error::{Result, StoreError};
 use crate::page::Page;
@@ -38,6 +39,35 @@ impl PageId {
     }
 }
 
+/// Bounded-retry policy for transient backend faults (see
+/// [`StoreError::is_transient`]). Permanent errors are never retried.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per logical backend op, the first included; `1`
+    /// disables retrying. Each extra attempt counts one `retries` in
+    /// [`IoStats`] — *not* an extra read/write, so strict-mode transfer
+    /// accounting is untouched by the retry layer.
+    pub max_attempts: u32,
+    /// Called before each re-attempt with the attempt number (1-based).
+    /// `None` retries immediately — the right choice for simulated
+    /// backends, and what keeps fault runs deterministic. A plain `fn`
+    /// pointer (not a closure) so the config stays `Copy`/comparable.
+    pub backoff: Option<fn(u32)>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, backoff: None }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy that never retries (the pre-fault-layer behavior).
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, backoff: None }
+    }
+}
+
 /// Construction-time configuration for a [`PageStore`].
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
@@ -52,17 +82,25 @@ pub struct StoreConfig {
     /// strict mode. Free-form values are rounded up to a power of two and
     /// clamped to `pool_pages` (see [`ShardedPool::resolve_shards`]).
     pub pool_shards: usize,
+    /// Transient-fault retry policy for backend reads and writes.
+    pub retry: RetryPolicy,
 }
 
 impl StoreConfig {
     /// Strict-model configuration with the given page size.
     pub fn strict(page_size: usize) -> Self {
-        StoreConfig { page_size, pool_pages: 0, pool_shards: 0 }
+        StoreConfig { page_size, pool_pages: 0, pool_shards: 0, retry: RetryPolicy::default() }
     }
 
     /// Pooled configuration with auto-sized sharding.
     pub fn pooled(page_size: usize, pool_pages: usize) -> Self {
-        StoreConfig { page_size, pool_pages, pool_shards: 0 }
+        StoreConfig { page_size, pool_pages, pool_shards: 0, retry: RetryPolicy::default() }
+    }
+
+    /// This configuration with a different retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 }
 
@@ -78,6 +116,8 @@ struct AtomicStats {
     writes: AtomicU64,
     allocs: AtomicU64,
     frees: AtomicU64,
+    retries: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl AtomicStats {
@@ -85,10 +125,11 @@ impl AtomicStats {
         IoStats {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
-            cache_hits: 0,
             allocs: self.allocs.load(Ordering::Relaxed),
             frees: self.frees.load(Ordering::Relaxed),
-            pool_evictions: 0,
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            ..IoStats::default()
         }
     }
 
@@ -97,6 +138,8 @@ impl AtomicStats {
         self.writes.store(0, Ordering::Relaxed);
         self.allocs.store(0, Ordering::Relaxed);
         self.frees.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.quarantined.store(0, Ordering::Relaxed);
     }
 }
 
@@ -117,6 +160,15 @@ pub struct PageStore {
     stats: AtomicStats,
     alloc: RwLock<AllocState>,
     pool: Option<ShardedPool>,
+    retry: RetryPolicy,
+    /// Pages that exhausted their transient-retry budget. Reads and writes
+    /// refuse them with [`StoreError::Quarantined`] until a scrub or an
+    /// explicit clear, so a flaky page degrades to clean errors instead of
+    /// burning its retry budget on every access.
+    quarantine: Mutex<HashSet<u64>>,
+    /// Mirror of `quarantine.len()`, so the (overwhelmingly common) empty
+    /// case is a lock-free relaxed load on the hot read/write path.
+    quarantine_len: AtomicU64,
 }
 
 impl PageStore {
@@ -140,6 +192,9 @@ impl PageStore {
                 let shards = ShardedPool::resolve_shards(config.pool_shards, config.pool_pages);
                 ShardedPool::new(config.pool_pages, shards)
             }),
+            retry: config.retry,
+            quarantine: Mutex::new(HashSet::new()),
+            quarantine_len: AtomicU64::new(0),
         }
     }
 
@@ -162,7 +217,7 @@ impl PageStore {
     pub fn in_memory_pooled_sharded(page_size: usize, pool_pages: usize, shards: usize) -> Self {
         let backend = MemBackend::new(page_size + CHECKSUM_LEN);
         PageStore::new(
-            StoreConfig { page_size, pool_pages, pool_shards: shards },
+            StoreConfig { page_size, pool_pages, pool_shards: shards, retry: RetryPolicy::default() },
             Box::new(backend),
         )
     }
@@ -220,6 +275,14 @@ impl PageStore {
         if let Some(pool) = &self.pool {
             pool.discard(id);
         }
+        // A freed id leaves quarantine: recycling hands out a fresh zeroed
+        // page, so the old frame's bad luck must not follow the new owner.
+        if self.quarantine_len.load(Ordering::Relaxed) > 0 {
+            let mut q = self.quarantine.lock();
+            if q.remove(&id.0) {
+                self.quarantine_len.store(q.len() as u64, Ordering::Relaxed);
+            }
+        }
         self.stats.frees.fetch_add(1, Ordering::Relaxed);
         pc_obs::record_io(IoEvent::Free);
         Ok(())
@@ -233,6 +296,54 @@ impl PageStore {
         Ok(())
     }
 
+    fn check_quarantine(&self, id: PageId) -> Result<()> {
+        if self.quarantine_len.load(Ordering::Relaxed) > 0 && self.quarantine.lock().contains(&id.0)
+        {
+            return Err(StoreError::Quarantined(id));
+        }
+        Ok(())
+    }
+
+    fn quarantine_page(&self, id: PageId) {
+        let mut q = self.quarantine.lock();
+        if q.insert(id.0) {
+            self.quarantine_len.store(q.len() as u64, Ordering::Relaxed);
+            self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+            pc_obs::counter(pc_obs::fault_metrics::QUARANTINED).inc();
+        }
+    }
+
+    /// Runs a backend op under the store's [`RetryPolicy`]: transient
+    /// errors are re-attempted up to the budget (each re-attempt counts one
+    /// `retries`, never an extra read/write); exhausting the budget
+    /// quarantines the page and reports [`StoreError::Quarantined`].
+    /// Permanent errors pass straight through.
+    fn with_retry<T>(&self, id: PageId, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut attempt = 1u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                // With retries disabled there is no budget to exhaust:
+                // transient errors pass through unchanged (the pre-retry-
+                // layer behavior) and nothing is quarantined.
+                Err(e) if e.is_transient() && max_attempts > 1 => {
+                    if attempt >= max_attempts {
+                        self.quarantine_page(id);
+                        return Err(StoreError::Quarantined(id));
+                    }
+                    attempt += 1;
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    pc_obs::counter(pc_obs::fault_metrics::RETRIES).inc();
+                    if let Some(backoff) = self.retry.backoff {
+                        backoff(attempt - 1);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Reads page `id`, returning its full `page_size`-byte payload.
     ///
     /// Costs one backend read in strict mode; with a pool, resident pages
@@ -242,6 +353,7 @@ impl PageStore {
     /// same page replaces the pool's handle without touching it.
     pub fn read(&self, id: PageId) -> Result<Page> {
         self.check_allocated(id)?;
+        self.check_quarantine(id)?;
         if let Some(pool) = &self.pool {
             return pool.read_through(
                 id,
@@ -265,6 +377,7 @@ impl PageStore {
             });
         }
         self.check_allocated(id)?;
+        self.check_quarantine(id)?;
         if let Some(pool) = &self.pool {
             let mut padded = vec![0u8; self.page_size];
             padded[..data.len()].copy_from_slice(data);
@@ -276,13 +389,19 @@ impl PageStore {
     }
 
     fn backend_read(&self, id: PageId) -> Result<Page> {
+        // One logical read regardless of retries: the counters stay exact
+        // under the paper's transfer accounting, with re-attempts surfaced
+        // separately as `retries`.
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
         // Observer hook for pc-obs (a no-op unless the `obs` feature is on):
         // purely observational, so `IoStats` and transfer behavior stay
         // bit-identical either way.
         pc_obs::record_io(IoEvent::Read);
         let mut frame = vec![0u8; self.page_size + CHECKSUM_LEN];
-        self.backend.read_frame(id, &mut frame)?;
+        self.with_retry(id, || self.backend.read_frame(id, &mut frame))?;
+        // Checksum failures are permanent (re-reading the same bytes cannot
+        // help; a mirror already exhausted its replicas below this point),
+        // so verification sits outside the retry loop.
         verify_frame(&frame, self.page_size, id)?;
         frame.truncate(self.page_size);
         Ok(Page::from(frame))
@@ -295,7 +414,7 @@ impl PageStore {
         frame[..data.len()].copy_from_slice(data);
         let checksum = fnv1a64(&frame[..self.page_size]);
         frame[self.page_size..].copy_from_slice(&checksum.to_le_bytes());
-        self.backend.write_frame(id, &frame)
+        self.with_retry(id, || self.backend.write_frame(id, &frame))
     }
 
     /// Flushes all buffered dirty pages (shard by shard, in shard order)
@@ -316,16 +435,21 @@ impl PageStore {
             s.cache_hits = pool.hits();
             s.pool_evictions = pool.evictions();
         }
+        let rs = self.backend.resilience_stats();
+        s.failovers = rs.failovers;
+        s.repairs = rs.repairs;
         s
     }
 
-    /// Resets all I/O counters — including per-shard pool counters — to
-    /// zero (allocation state and resident pages are untouched).
+    /// Resets all I/O counters — including per-shard pool counters and the
+    /// backend's failover/repair counters — to zero (allocation state,
+    /// resident pages, and the quarantine set are untouched).
     pub fn reset_stats(&self) {
         self.stats.reset();
         if let Some(pool) = &self.pool {
             pool.reset_stats();
         }
+        self.backend.reset_resilience_stats();
     }
 
     /// Number of buffer-pool shards (`0` in strict mode).
@@ -353,12 +477,60 @@ impl PageStore {
         a.allocated.iter().filter(|&&x| x).count() as u64
     }
 
+    /// Ids of all currently allocated pages, in id order. Used by repair
+    /// walks and by tests that corrupt every live page in turn.
+    pub fn allocated_pages(&self) -> Vec<PageId> {
+        let a = self.alloc.read();
+        a.allocated
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &live)| live.then_some(PageId(i as u64)))
+            .collect()
+    }
+
+    /// Pages currently held in quarantine, in id order.
+    pub fn quarantined_pages(&self) -> Vec<PageId> {
+        let q = self.quarantine.lock();
+        let mut ids: Vec<PageId> = q.iter().map(|&id| PageId(id)).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Empties the quarantine set, letting previously fenced pages be
+    /// retried. Use after fixing the underlying backend out-of-band;
+    /// [`PageStore::scrub`] calls this for you.
+    pub fn clear_quarantine(&self) {
+        let mut q = self.quarantine.lock();
+        q.clear();
+        self.quarantine_len.store(0, Ordering::Relaxed);
+    }
+
+    /// Repair pass: flushes buffered dirty pages, asks the backend to
+    /// verify and repair its stored redundancy (a no-op for plain
+    /// backends; replica rewrite for [`crate::backend::MirrorBackend`]),
+    /// then clears the quarantine set — repaired pages get a fresh retry
+    /// budget.
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        let _span = pc_obs::span!("store.scrub");
+        if let Some(pool) = &self.pool {
+            pool.flush(|vid, vdata| self.backend_write(vid, vdata))?;
+        }
+        let report = self.backend.scrub()?;
+        self.clear_quarantine();
+        Ok(report)
+    }
+
     /// Fault injection for tests: flips one byte of the stored frame for
     /// page `id`, bypassing the pool, so the next uncached read fails its
-    /// checksum. Testing aid only.
+    /// checksum. Buffered dirty pages are flushed first — corrupting the
+    /// stored frame must not silently drop a pending write — and `id` is
+    /// dropped from the pool so the corruption is actually observed.
+    /// Testing aid only. The flip is an XOR: injecting the same
+    /// `byte_offset` twice restores the frame bit-for-bit.
     pub fn inject_corruption(&self, id: PageId, byte_offset: usize) -> Result<()> {
         self.check_allocated(id)?;
         if let Some(pool) = &self.pool {
+            pool.flush(|vid, vdata| self.backend_write(vid, vdata))?;
             pool.discard(id);
         }
         let mut frame = vec![0u8; self.page_size + CHECKSUM_LEN];
@@ -555,6 +727,136 @@ mod tests {
             assert_eq!(&store.read(id).unwrap()[..7], b"durable");
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn faulty_store(plan: crate::FaultPlan, retry: RetryPolicy) -> (PageStore, crate::FaultHandle) {
+        let backend = crate::FaultBackend::new(Box::new(MemBackend::new(64 + CHECKSUM_LEN)), plan);
+        let handle = backend.handle();
+        let store = PageStore::new(StoreConfig::strict(64).with_retry(retry), Box::new(backend));
+        (store, handle)
+    }
+
+    #[test]
+    fn retry_absorbs_transient_faults_without_extra_transfers() {
+        let (store, handle) = faulty_store(crate::FaultPlan::none(1), RetryPolicy::default());
+        let id = store.alloc().unwrap();
+        store.write(id, b"resilient").unwrap();
+        // Both of the first two backend reads fault; attempt 3 succeeds.
+        handle.fail_nth_read(id, 1);
+        handle.fail_nth_read(id, 2);
+        let page = store.read(id).unwrap();
+        assert_eq!(&page[..9], b"resilient");
+        let s = store.stats();
+        assert_eq!(s.reads, 1, "a retried read is still one logical transfer");
+        assert_eq!(s.retries, 2, "both armed triggers were absorbed");
+        assert_eq!(s.quarantined, 0);
+    }
+
+    #[test]
+    fn retry_backoff_hook_runs_once_per_reattempt() {
+        use std::sync::atomic::AtomicU32;
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        fn backoff(attempt: u32) {
+            CALLS.fetch_add(attempt, Ordering::Relaxed);
+        }
+        let (store, handle) = faulty_store(
+            crate::FaultPlan::none(2),
+            RetryPolicy { max_attempts: 3, backoff: Some(backoff) },
+        );
+        let id = store.alloc().unwrap();
+        store.write(id, b"x").unwrap();
+        handle.fail_nth_read(id, 1);
+        handle.fail_nth_read(id, 2);
+        store.read(id).unwrap();
+        assert_eq!(CALLS.load(Ordering::Relaxed), 1 + 2, "backoff(1) then backoff(2)");
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_the_page() {
+        let (store, handle) =
+            faulty_store(crate::FaultPlan::transient(3, 1.0), RetryPolicy::default());
+        handle.set_enabled(false);
+        let id = store.alloc().unwrap();
+        store.write(id, b"doomed").unwrap();
+        let ok = store.alloc().unwrap();
+        store.write(ok, b"fine").unwrap();
+        handle.set_enabled(true);
+        // p = 1.0: every attempt fails; the budget of 3 is spent and the
+        // page lands in quarantine.
+        assert!(matches!(store.read(id), Err(StoreError::Quarantined(q)) if q == id));
+        let s = store.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.retries, 2, "attempts 2 and 3");
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(store.quarantined_pages(), vec![id]);
+        // Quarantined access fast-fails without touching the backend again.
+        assert!(matches!(store.read(id), Err(StoreError::Quarantined(_))));
+        assert!(matches!(store.write(id, b"no"), Err(StoreError::Quarantined(_))));
+        assert_eq!(store.stats().reads, 1, "fenced reads are not transfers");
+        // Other pages are unaffected by the fence (faults aside).
+        handle.set_enabled(false);
+        assert_eq!(&store.read(ok).unwrap()[..4], b"fine");
+        // Re-quarantining is idempotent in the cumulative counter.
+        store.clear_quarantine();
+        handle.set_enabled(true);
+        assert!(store.read(id).is_err());
+        assert_eq!(store.stats().quarantined, 2);
+        // Freeing the page clears its quarantine entry.
+        store.free(id).unwrap();
+        assert!(store.quarantined_pages().is_empty());
+    }
+
+    #[test]
+    fn scrub_clears_quarantine_and_restores_service() {
+        let (store, handle) =
+            faulty_store(crate::FaultPlan::none(4), RetryPolicy { max_attempts: 2, backoff: None });
+        let id = store.alloc().unwrap();
+        store.write(id, b"healme").unwrap();
+        handle.fail_nth_read(id, 1);
+        handle.fail_nth_read(id, 2);
+        assert!(matches!(store.read(id), Err(StoreError::Quarantined(_))));
+        let report = store.scrub().unwrap();
+        assert_eq!(report, ScrubReport::default(), "plain backend: nothing to scrub");
+        assert!(store.quarantined_pages().is_empty());
+        assert_eq!(&store.read(id).unwrap()[..6], b"healme");
+    }
+
+    #[test]
+    fn mirrored_store_masks_single_replica_corruption() {
+        let ra = crate::FaultBackend::new(
+            Box::new(MemBackend::new(64 + CHECKSUM_LEN)),
+            crate::FaultPlan::none(10),
+        );
+        let rb = crate::FaultBackend::new(
+            Box::new(MemBackend::new(64 + CHECKSUM_LEN)),
+            crate::FaultPlan::none(11),
+        );
+        let (ha, hb) = (ra.handle(), rb.handle());
+        let mirror = crate::MirrorBackend::new(vec![Box::new(ra), Box::new(rb)]);
+        let store = PageStore::new(StoreConfig::strict(64), Box::new(mirror));
+        let id = store.alloc().unwrap();
+        store.write(id, b"replicated").unwrap();
+        ha.rot_page(id);
+        let page = store.read(id).unwrap();
+        assert_eq!(&page[..10], b"replicated");
+        let s = store.stats();
+        assert_eq!((s.failovers, s.repairs), (1, 1));
+        assert_eq!(s.reads, 1, "failover is not an extra logical transfer");
+        // Both replicas rotten on a fresh write: corruption is *detected*.
+        store.write(id, b"again").unwrap();
+        ha.rot_page(id);
+        hb.rot_page(id);
+        assert!(matches!(store.read(id), Err(StoreError::ChecksumMismatch(_))));
+        store.reset_stats();
+        assert_eq!(store.stats(), IoStats::default(), "resilience counters reset too");
+    }
+
+    #[test]
+    fn allocated_pages_lists_live_ids_in_order() {
+        let store = PageStore::in_memory(64);
+        let ids: Vec<PageId> = (0..4).map(|_| store.alloc().unwrap()).collect();
+        store.free(ids[1]).unwrap();
+        assert_eq!(store.allocated_pages(), vec![ids[0], ids[2], ids[3]]);
     }
 
     #[test]

@@ -9,21 +9,27 @@
 # Both instrumentation modes are exercised: the default build (pc-obs
 # compiled to no-ops) and `--features obs` (live tracing/metrics).
 #
-# Usage: scripts/verify.sh [--bench]
+# Usage: scripts/verify.sh [--bench] [--chaos]
 #   --bench   additionally run the perf-trajectory benchmarks:
 #             * pool_scaling, refreshing BENCH_pool.json;
 #             * obs_overhead in both modes, merging the two reports into
 #               BENCH_obs.json and GATING the off-mode marginal span cost
-#               at <= 1% (the "observability is free when off" contract).
+#             at <= 1% (the "observability is free when off" contract).
+#   --chaos   additionally re-run the fault-injection suites under a fresh
+#             random seed (the fixed-seed runs are already part of the
+#             workspace tests above). The seed is printed so a failure can
+#             be reproduced verbatim with PC_CHAOS_SEED=<seed>.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
+RUN_CHAOS=0
 for arg in "$@"; do
     case "$arg" in
         --bench) RUN_BENCH=1 ;;
-        *) echo "unknown argument: $arg (supported: --bench)" >&2; exit 2 ;;
+        --chaos) RUN_CHAOS=1 ;;
+        *) echo "unknown argument: $arg (supported: --bench, --chaos)" >&2; exit 2 ;;
     esac
 done
 
@@ -66,6 +72,17 @@ fi
 
 COUNT="$(printf '%s' "$METADATA" | python3 -c 'import json,sys; print(len(json.load(sys.stdin)["packages"]))')"
 echo "OK: all $COUNT packages are workspace-local; hermetic build verified"
+
+if [ "$RUN_CHAOS" = 1 ]; then
+    # The fixed-seed chaos runs are part of `cargo test --workspace` above;
+    # this pass explores one fresh seed per invocation. On failure, rerun
+    # the printed command to reproduce the exact scenario.
+    CHAOS_SEED="$(python3 -c 'import secrets; print(secrets.randbits(64))')"
+    echo "==> chaos suites under fresh seed $CHAOS_SEED"
+    echo "    (reproduce with: PC_CHAOS_SEED=$CHAOS_SEED cargo test -q --test chaos)"
+    PC_CHAOS_SEED="$CHAOS_SEED" cargo test -q --offline --test chaos
+    echo "OK: chaos suites green under seed $CHAOS_SEED"
+fi
 
 if [ "$RUN_BENCH" = 1 ]; then
     echo "==> cargo bench -p pc-bench --bench pool_scaling (perf trajectory)"
