@@ -1,0 +1,394 @@
+//! # pc-loadgen — load generation for the `pc-serve` query service
+//!
+//! Drives a server over real sockets with seeded `pc-workloads` traffic and
+//! records achieved throughput plus a power-of-two latency histogram (the
+//! `pc_obs::hist` buckets), written as machine-readable `BENCH_server.json`.
+//!
+//! Two ways to point it at a server:
+//!
+//! * `--addr HOST:PORT` — drive an externally started server (target 0 must
+//!   be a dynamic-PST target for the mixed workload's inserts);
+//! * default (no `--addr`) — self-spawn an in-process server on an
+//!   ephemeral port, run the workload, then shut it down. `--smoke` runs a
+//!   downscaled two-phase version of this (steady closed-loop + an
+//!   overload-shedding phase against a deliberately undersized queue) and
+//!   is what `scripts/verify.sh --serve` gates on.
+//!
+//! Exit status is nonzero on any transport failure — a peer that vanishes
+//! mid-stream (connection reset, stuck socket hitting the read timeout)
+//! fails the run instead of hanging it.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pc_bench::Json;
+use pc_obs::hist::Histogram;
+use pc_pagestore::{PageStore, Point};
+use pc_pst::DynamicPst;
+use pc_rng::Rng;
+use pc_serve::wire::{Body, ErrorCode, Op};
+use pc_serve::{Client, DynamicPstTarget, Registry, Server, ServerConfig, ServerHandle, Service};
+use pc_workloads::{gen_points, gen_two_sided, PointDist};
+
+const PAGE: usize = 512;
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+#[derive(Debug, Clone)]
+struct Args {
+    smoke: bool,
+    addr: Option<SocketAddr>,
+    conns: usize,
+    ops: usize,
+    open_loop: bool,
+    rate: u64,
+    n_points: usize,
+    seed: u64,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            smoke: false,
+            addr: None,
+            conns: 4,
+            ops: 20_000,
+            open_loop: false,
+            rate: 5_000,
+            n_points: 50_000,
+            seed: 0x10AD_0001,
+            out: "BENCH_server.json".to_string(),
+        }
+    }
+}
+
+const USAGE: &str = "usage: pc-loadgen [--smoke] [--addr HOST:PORT] [--conns N] [--ops N] \
+                     [--mode open|closed] [--rate OPS_PER_S] [--points N] [--seed S] [--out PATH]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--addr" => {
+                args.addr =
+                    Some(val("--addr")?.parse().map_err(|e| format!("bad --addr: {e}"))?);
+            }
+            "--conns" => {
+                args.conns = val("--conns")?.parse().map_err(|e| format!("bad --conns: {e}"))?;
+            }
+            "--ops" => {
+                args.ops = val("--ops")?.parse().map_err(|e| format!("bad --ops: {e}"))?;
+            }
+            "--mode" => match val("--mode")?.as_str() {
+                "open" => args.open_loop = true,
+                "closed" => args.open_loop = false,
+                other => return Err(format!("bad --mode {other:?} (want open|closed)")),
+            },
+            "--rate" => {
+                args.rate = val("--rate")?.parse().map_err(|e| format!("bad --rate: {e}"))?;
+            }
+            "--points" => {
+                args.n_points =
+                    val("--points")?.parse().map_err(|e| format!("bad --points: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = val("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => args.out = val("--out")?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    args.conns = args.conns.max(1);
+    args.rate = args.rate.max(1);
+    if args.smoke {
+        // Keep the verify gate fast on a one-core container.
+        args.conns = args.conns.min(2);
+        args.ops = args.ops.min(2_000);
+        args.n_points = args.n_points.min(5_000);
+    }
+    Ok(args)
+}
+
+/// Per-phase aggregate counters, shared across connection threads.
+#[derive(Default)]
+struct PhaseStats {
+    ok: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    other_errors: AtomicU64,
+    latency_ns: Histogram,
+}
+
+impl PhaseStats {
+    fn record(&self, body: &Body, latency: Duration) {
+        match body {
+            Body::Error { code: ErrorCode::Overloaded, .. } => {
+                self.overloaded.fetch_add(1, Ordering::Relaxed);
+            }
+            Body::Error { code: ErrorCode::DeadlineExceeded, .. } => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            Body::Error { .. } => {
+                self.other_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                // Only admitted-and-answered requests enter the latency
+                // histogram; shed requests return immediately and would
+                // drag the percentiles down.
+                self.ok.fetch_add(1, Ordering::Relaxed);
+                self.latency_ns.record(latency.as_nanos() as u64);
+            }
+        }
+    }
+
+    fn to_json(&self, name: &str, mode: &str, conns: usize, elapsed: Duration) -> Json {
+        let ok = self.ok.load(Ordering::Relaxed);
+        let snap = self.latency_ns.snapshot();
+        let throughput = ok as f64 / elapsed.as_secs_f64().max(1e-9);
+        Json::obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("mode", Json::Str(mode.to_string())),
+            ("conns", Json::Int(conns as u64)),
+            ("ok", Json::Int(ok)),
+            ("overloaded", Json::Int(self.overloaded.load(Ordering::Relaxed))),
+            ("deadline_exceeded", Json::Int(self.deadline_exceeded.load(Ordering::Relaxed))),
+            ("other_errors", Json::Int(self.other_errors.load(Ordering::Relaxed))),
+            ("elapsed_s", Json::Num(elapsed.as_secs_f64())),
+            ("throughput_ops_s", Json::Num(throughput)),
+            (
+                "latency_ns",
+                Json::obj(vec![
+                    ("p50", Json::Int(snap.quantile(0.50))),
+                    ("p90", Json::Int(snap.quantile(0.90))),
+                    ("p99", Json::Int(snap.quantile(0.99))),
+                    ("mean", Json::Num(snap.mean())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// One connection's slice of a mixed workload: ~85% 2-sided queries (from
+/// the calibrated generator), ~15% inserts, deterministically interleaved
+/// from the seed.
+struct MixedWorkload {
+    queries: Vec<pc_workloads::TwoSidedQ>,
+    rng: Rng,
+    next_id: u64,
+    qi: usize,
+}
+
+impl MixedWorkload {
+    fn new(points: &[(i64, i64, u64)], ops: usize, seed: u64) -> MixedWorkload {
+        MixedWorkload {
+            queries: gen_two_sided(points, ops.max(1), 64, seed),
+            rng: Rng::seed_from_u64(seed ^ 0x5EED_F00D),
+            next_id: 1_000_000 + seed * 1_000_000, // id-space disjoint per conn
+            qi: 0,
+        }
+    }
+
+    fn next_op(&mut self) -> Op {
+        if self.rng.gen_bool(0.15) {
+            self.next_id += 1;
+            let x = self.rng.gen_range(0..=pc_workloads::DOMAIN);
+            let y = self.rng.gen_range(0..=pc_workloads::DOMAIN);
+            Op::Insert(Point { x, y, id: self.next_id })
+        } else {
+            let q = self.queries[self.qi % self.queries.len()];
+            self.qi += 1;
+            Op::TwoSided { x0: q.x0, y0: q.y0 }
+        }
+    }
+}
+
+/// Runs `ops` requests against `addr` over `conns` connections and fills
+/// `stats`. Closed-loop sends one request at a time per connection;
+/// open-loop paces sends at `rate` ops/s across all connections with a
+/// bounded pipeline, which is what pressures the admission queue.
+fn run_phase(
+    addr: SocketAddr,
+    args: &Args,
+    open_loop: bool,
+    deadline_ms: u32,
+    stats: &PhaseStats,
+) -> Result<Duration, String> {
+    let t0 = Instant::now();
+    let per_conn = args.ops.div_ceil(args.conns);
+    std::thread::scope(|s| -> Result<(), String> {
+        let handles: Vec<_> = (0..args.conns)
+            .map(|c| {
+                let stats = &*stats;
+                let args = args.clone();
+                s.spawn(move || -> Result<(), String> {
+                    let points =
+                        gen_points(args.n_points, PointDist::Uniform, args.seed);
+                    let mut wl = MixedWorkload::new(&points, per_conn, args.seed + c as u64);
+                    let mut client = Client::connect(addr, IO_TIMEOUT)
+                        .map_err(|e| format!("conn {c}: connect: {e}"))?;
+                    if open_loop {
+                        // Paced sends with a bounded pipeline; latency is
+                        // measured send-to-receive per request id.
+                        let gap =
+                            Duration::from_secs_f64(args.conns as f64 / args.rate as f64);
+                        let mut inflight: Vec<(u64, Instant)> = Vec::new();
+                        const PIPELINE: usize = 64;
+                        for _ in 0..per_conn {
+                            let op = wl.next_op();
+                            let id = client
+                                .send(0, deadline_ms, op)
+                                .map_err(|e| format!("conn {c}: send: {e}"))?;
+                            inflight.push((id, Instant::now()));
+                            while inflight.len() >= PIPELINE {
+                                let resp = client
+                                    .recv()
+                                    .map_err(|e| format!("conn {c}: recv: {e}"))?;
+                                if let Some(pos) =
+                                    inflight.iter().position(|&(id, _)| id == resp.id)
+                                {
+                                    let (_, sent) = inflight.swap_remove(pos);
+                                    stats.record(&resp.body, sent.elapsed());
+                                }
+                            }
+                            std::thread::sleep(gap);
+                        }
+                        while !inflight.is_empty() {
+                            let resp =
+                                client.recv().map_err(|e| format!("conn {c}: drain: {e}"))?;
+                            if let Some(pos) =
+                                inflight.iter().position(|&(id, _)| id == resp.id)
+                            {
+                                let (_, sent) = inflight.swap_remove(pos);
+                                stats.record(&resp.body, sent.elapsed());
+                            }
+                        }
+                    } else {
+                        for _ in 0..per_conn {
+                            let op = wl.next_op();
+                            let t = Instant::now();
+                            let resp = client
+                                .call(0, deadline_ms, op)
+                                .map_err(|e| format!("conn {c}: call: {e}"))?;
+                            stats.record(&resp.body, t.elapsed());
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().map_err(|_| "connection thread panicked".to_string())??;
+        }
+        Ok(())
+    })?;
+    Ok(t0.elapsed())
+}
+
+fn spawn_server(args: &Args, cfg: ServerConfig) -> Result<ServerHandle, String> {
+    let store = Arc::new(PageStore::in_memory(PAGE));
+    let points: Vec<Point> = gen_points(args.n_points, PointDist::Uniform, args.seed)
+        .iter()
+        .map(|&(x, y, id)| Point { x, y, id })
+        .collect();
+    let pst = DynamicPst::build(&store, &points).map_err(|e| format!("build pst: {e:?}"))?;
+    let mut registry = Registry::new();
+    registry.register("dyn", Box::new(DynamicPstTarget::new(pst)));
+    Server::spawn(Service { store, registry }, cfg).map_err(|e| format!("spawn server: {e}"))
+}
+
+fn shutdown(handle: ServerHandle) -> Result<(), String> {
+    let mut admin =
+        Client::connect(handle.addr(), IO_TIMEOUT).map_err(|e| format!("admin connect: {e}"))?;
+    admin.shutdown_server().map_err(|e| format!("shutdown: {e}"))?;
+    handle.join();
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut phases: Vec<Json> = Vec::new();
+
+    // Phase 1: steady state. Either against the external --addr, or a
+    // self-spawned server with a production-shaped queue.
+    let steady = PhaseStats::default();
+    let mode = if args.open_loop { "open" } else { "closed" };
+    let steady_elapsed = match args.addr {
+        Some(addr) => run_phase(addr, &args, args.open_loop, 0, &steady)?,
+        None => {
+            let handle = spawn_server(&args, ServerConfig::default())?;
+            let elapsed = run_phase(handle.addr(), &args, args.open_loop, 0, &steady)?;
+            shutdown(handle)?;
+            elapsed
+        }
+    };
+    let ok = steady.ok.load(Ordering::Relaxed);
+    let snap = steady.latency_ns.snapshot();
+    eprintln!(
+        "steady({mode}): {ok} ok in {:.2}s ({:.0} ops/s), p50={}ns p99={}ns",
+        steady_elapsed.as_secs_f64(),
+        ok as f64 / steady_elapsed.as_secs_f64().max(1e-9),
+        snap.quantile(0.50),
+        snap.quantile(0.99),
+    );
+    phases.push(steady.to_json("steady", mode, args.conns, steady_elapsed));
+    if ok == 0 {
+        return Err("steady phase completed zero requests".to_string());
+    }
+
+    // Phase 2 (self-spawned runs only): overload shedding against a
+    // deliberately undersized queue — open-loop pipelined traffic must see
+    // some Overloaded responses while admitted p99 stays bounded by the
+    // tiny queue. Recorded here; asserted in tests/server_e2e.rs.
+    if args.addr.is_none() {
+        let shed_cfg = ServerConfig { workers: 1, queue_depth: 2, ..ServerConfig::default() };
+        let handle = spawn_server(&args, shed_cfg)?;
+        let shed = PhaseStats::default();
+        let mut shed_args = args.clone();
+        shed_args.conns = 2;
+        shed_args.rate = u64::MAX / 2; // unpaced: saturate the queue
+        shed_args.ops = args.ops.min(2_000);
+        let shed_elapsed = run_phase(handle.addr(), &shed_args, true, 0, &shed)?;
+        shutdown(handle)?;
+        let shed_ok = shed.ok.load(Ordering::Relaxed);
+        let shed_dropped = shed.overloaded.load(Ordering::Relaxed);
+        eprintln!(
+            "shed: {shed_ok} admitted, {shed_dropped} overloaded in {:.2}s (admitted p99={}ns)",
+            shed_elapsed.as_secs_f64(),
+            shed.latency_ns.snapshot().quantile(0.99),
+        );
+        phases.push(shed.to_json("shed", "open", shed_args.conns, shed_elapsed));
+        if shed_ok == 0 {
+            return Err("shed phase admitted zero requests".to_string());
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("server".to_string())),
+        ("seed", Json::Int(args.seed)),
+        ("n_points", Json::Int(args.n_points as u64)),
+        ("ops", Json::Int(args.ops as u64)),
+        ("smoke", Json::Int(u64::from(args.smoke))),
+        ("phases", Json::Arr(phases)),
+    ]);
+    std::fs::write(&args.out, format!("{doc}\n"))
+        .map_err(|e| format!("write {}: {e}", args.out))?;
+    eprintln!("wrote {}", args.out);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pc-loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

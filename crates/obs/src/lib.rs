@@ -316,6 +316,38 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Approximate quantile: the inclusive upper bound of the first bucket
+    /// whose cumulative count reaches `ceil(q · count)`. With power-of-two
+    /// buckets the answer is within 2× of the true quantile, which is all a
+    /// latency report needs. `q` is clamped to `[0, 1]`; returns 0 when the
+    /// histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for &(le, c) in &self.buckets {
+            cumulative += c;
+            if cumulative >= rank {
+                return le;
+            }
+        }
+        self.buckets.last().map(|&(le, _)| le).unwrap_or(0)
+    }
+
+    /// Mean of recorded values, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
 /// Point-in-time copy of the whole metrics registry, from [`snapshot`].
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
@@ -386,6 +418,46 @@ pub mod fault_metrics {
     /// Faults injected by `FaultBackend` (all kinds, all ops).
     pub const INJECTED: &str = "pc_fault_injected_total";
 }
+
+/// Registry/exposition names for the `pc-serve` service-layer metrics,
+/// collected here (like [`fault_metrics`]) so the server's own exposition,
+/// the load generator, dashboards, and tests never drift apart. All are
+/// monotonic totals unless noted; see DESIGN.md "Service layer".
+pub mod serve_metrics {
+    /// Connections accepted by the listener.
+    pub const CONNS_ACCEPTED: &str = "pc_serve_conns_accepted_total";
+    /// Connections closed after the idle/read timeout expired.
+    pub const CONNS_IDLE_CLOSED: &str = "pc_serve_conns_idle_closed_total";
+    /// Well-formed requests received (admin + query + update).
+    pub const REQUESTS: &str = "pc_serve_requests_total";
+    /// Requests admitted into a work queue.
+    pub const ADMITTED: &str = "pc_serve_admitted_total";
+    /// Requests shed with `Overloaded` because a bounded queue was full.
+    pub const OVERLOADED: &str = "pc_serve_overloaded_total";
+    /// Requests rejected with `ShuttingDown` during drain.
+    pub const SHED_SHUTDOWN: &str = "pc_serve_shed_shutdown_total";
+    /// Requests answered with `DeadlineExceeded`.
+    pub const DEADLINE_EXCEEDED: &str = "pc_serve_deadline_exceeded_total";
+    /// Malformed or unroutable requests answered with `BadRequest`.
+    pub const BAD_REQUESTS: &str = "pc_serve_bad_requests_total";
+    /// Requests that failed in the storage layer (typed `Storage` errors).
+    pub const STORAGE_ERRORS: &str = "pc_serve_storage_errors_total";
+    /// Queries answered successfully.
+    pub const QUERIES_OK: &str = "pc_serve_queries_ok_total";
+    /// Updates acknowledged successfully.
+    pub const UPDATES_OK: &str = "pc_serve_updates_ok_total";
+    /// Update batches applied by the coalescing stage.
+    pub const BATCHES: &str = "pc_serve_update_batches_total";
+    /// Updates carried inside those batches (mean batch size =
+    /// `BATCHED_UPDATES / BATCHES`).
+    pub const BATCHED_UPDATES: &str = "pc_serve_batched_updates_total";
+    /// Queue-to-response latency histogram for queries, nanoseconds.
+    pub const QUERY_LATENCY: &str = "pc_serve_query_latency_ns";
+    /// Queue-to-ack latency histogram for updates, nanoseconds.
+    pub const UPDATE_LATENCY: &str = "pc_serve_update_latency_ns";
+}
+
+pub mod hist;
 
 #[cfg(feature = "obs")]
 mod metrics;
@@ -510,6 +582,30 @@ mod tests {
         assert!(snap.histogram("missing").is_none());
         assert!((snap.pool_hit_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(Snapshot::default().pool_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn histogram_snapshot_quantiles() {
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+        assert_eq!(HistogramSnapshot::default().mean(), 0.0);
+        // 10 observations: 8 in the ≤7 bucket, 2 in the ≤1023 bucket.
+        let h = hist::Histogram::default();
+        for _ in 0..8 {
+            h.record(5);
+        }
+        h.record(600);
+        h.record(900);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 7);
+        assert_eq!(s.quantile(0.5), 7);
+        assert_eq!(s.quantile(0.8), 7);
+        assert_eq!(s.quantile(0.9), 1023);
+        assert_eq!(s.quantile(0.99), 1023);
+        assert_eq!(s.quantile(1.0), 1023);
+        // Out-of-range q is clamped.
+        assert_eq!(s.quantile(7.0), 1023);
+        assert_eq!(s.quantile(-1.0), 7);
+        assert!((s.mean() - 154.0).abs() < 1e-9);
     }
 
     #[test]

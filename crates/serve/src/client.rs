@@ -1,0 +1,145 @@
+//! A small blocking client for the wire protocol, used by `pc-loadgen`,
+//! the tests, and the examples.
+//!
+//! Every socket operation carries a timeout: a peer that disappears
+//! mid-stream surfaces as a [`ClientError::Io`] timeout (or
+//! [`ClientError::Closed`] on EOF), never a hang — callers like
+//! `pc-loadgen` turn that into a nonzero exit.
+
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use pc_pagestore::Point;
+
+use crate::wire::{
+    decode_response, read_frame, request_frame, write_frame, Op, Request, Response, MAX_FRAME,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes read/write timeouts — a dead peer).
+    Io(io::Error),
+    /// The server sent bytes that do not decode as a response.
+    Decode(crate::wire::DecodeError),
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// A response id did not match the in-flight request id.
+    IdMismatch {
+        /// Id we sent.
+        sent: u64,
+        /// Id that came back.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Decode(e) => write!(f, "protocol error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::IdMismatch { sent, got } => {
+                write!(f, "response id {got} does not match request id {sent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<crate::wire::DecodeError> for ClientError {
+    fn from(e: crate::wire::DecodeError) -> ClientError {
+        ClientError::Decode(e)
+    }
+}
+
+/// A blocking connection to a `pc-serve` server.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects with `timeout` applied to the connect itself and as the
+    /// initial read/write timeout.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Client { stream, next_id: 0, max_frame: MAX_FRAME })
+    }
+
+    /// Overrides the socket read/write timeout (`None` blocks forever —
+    /// only sensible in tests).
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// Sends a request without waiting for the response (open-loop /
+    /// pipelined use); returns the request id.
+    pub fn send(&mut self, target: u16, deadline_ms: u32, op: Op) -> Result<u64, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let frame = request_frame(&Request { id, target, deadline_ms, op });
+        write_frame(&mut &self.stream, &frame)?;
+        Ok(id)
+    }
+
+    /// Receives the next response regardless of id (pipelined use).
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame(&mut &self.stream, self.max_frame)?.ok_or(ClientError::Closed)?;
+        Ok(decode_response(&payload)?)
+    }
+
+    /// One request, one response (closed-loop use); checks the echoed id.
+    pub fn call(&mut self, target: u16, deadline_ms: u32, op: Op) -> Result<Response, ClientError> {
+        let sent = self.send(target, deadline_ms, op)?;
+        let resp = self.recv()?;
+        if resp.id != sent {
+            return Err(ClientError::IdMismatch { sent, got: resp.id });
+        }
+        Ok(resp)
+    }
+
+    /// Admin liveness probe.
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        self.call(0, 0, Op::Ping)
+    }
+
+    /// Admin stats: server + store counters.
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.call(0, 0, Op::Stats)
+    }
+
+    /// Admin metrics: Prometheus-style text.
+    pub fn metrics(&mut self) -> Result<Response, ClientError> {
+        self.call(0, 0, Op::Metrics)
+    }
+
+    /// Admin graceful shutdown.
+    pub fn shutdown_server(&mut self) -> Result<Response, ClientError> {
+        self.call(0, 0, Op::Shutdown)
+    }
+
+    /// Convenience: insert a point into a dynamic target.
+    pub fn insert(&mut self, target: u16, p: Point) -> Result<Response, ClientError> {
+        self.call(target, 0, Op::Insert(p))
+    }
+
+    /// Convenience: delete a point from a dynamic target.
+    pub fn delete(&mut self, target: u16, p: Point) -> Result<Response, ClientError> {
+        self.call(target, 0, Op::Delete(p))
+    }
+}

@@ -1,0 +1,51 @@
+//! # pc-serve — a concurrent query service over the path-cached structures
+//!
+//! The ROADMAP north star is a system that serves external-searching
+//! queries under real traffic; this crate is the request path. It turns the
+//! workspace's structures (B-tree range, segment/interval-tree stabbing,
+//! 2-/3-sided PST queries, dynamic PST updates) into a TCP service with:
+//!
+//! * a **length-prefixed binary wire protocol** ([`wire`]) — versioned
+//!   header, request ids, typed ops and typed error responses, with a
+//!   total (never-panicking) decoder and zero-copy [`Page`]-backed
+//!   response frames;
+//! * **admission control** ([`queue`]) — a bounded MPMC queue in front of
+//!   the worker pool; a full queue sheds the request with an immediate
+//!   `Overloaded` response, so backlog (and therefore admitted-request
+//!   queueing delay) is capped by construction;
+//! * **per-request deadlines** — a relative deadline in the request header
+//!   answered with `DeadlineExceeded` when it expires in the queue;
+//! * an **update-batching stage** ([`server`]) — dynamic-structure writes
+//!   are coalesced and applied per target with one lock hold per batch,
+//!   the service-layer analogue of the paper's §5 buffered updates;
+//! * a **structure-agnostic router** ([`target`]) — structures register as
+//!   [`QueryTarget`] trait objects, so new external structures join the
+//!   server without touching it;
+//! * **graceful drain-then-shutdown** and idle-timeout reclamation of dead
+//!   connections, plus always-on service stats ([`stats`]) exposed over
+//!   the ADMIN ops.
+//!
+//! Everything is `std` + workspace crates only (the hermetic-build rule);
+//! the companion binary `pc-loadgen` drives this server over real sockets
+//! and records throughput/latency artifacts.
+//!
+//! [`Page`]: pc_pagestore::Page
+//! [`QueryTarget`]: target::QueryTarget
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod queue;
+pub mod server;
+pub mod stats;
+pub mod target;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{Server, ServerConfig, ServerHandle, Service};
+pub use stats::ServeStats;
+pub use target::{
+    BTreeTarget, DynamicPstTarget, DynamicThreeSidedTarget, IntervalTreeTarget, PstTarget,
+    QueryTarget, Registry, SegTreeTarget, TargetError, ThreeSidedTarget, UpdateOp,
+};
+pub use wire::{Body, DecodeError, ErrorCode, Op, Request, Response};

@@ -1,0 +1,199 @@
+//! Bounded MPMC queue — the admission-control point of the server.
+//!
+//! The queue never blocks a producer: [`Bounded::try_push`] either admits
+//! the item or returns it to the caller immediately ([`PushError::Full`]),
+//! which the connection layer turns into an `Overloaded` response. That is
+//! the whole admission-control policy: backlog is capped at `capacity`, so
+//! queueing delay for admitted requests is bounded by `capacity ×
+//! worst-case service time` and overload degrades into fast, explicit
+//! rejections instead of an unbounded latency tail.
+//!
+//! Consumers block on a condition variable; [`Bounded::close`] wakes them
+//! all, and [`Bounded::pop`] keeps draining already-admitted items after
+//! close (drain-then-shutdown) before reporting exhaustion with `None`.
+
+use std::collections::VecDeque;
+
+use pc_sync::{Condvar, Mutex};
+
+/// Why a push was refused; the rejected item is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed the item (admission control).
+    Full(T),
+    /// The queue is closed — the server is draining.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum backlog this queue admits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current backlog length.
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    /// True when the backlog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits `item` without ever blocking, or returns it with the reason.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means no item will ever arrive again.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g);
+        }
+    }
+
+    /// Takes an item if one is ready, never blocking (used by the batcher
+    /// to coalesce whatever is already queued).
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().items.pop_front()
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// consumers drain the remaining backlog and then see `None`.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// True once [`Bounded::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo_and_full() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Bounded::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed("c")));
+        // Already-admitted work still drains after close.
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push_and_close() {
+        let q = Arc::new(Bounded::new(1));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || {
+            let first = q2.pop();
+            let second = q2.pop();
+            (first, second)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        let (first, second) = t.join().unwrap();
+        assert_eq!(first, Some(7));
+        assert_eq!(second, None);
+    }
+
+    #[test]
+    fn mpmc_delivers_every_item_exactly_once() {
+        let q = Arc::new(Bounded::new(8));
+        let total = 200u64;
+        std::thread::scope(|s| {
+            let mut consumers = Vec::new();
+            for _ in 0..3 {
+                let q = q.clone();
+                consumers.push(s.spawn(move || {
+                    let mut sum = 0u64;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                    }
+                    sum
+                }));
+            }
+            for i in 1..=total {
+                // Producers spin on Full: the queue is deliberately tiny.
+                let mut item = i;
+                loop {
+                    match q.try_push(item) {
+                        Ok(()) => break,
+                        Err(PushError::Full(v)) => {
+                            item = v;
+                            std::thread::yield_now();
+                        }
+                        Err(PushError::Closed(_)) => panic!("closed early"),
+                    }
+                }
+            }
+            q.close();
+            let got: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            assert_eq!(got, total * (total + 1) / 2);
+        });
+    }
+}

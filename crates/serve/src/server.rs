@@ -1,0 +1,542 @@
+//! The server: acceptor, per-connection readers, a worker pool behind the
+//! admission-controlled query queue, and a dedicated update-batching stage.
+//!
+//! Thread model (all plain `std::thread`, sized by [`ServerConfig`]):
+//!
+//! * **acceptor** — nonblocking accept loop; stops on shutdown.
+//! * **connection readers** (one per connection) — poll the socket with a
+//!   short read-timeout tick so they can notice shutdown and enforce the
+//!   idle timeout; decode frames; answer admin ops inline (they must stay
+//!   responsive under load); route queries/updates through
+//!   [`crate::queue::Bounded::try_push`] — a full queue is answered
+//!   `Overloaded` *immediately*, which is the entire admission-control
+//!   policy.
+//! * **workers** — pop query jobs, enforce the per-request deadline, run
+//!   [`crate::target::QueryTarget::query`], write the response.
+//! * **batcher** — pops one update, then drains whatever else is already
+//!   queued (up to `batch_max`), groups by target, and applies each group
+//!   with a single [`crate::target::QueryTarget::apply_updates`] call — the
+//!   service-layer version of the paper's §5 buffered-update idea: the
+//!   structure pays its lock and root-path traffic once per batch.
+//!
+//! Graceful drain-then-shutdown: the ADMIN `Shutdown` op (or
+//! [`ServerHandle::shutdown`]) flips one flag and closes both queues. New
+//! requests get `ShuttingDown`; already-admitted jobs drain and their
+//! responses are written before the threads exit. Response frames are
+//! shared [`Page`]s, written under a per-connection mutex with a write
+//! timeout, so a stalled peer can never hang a worker.
+
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pc_pagestore::{IoStats, Page, PageStore};
+use pc_sync::Mutex;
+
+use crate::queue::{Bounded, PushError};
+use crate::stats::ServeStats;
+use crate::target::{Registry, TargetError, UpdateOp};
+use crate::wire::{
+    decode_request, response_frame, Body, ErrorCode, FrameProgress, FrameReader, Op, Request,
+    Response, MAX_FRAME,
+};
+
+/// Everything a server instance serves: one shared page store and the
+/// registry of structures living in it.
+pub struct Service {
+    /// The shared store (all workers read through its sharded pool).
+    pub store: Arc<PageStore>,
+    /// The structures, addressed by wire target id.
+    pub registry: Registry,
+}
+
+/// Server tuning knobs. `Default` is sized for tests and small machines.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Query worker threads (thread-per-core by default, minimum 1).
+    pub workers: usize,
+    /// Query queue capacity — the admission-control bound.
+    pub queue_depth: usize,
+    /// Update queue capacity.
+    pub update_queue_depth: usize,
+    /// Max updates coalesced into one batch.
+    pub batch_max: usize,
+    /// Close a connection after this long without a complete frame.
+    pub idle_timeout: Duration,
+    /// Socket write timeout (a stalled peer fails the write instead of
+    /// hanging a worker).
+    pub write_timeout: Duration,
+    /// Read-timeout tick for the polling reader loops.
+    pub poll_tick: Duration,
+    /// Frame-size cap (see [`MAX_FRAME`]).
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            queue_depth: 64,
+            update_queue_depth: 64,
+            batch_max: 32,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            poll_tick: Duration::from_millis(20),
+            max_frame: MAX_FRAME,
+        }
+    }
+}
+
+/// One accepted connection's write half. Workers, the batcher, and the
+/// reader all send through this; the mutex serializes whole frames.
+struct Conn {
+    stream: TcpStream,
+    wlock: Mutex<()>,
+}
+
+impl Conn {
+    /// Writes one pre-encoded frame. On failure the socket is shut down so
+    /// the reader exits promptly instead of serving a half-dead peer.
+    fn send(&self, frame: &Page) -> io::Result<()> {
+        let _g = self.wlock.lock();
+        let mut w = &self.stream;
+        w.write_all(frame.as_slice()).inspect_err(|_| {
+            let _ = self.stream.shutdown(Shutdown::Both);
+        })
+    }
+}
+
+/// A queued unit of work.
+struct Job {
+    req: Request,
+    conn: Arc<Conn>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+}
+
+struct Shared {
+    store: Arc<PageStore>,
+    registry: Registry,
+    cfg: ServerConfig,
+    stats: ServeStats,
+    queries: Bounded<Job>,
+    updates: Bounded<Job>,
+    shutdown: AtomicBool,
+    batch_seq: AtomicU64,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Relaxed) {
+            self.queries.close();
+            self.updates.close();
+        }
+    }
+
+    fn respond(&self, conn: &Conn, resp: &Response) {
+        // A failed write means the peer is gone; the job is complete either
+        // way and the reader notices the shutdown socket on its next poll.
+        let _ = conn.send(&response_frame(resp));
+    }
+}
+
+fn target_error_response(stats: &ServeStats, id: u64, err: TargetError) -> Response {
+    match err {
+        TargetError::Unsupported { .. } => {
+            stats.bad_requests.fetch_add(1, Relaxed);
+            Response::error(id, ErrorCode::Unsupported, err.to_string())
+        }
+        TargetError::Storage(e) => {
+            stats.storage_errors.fetch_add(1, Relaxed);
+            Response::error(id, ErrorCode::Storage, e.to_string())
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queries.pop() {
+        let resp = if job.deadline.is_some_and(|d| Instant::now() > d) {
+            shared.stats.deadline_exceeded.fetch_add(1, Relaxed);
+            Response::error(job.req.id, ErrorCode::DeadlineExceeded, "deadline passed in queue")
+        } else {
+            let _span = pc_obs::span!("serve_query");
+            match shared.registry.get(job.req.target) {
+                None => {
+                    shared.stats.bad_requests.fetch_add(1, Relaxed);
+                    Response::error(
+                        job.req.id,
+                        ErrorCode::BadRequest,
+                        format!("unknown target {}", job.req.target),
+                    )
+                }
+                Some(target) => match target.query(&shared.store, &job.req.op) {
+                    Ok(body) => {
+                        shared.stats.queries_ok.fetch_add(1, Relaxed);
+                        Response { id: job.req.id, body }
+                    }
+                    Err(e) => target_error_response(&shared.stats, job.req.id, e),
+                },
+            }
+        };
+        shared.stats.query_latency_ns.record(job.enqueued.elapsed().as_nanos() as u64);
+        shared.respond(&job.conn, &resp);
+    }
+}
+
+fn batcher_loop(shared: &Shared) {
+    while let Some(first) = shared.updates.pop() {
+        // Coalesce: take whatever else is already queued, up to batch_max.
+        let mut batch = vec![first];
+        while batch.len() < shared.cfg.batch_max {
+            match shared.updates.try_pop() {
+                Some(job) => batch.push(job),
+                None => break,
+            }
+        }
+        let seq = shared.batch_seq.fetch_add(1, Relaxed) + 1;
+
+        // Expire deadlines now — an expired update must not be applied.
+        let mut live = Vec::with_capacity(batch.len());
+        for job in batch {
+            if job.deadline.is_some_and(|d| Instant::now() > d) {
+                shared.stats.deadline_exceeded.fetch_add(1, Relaxed);
+                shared.stats.update_latency_ns.record(job.enqueued.elapsed().as_nanos() as u64);
+                shared.respond(
+                    &job.conn,
+                    &Response::error(
+                        job.req.id,
+                        ErrorCode::DeadlineExceeded,
+                        "deadline passed in queue",
+                    ),
+                );
+            } else {
+                live.push(job);
+            }
+        }
+
+        // Group by target, preserving per-target arrival order, then apply
+        // each group with one apply_updates call (single lock hold).
+        let mut groups: Vec<(u16, Vec<Job>)> = Vec::new();
+        for job in live {
+            match groups.iter_mut().find(|(t, _)| *t == job.req.target) {
+                Some((_, jobs)) => jobs.push(job),
+                None => groups.push((job.req.target, vec![job])),
+            }
+        }
+        for (tid, jobs) in groups {
+            let ops: Vec<UpdateOp> = jobs
+                .iter()
+                .filter_map(|j| match &j.req.op {
+                    Op::Insert(p) => Some(UpdateOp::Insert(*p)),
+                    Op::Delete(p) => Some(UpdateOp::Delete(*p)),
+                    _ => None, // admission only routes updates here
+                })
+                .collect();
+            let coalesced = ops.len() as u32;
+            let results = {
+                let _span = pc_obs::span!("serve_update_batch", coalesced);
+                match shared.registry.get(tid) {
+                    Some(target) => target.apply_updates(&shared.store, &ops),
+                    None => ops
+                        .iter()
+                        .map(|_| {
+                            Err(TargetError::Unsupported { op: "update", target: "missing" })
+                        })
+                        .collect(),
+                }
+            };
+            shared.stats.batches.fetch_add(1, Relaxed);
+            shared.stats.batched_updates.fetch_add(coalesced as u64, Relaxed);
+            for (job, res) in jobs.iter().zip(results) {
+                let resp = match res {
+                    Ok(()) => {
+                        shared.stats.updates_ok.fetch_add(1, Relaxed);
+                        Response { id: job.req.id, body: Body::Ack { batch: seq, coalesced } }
+                    }
+                    Err(e) => target_error_response(&shared.stats, job.req.id, e),
+                };
+                shared.stats.update_latency_ns.record(job.enqueued.elapsed().as_nanos() as u64);
+                shared.respond(&job.conn, &resp);
+            }
+        }
+    }
+}
+
+/// Handles one decoded request on the reader thread. Returns `false` when
+/// the connection should stop reading (shutdown was requested).
+fn handle_request(shared: &Shared, conn: &Arc<Conn>, req: Request) -> bool {
+    shared.stats.requests.fetch_add(1, Relaxed);
+    let now = Instant::now();
+
+    // Admin ops are served inline so they stay responsive under overload.
+    match &req.op {
+        Op::Ping => {
+            shared.respond(conn, &Response { id: req.id, body: Body::Pong });
+            return true;
+        }
+        Op::Stats => {
+            let pairs = shared.stats.stat_pairs(&shared.store.stats());
+            shared.respond(conn, &Response { id: req.id, body: Body::Stats(pairs) });
+            return true;
+        }
+        Op::Metrics => {
+            let mut text = shared.stats.render_text();
+            text.push_str(&pc_obs::render_text());
+            shared.respond(conn, &Response { id: req.id, body: Body::Metrics(text) });
+            return true;
+        }
+        Op::Shutdown => {
+            shared.respond(conn, &Response { id: req.id, body: Body::ShutdownAck });
+            shared.begin_shutdown();
+            return false;
+        }
+        _ => {}
+    }
+
+    if shared.shutdown.load(Relaxed) {
+        shared.stats.shed_shutdown.fetch_add(1, Relaxed);
+        shared.respond(conn, &Response::error(req.id, ErrorCode::ShuttingDown, "draining"));
+        return false;
+    }
+
+    // Route validation happens at admission so a bad request never occupies
+    // a queue slot.
+    let Some(target) = shared.registry.get(req.target) else {
+        shared.stats.bad_requests.fetch_add(1, Relaxed);
+        shared.respond(
+            conn,
+            &Response::error(req.id, ErrorCode::BadRequest, format!("unknown target {}", req.target)),
+        );
+        return true;
+    };
+    let is_update = req.op.is_update();
+    if is_update && !target.supports_updates() {
+        shared.stats.bad_requests.fetch_add(1, Relaxed);
+        shared.respond(
+            conn,
+            &Response::error(
+                req.id,
+                ErrorCode::Unsupported,
+                format!("target {} ({}) is read-only", req.target, target.kind()),
+            ),
+        );
+        return true;
+    }
+
+    let deadline = (req.deadline_ms > 0).then(|| now + Duration::from_millis(req.deadline_ms as u64));
+    let id = req.id;
+    let job = Job { req, conn: Arc::clone(conn), enqueued: now, deadline };
+    let queue = if is_update { &shared.updates } else { &shared.queries };
+    match queue.try_push(job) {
+        Ok(()) => {
+            shared.stats.admitted.fetch_add(1, Relaxed);
+            true
+        }
+        Err(PushError::Full(_)) => {
+            shared.stats.overloaded.fetch_add(1, Relaxed);
+            shared.respond(conn, &Response::error(id, ErrorCode::Overloaded, "queue full"));
+            true
+        }
+        Err(PushError::Closed(_)) => {
+            shared.stats.shed_shutdown.fetch_add(1, Relaxed);
+            shared.respond(conn, &Response::error(id, ErrorCode::ShuttingDown, "draining"));
+            false
+        }
+    }
+}
+
+fn conn_loop(shared: &Shared, conn: Arc<Conn>) {
+    let mut reader = FrameReader::new(shared.cfg.max_frame);
+    let mut last_activity = Instant::now();
+    let mut seen_bytes = 0u64;
+    loop {
+        if shared.shutdown.load(Relaxed) {
+            // Stop reading; admitted jobs still hold the Conn and write
+            // their responses before the socket finally closes.
+            return;
+        }
+        match reader.poll(&mut (&conn.stream)) {
+            Ok(FrameProgress::Frame(payload)) => {
+                last_activity = Instant::now();
+                match decode_request(&payload) {
+                    Ok(req) => {
+                        if !handle_request(shared, &conn, req) {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        // The framing survives a bad payload, but a peer
+                        // sending garbage gets one typed error and a close.
+                        shared.stats.bad_requests.fetch_add(1, Relaxed);
+                        shared.respond(&conn, &Response::error(0, ErrorCode::BadRequest, e.to_string()));
+                        return;
+                    }
+                }
+            }
+            Ok(FrameProgress::Pending) => {
+                if reader.bytes_read() != seen_bytes {
+                    seen_bytes = reader.bytes_read();
+                    last_activity = Instant::now();
+                } else if last_activity.elapsed() >= shared.cfg.idle_timeout {
+                    // Peer went silent (possibly mid-frame): reclaim the
+                    // connection instead of leaking it.
+                    shared.stats.conns_idle_closed.fetch_add(1, Relaxed);
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Ok(FrameProgress::Eof) | Err(_) => return,
+        }
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener, conns: &Mutex<Vec<JoinHandle<()>>>) {
+    while !shared.shutdown.load(Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.stats.conns_accepted.fetch_add(1, Relaxed);
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(shared.cfg.poll_tick));
+                let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+                let conn = Arc::new(Conn { stream, wlock: Mutex::new(()) });
+                let shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || conn_loop(&shared, conn));
+                let mut g = conns.lock();
+                // Opportunistically reap finished readers so the vec stays
+                // bounded on long-lived servers.
+                g.retain(|h| !h.is_finished());
+                g.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll_tick.min(Duration::from_millis(10)));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Spawns servers. The unit struct exists so the entry point reads as
+/// `Server::spawn(service, config)`.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr`, spawns the thread pool, and returns a handle.
+    pub fn spawn(service: Service, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            store: service.store,
+            registry: service.registry,
+            queries: Bounded::new(config.queue_depth),
+            updates: Bounded::new(config.update_queue_depth),
+            cfg: config,
+            stats: ServeStats::default(),
+            shutdown: AtomicBool::new(false),
+            batch_seq: AtomicU64::new(0),
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conn_threads);
+            std::thread::spawn(move || acceptor_loop(&shared, listener, &conns))
+        };
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batcher_loop(&shared))
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            batcher: Some(batcher),
+            conn_threads,
+        })
+    }
+}
+
+/// Owner handle for a running server. Dropping it shuts the server down
+/// and joins every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live service counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// Snapshot of the shared store's I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.shared.store.stats()
+    }
+
+    /// The page store all served structures live in (chaos tests use this
+    /// to inject faults into a running server).
+    pub fn store(&self) -> &Arc<PageStore> {
+        &self.shared.store
+    }
+
+    /// True once shutdown has been requested (locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Relaxed)
+    }
+
+    /// Requests drain-then-shutdown without blocking.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Shuts down and joins every thread; admitted work is answered first.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        loop {
+            let Some(h) = self.conn_threads.lock().pop() else { break };
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.join_inner();
+    }
+}

@@ -1,0 +1,169 @@
+//! Always-on service counters and latency histograms.
+//!
+//! [`ServeStats`] uses plain relaxed atomics plus the always-compiled
+//! `pc_obs::hist::Histogram`, so the ADMIN `Stats`/`Metrics` ops report
+//! real numbers in every build — the `obs` cargo feature only adds the
+//! span/flight-recorder layers on top. Names come from
+//! [`pc_obs::serve_metrics`] so the exposition, the load generator, and the
+//! tests can never drift apart.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use pc_obs::hist::Histogram;
+use pc_obs::serve_metrics as names;
+use pc_pagestore::IoStats;
+
+/// Cumulative service-layer counters (monotonic, relaxed).
+#[derive(Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub conns_accepted: AtomicU64,
+    /// Connections closed by the idle/read timeout.
+    pub conns_idle_closed: AtomicU64,
+    /// Well-formed requests received.
+    pub requests: AtomicU64,
+    /// Requests admitted to a work queue.
+    pub admitted: AtomicU64,
+    /// Requests shed with `Overloaded`.
+    pub overloaded: AtomicU64,
+    /// Requests rejected with `ShuttingDown`.
+    pub shed_shutdown: AtomicU64,
+    /// Requests answered `DeadlineExceeded`.
+    pub deadline_exceeded: AtomicU64,
+    /// Malformed / unroutable requests.
+    pub bad_requests: AtomicU64,
+    /// Requests that hit a typed storage error.
+    pub storage_errors: AtomicU64,
+    /// Queries answered successfully.
+    pub queries_ok: AtomicU64,
+    /// Updates acknowledged successfully.
+    pub updates_ok: AtomicU64,
+    /// Update batches applied.
+    pub batches: AtomicU64,
+    /// Updates carried inside those batches.
+    pub batched_updates: AtomicU64,
+    /// Queue-to-response latency for queries, nanoseconds.
+    pub query_latency_ns: Histogram,
+    /// Queue-to-ack latency for updates, nanoseconds.
+    pub update_latency_ns: Histogram,
+}
+
+impl ServeStats {
+    /// `(name, value)` pairs for the ADMIN `Stats` op: every service
+    /// counter, derived latency quantiles, and the shared store's
+    /// [`IoStats`] (including the resilience counters) under an `io_`
+    /// prefix.
+    pub fn stat_pairs(&self, io: &IoStats) -> Vec<(String, u64)> {
+        let q = self.query_latency_ns.snapshot();
+        let u = self.update_latency_ns.snapshot();
+        let mut out: Vec<(String, u64)> = vec![
+            (names::CONNS_ACCEPTED.into(), self.conns_accepted.load(Relaxed)),
+            (names::CONNS_IDLE_CLOSED.into(), self.conns_idle_closed.load(Relaxed)),
+            (names::REQUESTS.into(), self.requests.load(Relaxed)),
+            (names::ADMITTED.into(), self.admitted.load(Relaxed)),
+            (names::OVERLOADED.into(), self.overloaded.load(Relaxed)),
+            (names::SHED_SHUTDOWN.into(), self.shed_shutdown.load(Relaxed)),
+            (names::DEADLINE_EXCEEDED.into(), self.deadline_exceeded.load(Relaxed)),
+            (names::BAD_REQUESTS.into(), self.bad_requests.load(Relaxed)),
+            (names::STORAGE_ERRORS.into(), self.storage_errors.load(Relaxed)),
+            (names::QUERIES_OK.into(), self.queries_ok.load(Relaxed)),
+            (names::UPDATES_OK.into(), self.updates_ok.load(Relaxed)),
+            (names::BATCHES.into(), self.batches.load(Relaxed)),
+            (names::BATCHED_UPDATES.into(), self.batched_updates.load(Relaxed)),
+            ("pc_serve_query_p50_ns".into(), q.quantile(0.50)),
+            ("pc_serve_query_p99_ns".into(), q.quantile(0.99)),
+            ("pc_serve_update_p50_ns".into(), u.quantile(0.50)),
+            ("pc_serve_update_p99_ns".into(), u.quantile(0.99)),
+        ];
+        out.extend([
+            ("io_reads".to_string(), io.reads),
+            ("io_writes".to_string(), io.writes),
+            ("io_cache_hits".to_string(), io.cache_hits),
+            ("io_allocs".to_string(), io.allocs),
+            ("io_frees".to_string(), io.frees),
+            ("io_pool_evictions".to_string(), io.pool_evictions),
+            ("io_retries".to_string(), io.retries),
+            ("io_failovers".to_string(), io.failovers),
+            ("io_repairs".to_string(), io.repairs),
+            ("io_quarantined".to_string(), io.quarantined),
+        ]);
+        out
+    }
+
+    /// Prometheus-style exposition of the service metrics. The ADMIN
+    /// `Metrics` op concatenates this with `pc_obs::render_text()` so one
+    /// scrape carries both layers.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let counters = [
+            (names::CONNS_ACCEPTED, self.conns_accepted.load(Relaxed)),
+            (names::CONNS_IDLE_CLOSED, self.conns_idle_closed.load(Relaxed)),
+            (names::REQUESTS, self.requests.load(Relaxed)),
+            (names::ADMITTED, self.admitted.load(Relaxed)),
+            (names::OVERLOADED, self.overloaded.load(Relaxed)),
+            (names::SHED_SHUTDOWN, self.shed_shutdown.load(Relaxed)),
+            (names::DEADLINE_EXCEEDED, self.deadline_exceeded.load(Relaxed)),
+            (names::BAD_REQUESTS, self.bad_requests.load(Relaxed)),
+            (names::STORAGE_ERRORS, self.storage_errors.load(Relaxed)),
+            (names::QUERIES_OK, self.queries_ok.load(Relaxed)),
+            (names::UPDATES_OK, self.updates_ok.load(Relaxed)),
+            (names::BATCHES, self.batches.load(Relaxed)),
+            (names::BATCHED_UPDATES, self.batched_updates.load(Relaxed)),
+        ];
+        for (name, v) in counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, h) in [
+            (names::QUERY_LATENCY, &self.query_latency_ns),
+            (names::UPDATE_LATENCY, &self.update_latency_ns),
+        ] {
+            let s = h.snapshot();
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for &(le, c) in &s.buckets {
+                cumulative += c;
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", s.count));
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", s.sum, s.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_pairs_carry_service_and_io_counters() {
+        let s = ServeStats::default();
+        s.requests.fetch_add(5, Relaxed);
+        s.overloaded.fetch_add(2, Relaxed);
+        s.query_latency_ns.record(1000);
+        let io = IoStats { reads: 7, retries: 3, quarantined: 1, ..IoStats::default() };
+        let pairs = s.stat_pairs(&io);
+        let get = |n: &str| pairs.iter().find(|(k, _)| k == n).map(|&(_, v)| v).unwrap();
+        assert_eq!(get(names::REQUESTS), 5);
+        assert_eq!(get(names::OVERLOADED), 2);
+        assert_eq!(get("io_reads"), 7);
+        assert_eq!(get("io_retries"), 3);
+        assert_eq!(get("io_quarantined"), 1);
+        assert_eq!(get("pc_serve_query_p50_ns"), 1023);
+    }
+
+    #[test]
+    fn render_text_is_prometheus_shaped() {
+        let s = ServeStats::default();
+        s.admitted.fetch_add(4, Relaxed);
+        s.query_latency_ns.record(3);
+        s.query_latency_ns.record(100);
+        let text = s.render_text();
+        assert!(text.contains("# TYPE pc_serve_admitted_total counter"), "{text}");
+        assert!(text.contains("pc_serve_admitted_total 4"), "{text}");
+        assert!(text.contains("# TYPE pc_serve_query_latency_ns histogram"), "{text}");
+        assert!(text.contains("pc_serve_query_latency_ns_bucket{le=\"3\"} 1"), "{text}");
+        assert!(text.contains("pc_serve_query_latency_ns_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("pc_serve_query_latency_ns_count 2"), "{text}");
+    }
+}

@@ -1,0 +1,395 @@
+//! The [`QueryTarget`] registry: the router's only view of a data
+//! structure.
+//!
+//! The server never matches on concrete structure types. Each served
+//! structure is registered as a boxed [`QueryTarget`] and addressed by its
+//! registry index ([`Request::target`]); the trait maps a wire [`Op`] to a
+//! wire [`Body`] (or a typed [`TargetError`]), so adding a new external
+//! structure to the server is one `impl` plus one `register` call — no
+//! router changes. Update-capable targets additionally accept a *slice* of
+//! updates: the batching stage hands over everything it coalesced so the
+//! target pays its lock acquisition and root-path traffic once per batch,
+//! not once per update (the Thm 5.1 buffering idea applied at the service
+//! boundary).
+//!
+//! All registered structures share one [`PageStore`] (`&self` API, `Sync`),
+//! so worker threads query concurrently through the sharded buffer pool.
+
+use std::fmt;
+
+use pc_btree::BTree;
+use pc_intervaltree::ExternalIntervalTree;
+use pc_pagestore::{PageStore, Point, StoreError};
+use pc_pst::{DynamicPst, DynamicThreeSidedPst, ThreeSided, ThreeSidedPst, TwoLevelPst, TwoSided};
+use pc_segtree::CachedSegmentTree;
+use pc_sync::Mutex;
+
+use crate::wire::{Body, Op};
+
+/// Why a target could not serve an op.
+#[derive(Debug)]
+pub enum TargetError {
+    /// This target does not implement the op (e.g. a stab against a B-tree).
+    Unsupported {
+        /// The op name (see [`Op::name`]).
+        op: &'static str,
+        /// The target kind (see [`QueryTarget::kind`]).
+        target: &'static str,
+    },
+    /// The storage layer failed; carries the typed store error.
+    Storage(StoreError),
+}
+
+impl fmt::Display for TargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetError::Unsupported { op, target } => {
+                write!(f, "op {op} is not supported by target kind {target}")
+            }
+            TargetError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TargetError {}
+
+impl From<StoreError> for TargetError {
+    fn from(e: StoreError) -> TargetError {
+        TargetError::Storage(e)
+    }
+}
+
+/// One update taken from the wire, as handed to [`QueryTarget::apply_updates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert a point.
+    Insert(Point),
+    /// Delete a point.
+    Delete(Point),
+}
+
+/// A servable structure. Implementations must be `Send + Sync`: queries run
+/// concurrently from the worker pool against a shared [`PageStore`].
+pub trait QueryTarget: Send + Sync {
+    /// Stable kind name for stats and error messages (e.g. `"btree"`).
+    fn kind(&self) -> &'static str;
+
+    /// Serves one read op. Admin ops are never routed here.
+    fn query(&self, store: &PageStore, op: &Op) -> Result<Body, TargetError>;
+
+    /// Whether [`QueryTarget::apply_updates`] can succeed; the router
+    /// rejects updates to static targets before they reach a queue.
+    fn supports_updates(&self) -> bool {
+        false
+    }
+
+    /// Applies a coalesced batch of updates, returning one result per op in
+    /// order. The default rejects everything (static structure).
+    fn apply_updates(&self, store: &PageStore, ops: &[UpdateOp]) -> Vec<Result<(), TargetError>> {
+        let _ = store;
+        ops.iter()
+            .map(|_| Err(TargetError::Unsupported { op: "update", target: self.kind() }))
+            .collect()
+    }
+}
+
+fn unsupported(op: &Op, target: &'static str) -> TargetError {
+    TargetError::Unsupported { op: op.name(), target }
+}
+
+/// A read-only B-tree serving [`Op::Range1d`].
+pub struct BTreeTarget(pub BTree<i64, u64>);
+
+impl QueryTarget for BTreeTarget {
+    fn kind(&self) -> &'static str {
+        "btree"
+    }
+
+    fn query(&self, store: &PageStore, op: &Op) -> Result<Body, TargetError> {
+        match op {
+            Op::Range1d { lo, hi } => Ok(Body::Keys(self.0.range(store, lo, hi)?)),
+            other => Err(unsupported(other, self.kind())),
+        }
+    }
+}
+
+/// A path-cached segment tree serving [`Op::Stab`].
+pub struct SegTreeTarget(pub CachedSegmentTree);
+
+impl QueryTarget for SegTreeTarget {
+    fn kind(&self) -> &'static str {
+        "segtree"
+    }
+
+    fn query(&self, store: &PageStore, op: &Op) -> Result<Body, TargetError> {
+        match op {
+            Op::Stab { q } => Ok(Body::Intervals(self.0.stab(store, *q)?)),
+            other => Err(unsupported(other, self.kind())),
+        }
+    }
+}
+
+/// An external interval tree serving [`Op::Stab`].
+pub struct IntervalTreeTarget(pub ExternalIntervalTree);
+
+impl QueryTarget for IntervalTreeTarget {
+    fn kind(&self) -> &'static str {
+        "intervaltree"
+    }
+
+    fn query(&self, store: &PageStore, op: &Op) -> Result<Body, TargetError> {
+        match op {
+            Op::Stab { q } => Ok(Body::Intervals(self.0.stab(store, *q)?)),
+            other => Err(unsupported(other, self.kind())),
+        }
+    }
+}
+
+/// A static two-level PST serving [`Op::TwoSided`].
+pub struct PstTarget(pub TwoLevelPst);
+
+impl QueryTarget for PstTarget {
+    fn kind(&self) -> &'static str {
+        "pst"
+    }
+
+    fn query(&self, store: &PageStore, op: &Op) -> Result<Body, TargetError> {
+        match op {
+            Op::TwoSided { x0, y0 } => {
+                Ok(Body::Points(self.0.query(store, TwoSided { x0: *x0, y0: *y0 })?))
+            }
+            other => Err(unsupported(other, self.kind())),
+        }
+    }
+}
+
+/// A static 3-sided PST serving [`Op::ThreeSided`].
+pub struct ThreeSidedTarget(pub ThreeSidedPst);
+
+impl QueryTarget for ThreeSidedTarget {
+    fn kind(&self) -> &'static str {
+        "pst3"
+    }
+
+    fn query(&self, store: &PageStore, op: &Op) -> Result<Body, TargetError> {
+        match op {
+            Op::ThreeSided { x1, x2, y0 } => Ok(Body::Points(self.0.query(
+                store,
+                ThreeSided { x1: *x1, x2: *x2, y0: *y0 },
+            )?)),
+            other => Err(unsupported(other, self.kind())),
+        }
+    }
+}
+
+/// A dynamic PST serving [`Op::TwoSided`] plus batched inserts/deletes.
+/// The mutex is held once per *batch*, which is exactly the coalescing win:
+/// queries interleave between batches, not between individual updates.
+pub struct DynamicPstTarget(pub Mutex<DynamicPst>);
+
+impl DynamicPstTarget {
+    /// Wraps an already-built dynamic PST.
+    pub fn new(pst: DynamicPst) -> DynamicPstTarget {
+        DynamicPstTarget(Mutex::new(pst))
+    }
+}
+
+impl QueryTarget for DynamicPstTarget {
+    fn kind(&self) -> &'static str {
+        "dynamic_pst"
+    }
+
+    fn query(&self, store: &PageStore, op: &Op) -> Result<Body, TargetError> {
+        match op {
+            Op::TwoSided { x0, y0 } => {
+                Ok(Body::Points(self.0.lock().query(store, TwoSided { x0: *x0, y0: *y0 })?))
+            }
+            other => Err(unsupported(other, self.kind())),
+        }
+    }
+
+    fn supports_updates(&self) -> bool {
+        true
+    }
+
+    fn apply_updates(&self, store: &PageStore, ops: &[UpdateOp]) -> Vec<Result<(), TargetError>> {
+        let mut pst = self.0.lock();
+        ops.iter()
+            .map(|op| {
+                match op {
+                    UpdateOp::Insert(p) => pst.insert(store, *p),
+                    UpdateOp::Delete(p) => pst.delete(store, *p),
+                }
+                .map_err(TargetError::from)
+            })
+            .collect()
+    }
+}
+
+/// A dynamic 3-sided PST serving [`Op::ThreeSided`] plus batched updates.
+pub struct DynamicThreeSidedTarget(pub Mutex<DynamicThreeSidedPst>);
+
+impl DynamicThreeSidedTarget {
+    /// Wraps an already-built dynamic 3-sided PST.
+    pub fn new(pst: DynamicThreeSidedPst) -> DynamicThreeSidedTarget {
+        DynamicThreeSidedTarget(Mutex::new(pst))
+    }
+}
+
+impl QueryTarget for DynamicThreeSidedTarget {
+    fn kind(&self) -> &'static str {
+        "dynamic_pst3"
+    }
+
+    fn query(&self, store: &PageStore, op: &Op) -> Result<Body, TargetError> {
+        match op {
+            Op::ThreeSided { x1, x2, y0 } => Ok(Body::Points(self.0.lock().query(
+                store,
+                ThreeSided { x1: *x1, x2: *x2, y0: *y0 },
+            )?)),
+            other => Err(unsupported(other, self.kind())),
+        }
+    }
+
+    fn supports_updates(&self) -> bool {
+        true
+    }
+
+    fn apply_updates(&self, store: &PageStore, ops: &[UpdateOp]) -> Vec<Result<(), TargetError>> {
+        let mut pst = self.0.lock();
+        ops.iter()
+            .map(|op| {
+                match op {
+                    UpdateOp::Insert(p) => pst.insert(store, *p),
+                    UpdateOp::Delete(p) => pst.delete(store, *p),
+                }
+                .map_err(TargetError::from)
+            })
+            .collect()
+    }
+}
+
+/// The set of structures a server instance exposes, addressed by index.
+#[derive(Default)]
+pub struct Registry {
+    targets: Vec<(String, Box<dyn QueryTarget>)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers a target under `name`, returning its wire id.
+    pub fn register(&mut self, name: impl Into<String>, target: Box<dyn QueryTarget>) -> u16 {
+        assert!(self.targets.len() < u16::MAX as usize, "registry full");
+        self.targets.push((name.into(), target));
+        (self.targets.len() - 1) as u16
+    }
+
+    /// Looks up a target by wire id.
+    pub fn get(&self, id: u16) -> Option<&dyn QueryTarget> {
+        self.targets.get(id as usize).map(|(_, t)| t.as_ref())
+    }
+
+    /// The name a target was registered under.
+    pub fn name(&self, id: u16) -> Option<&str> {
+        self.targets.get(id as usize).map(|(n, _)| n.as_str())
+    }
+
+    /// Number of registered targets.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// `(id, name, kind, supports_updates)` for every target, for stats.
+    pub fn describe(&self) -> Vec<(u16, &str, &'static str, bool)> {
+        self.targets
+            .iter()
+            .enumerate()
+            .map(|(i, (n, t))| (i as u16, n.as_str(), t.kind(), t.supports_updates()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_pagestore::Interval;
+
+    const PAGE: usize = 512;
+
+    #[test]
+    fn registry_routes_by_id_and_rejects_mismatched_ops() {
+        let store = PageStore::in_memory(PAGE);
+        let points: Vec<Point> =
+            (0..50).map(|i| Point { x: i, y: (i * 7) % 50, id: i as u64 }).collect();
+        let entries: Vec<(i64, u64)> = (0..50).map(|i| (i, (i * i) as u64)).collect();
+        let intervals: Vec<Interval> =
+            (0..20).map(|i| Interval { lo: i, hi: i + 10, id: i as u64 }).collect();
+
+        let mut reg = Registry::new();
+        let bt = reg.register("keys", Box::new(BTreeTarget(BTree::bulk_build(&store, &entries).unwrap())));
+        let st = reg.register("intervals", Box::new(SegTreeTarget(CachedSegmentTree::build(&store, &intervals).unwrap())));
+        let it = reg.register("intervals2", Box::new(IntervalTreeTarget(ExternalIntervalTree::build(&store, &intervals).unwrap())));
+        let ps = reg.register("points", Box::new(PstTarget(TwoLevelPst::build(&store, &points).unwrap())));
+        let dy = reg.register("dynamic", Box::new(DynamicPstTarget::new(DynamicPst::build(&store, &points).unwrap())));
+        assert_eq!(reg.len(), 5);
+        assert_eq!(reg.name(bt), Some("keys"));
+        assert!(reg.get(99).is_none());
+
+        // Right op, right answer shape.
+        let body = reg.get(bt).unwrap().query(&store, &Op::Range1d { lo: 10, hi: 20 }).unwrap();
+        match body {
+            Body::Keys(kvs) => assert_eq!(kvs.len(), 11),
+            other => panic!("unexpected body {other:?}"),
+        }
+        for id in [st, it] {
+            let body = reg.get(id).unwrap().query(&store, &Op::Stab { q: 15 }).unwrap();
+            assert!(matches!(body, Body::Intervals(_)));
+        }
+        for id in [ps, dy] {
+            let body =
+                reg.get(id).unwrap().query(&store, &Op::TwoSided { x0: 10, y0: 10 }).unwrap();
+            assert!(matches!(body, Body::Points(_)));
+        }
+
+        // Wrong op for the target: typed Unsupported, not a panic.
+        let err = reg.get(bt).unwrap().query(&store, &Op::Stab { q: 1 }).unwrap_err();
+        assert!(matches!(err, TargetError::Unsupported { .. }));
+        assert!(err.to_string().contains("btree"));
+
+        // Static targets refuse updates; the dynamic one advertises them.
+        assert!(!reg.get(bt).unwrap().supports_updates());
+        assert!(reg.get(dy).unwrap().supports_updates());
+        let res = reg
+            .get(bt)
+            .unwrap()
+            .apply_updates(&store, &[UpdateOp::Insert(Point { x: 0, y: 0, id: 0 })]);
+        assert!(matches!(res[0], Err(TargetError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn dynamic_target_batch_updates_agree_with_queries() {
+        let store = PageStore::in_memory(PAGE);
+        let target = DynamicPstTarget::new(DynamicPst::build(&store, &[]).unwrap());
+        let ops: Vec<UpdateOp> =
+            (0..40).map(|i| UpdateOp::Insert(Point { x: i, y: i % 10, id: i as u64 })).collect();
+        let results = target.apply_updates(&store, &ops);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let deletes: Vec<UpdateOp> =
+            (0..10).map(|i| UpdateOp::Delete(Point { x: i, y: i % 10, id: i as u64 })).collect();
+        assert!(target.apply_updates(&store, &deletes).iter().all(|r| r.is_ok()));
+        let body = target.query(&store, &Op::TwoSided { x0: 0, y0: 0 }).unwrap();
+        match body {
+            Body::Points(ps) => assert_eq!(ps.len(), 30),
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,946 @@
+//! Wire protocol v1: length-prefixed binary frames.
+//!
+//! Every message is one frame: a little-endian `u32` payload length followed
+//! by the payload. Request payloads open with a fixed header — magic
+//! ([`MAGIC`]), version ([`VERSION`]), opcode, request id, target id,
+//! relative deadline — then an opcode-specific body; response payloads are
+//! an opcode byte, the echoed request id, and a typed body. All integers are
+//! little-endian; no padding anywhere.
+//!
+//! ```text
+//! frame    := len:u32 payload[len]                  (len <= MAX_FRAME)
+//! request  := magic:u16 version:u8 op:u8 id:u64 target:u16 deadline_ms:u32 body
+//! response := kind:u8 id:u64 body
+//! ```
+//!
+//! Decoding is total: any byte string — truncated, corrupted, or
+//! adversarial — produces either a value or a typed [`DecodeError`], never a
+//! panic and never an allocation larger than the frame that carried it
+//! (element counts are validated against the bytes actually present before
+//! any `Vec` is sized). That property is pinned by the `wire_proptest` suite.
+//!
+//! Responses encode into a single exact-size buffer that includes the length
+//! prefix and is handed out as a [`Page`] (`Arc<[u8]>`): queueing, retrying,
+//! or multi-writer fan-out clones a refcount, not the result bytes, so a
+//! large `Points` result is materialized exactly once on its way to the
+//! socket.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use pc_pagestore::{Interval, Page, Point};
+
+/// First two payload bytes of every request ("PC", little-endian).
+pub const MAGIC: u16 = 0x4350;
+/// Protocol version accepted by this build.
+pub const VERSION: u8 = 1;
+/// Hard cap on a frame payload; a larger announced length is rejected
+/// before any allocation (protects against corrupt/hostile prefixes).
+pub const MAX_FRAME: usize = 1 << 24;
+/// Conventional `target` value for admin ops (the field is ignored there).
+pub const ADMIN_TARGET: u16 = 0;
+
+// Request opcodes. Query/update ops are < 16; admin ops are >= 16.
+const OP_RANGE1D: u8 = 1;
+const OP_STAB: u8 = 2;
+const OP_TWO_SIDED: u8 = 3;
+const OP_THREE_SIDED: u8 = 4;
+const OP_INSERT: u8 = 5;
+const OP_DELETE: u8 = 6;
+const OP_PING: u8 = 16;
+const OP_STATS: u8 = 17;
+const OP_METRICS: u8 = 18;
+const OP_SHUTDOWN: u8 = 19;
+
+// Response kinds.
+const RESP_POINTS: u8 = 1;
+const RESP_INTERVALS: u8 = 2;
+const RESP_KEYS: u8 = 3;
+const RESP_ACK: u8 = 4;
+const RESP_PONG: u8 = 5;
+const RESP_STATS: u8 = 6;
+const RESP_METRICS: u8 = 7;
+const RESP_SHUTDOWN_ACK: u8 = 8;
+const RESP_ERROR: u8 = 9;
+
+/// A typed operation carried by a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// 1-d key range `[lo, hi]` against a B-tree target.
+    Range1d {
+        /// Inclusive lower key.
+        lo: i64,
+        /// Inclusive upper key.
+        hi: i64,
+    },
+    /// Stabbing query at `q` against an interval target.
+    Stab {
+        /// Stabbing point.
+        q: i64,
+    },
+    /// 2-sided PST query (left bound `x0`, bottom bound `y0`; same
+    /// semantics as `pc_pst::TwoSided`).
+    TwoSided {
+        /// Left boundary (inclusive).
+        x0: i64,
+        /// Bottom boundary (inclusive).
+        y0: i64,
+    },
+    /// 3-sided PST query (`x1 ≤ x ≤ x2`, bottom bound `y0`; same semantics
+    /// as `pc_pst::ThreeSided`).
+    ThreeSided {
+        /// Left boundary (inclusive).
+        x1: i64,
+        /// Right boundary (inclusive).
+        x2: i64,
+        /// Bottom boundary (inclusive).
+        y0: i64,
+    },
+    /// Insert a point into a dynamic target.
+    Insert(Point),
+    /// Delete a point from a dynamic target.
+    Delete(Point),
+    /// Liveness probe (admin).
+    Ping,
+    /// Server + store counters as `(name, value)` pairs (admin).
+    Stats,
+    /// Prometheus-style metrics text (admin).
+    Metrics,
+    /// Graceful drain-then-shutdown (admin).
+    Shutdown,
+}
+
+impl Op {
+    /// True for admin ops (ping/stats/metrics/shutdown); these bypass the
+    /// work queues so they stay responsive under load.
+    pub fn is_admin(&self) -> bool {
+        matches!(self, Op::Ping | Op::Stats | Op::Metrics | Op::Shutdown)
+    }
+
+    /// True for mutating ops, which route through the batching stage.
+    pub fn is_update(&self) -> bool {
+        matches!(self, Op::Insert(_) | Op::Delete(_))
+    }
+
+    /// Stable lowercase name for logs and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Range1d { .. } => "range1d",
+            Op::Stab { .. } => "stab",
+            Op::TwoSided { .. } => "two_sided",
+            Op::ThreeSided { .. } => "three_sided",
+            Op::Insert(_) => "insert",
+            Op::Delete(_) => "delete",
+            Op::Ping => "ping",
+            Op::Stats => "stats",
+            Op::Metrics => "metrics",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    fn opcode(&self) -> u8 {
+        match self {
+            Op::Range1d { .. } => OP_RANGE1D,
+            Op::Stab { .. } => OP_STAB,
+            Op::TwoSided { .. } => OP_TWO_SIDED,
+            Op::ThreeSided { .. } => OP_THREE_SIDED,
+            Op::Insert(_) => OP_INSERT,
+            Op::Delete(_) => OP_DELETE,
+            Op::Ping => OP_PING,
+            Op::Stats => OP_STATS,
+            Op::Metrics => OP_METRICS,
+            Op::Shutdown => OP_SHUTDOWN,
+        }
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-chosen id, echoed verbatim in the response.
+    pub id: u64,
+    /// Registry index of the structure to query ([`ADMIN_TARGET`] for admin).
+    pub target: u16,
+    /// Relative deadline in milliseconds from server receipt; 0 = none.
+    pub deadline_ms: u32,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Typed error codes carried in [`Body::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// A bounded work queue was full; the request was shed immediately.
+    Overloaded,
+    /// The request's deadline passed before it was executed.
+    DeadlineExceeded,
+    /// Malformed request, unknown target, or an op the target cannot serve
+    /// was addressed at it with malformed intent (see also [`ErrorCode::Unsupported`]).
+    BadRequest,
+    /// The storage layer returned a typed error (checksum, quarantine, I/O).
+    Storage,
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+    /// The target exists but does not implement this op.
+    Unsupported,
+}
+
+impl ErrorCode {
+    /// All codes, for enumeration in tests and generators.
+    pub const ALL: [ErrorCode; 6] = [
+        ErrorCode::Overloaded,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::BadRequest,
+        ErrorCode::Storage,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Unsupported,
+    ];
+
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Overloaded => 1,
+            ErrorCode::DeadlineExceeded => 2,
+            ErrorCode::BadRequest => 3,
+            ErrorCode::Storage => 4,
+            ErrorCode::ShuttingDown => 5,
+            ErrorCode::Unsupported => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ErrorCode, DecodeError> {
+        Ok(match v {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::DeadlineExceeded,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::Storage,
+            5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::Unsupported,
+            other => return Err(DecodeError::UnknownErrorCode(other)),
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Storage => "storage",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Unsupported => "unsupported",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Typed response body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// Result of a 2-/3-sided query.
+    Points(Vec<Point>),
+    /// Result of a stabbing query.
+    Intervals(Vec<Interval>),
+    /// Result of a 1-d range query: `(key, value)` pairs.
+    Keys(Vec<(i64, u64)>),
+    /// An update was applied.
+    Ack {
+        /// Sequence number of the batch that carried this update.
+        batch: u64,
+        /// Number of updates coalesced into that batch (≥ 1).
+        coalesced: u32,
+    },
+    /// Reply to [`Op::Ping`].
+    Pong,
+    /// Reply to [`Op::Stats`]: `(name, value)` counter pairs.
+    Stats(Vec<(String, u64)>),
+    /// Reply to [`Op::Metrics`]: Prometheus-style text.
+    Metrics(String),
+    /// Reply to [`Op::Shutdown`]; the server drains and exits after this.
+    ShutdownAck,
+    /// Typed failure.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of [`Request::id`].
+    pub id: u64,
+    /// The payload.
+    pub body: Body,
+}
+
+impl Response {
+    /// Convenience constructor for an error response.
+    pub fn error(id: u64, code: ErrorCode, message: impl Into<String>) -> Response {
+        Response { id, body: Body::Error { code, message: message.into() } }
+    }
+}
+
+/// Why a payload failed to decode. Every variant is a clean rejection of
+/// malformed input — the decoders never panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before a field was complete.
+    Truncated {
+        /// Bytes the next field needed.
+        need: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// The request did not start with [`MAGIC`].
+    BadMagic(u16),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown request opcode.
+    UnknownOpcode(u8),
+    /// Unknown response kind byte.
+    UnknownResponseKind(u8),
+    /// Unknown [`ErrorCode`] wire value.
+    UnknownErrorCode(u8),
+    /// The payload was longer than its fields account for.
+    TrailingBytes(usize),
+    /// An announced element count does not fit in the bytes present.
+    CountTooLarge {
+        /// Announced element count.
+        count: u64,
+        /// Bytes remaining for those elements.
+        have: usize,
+    },
+    /// A text field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { need, have } => {
+                write!(f, "truncated payload: need {need} more bytes, have {have}")
+            }
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::UnknownOpcode(o) => write!(f, "unknown request opcode {o}"),
+            DecodeError::UnknownResponseKind(k) => write!(f, "unknown response kind {k}"),
+            DecodeError::UnknownErrorCode(c) => write!(f, "unknown error code {c}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            DecodeError::CountTooLarge { count, have } => {
+                write!(f, "element count {count} exceeds the {have} bytes present")
+            }
+            DecodeError::BadUtf8 => write!(f, "text field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Bounds-checked little-endian read cursor over a payload.
+struct Cur<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Cur<'a> {
+        Cur { b, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { need: n, have: self.remaining() });
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Validates an element count against the bytes actually remaining
+    /// before any collection is sized from it.
+    fn count(&mut self, elem_size: usize) -> Result<usize, DecodeError> {
+        let n = self.u32()? as u64;
+        let have = self.remaining();
+        if n.checked_mul(elem_size as u64).is_none_or(|bytes| bytes > have as u64) {
+            return Err(DecodeError::CountTooLarge { count: n, have });
+        }
+        Ok(n as usize)
+    }
+
+    fn text(&mut self, len: usize) -> Result<String, DecodeError> {
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_point(out: &mut Vec<u8>, p: &Point) {
+    put_i64(out, p.x);
+    put_i64(out, p.y);
+    put_u64(out, p.id);
+}
+
+fn take_point(c: &mut Cur<'_>) -> Result<Point, DecodeError> {
+    Ok(Point { x: c.i64()?, y: c.i64()?, id: c.u64()? })
+}
+
+/// Encodes a request payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_u16(&mut out, MAGIC);
+    out.push(VERSION);
+    out.push(req.op.opcode());
+    put_u64(&mut out, req.id);
+    put_u16(&mut out, req.target);
+    put_u32(&mut out, req.deadline_ms);
+    match &req.op {
+        Op::Range1d { lo, hi } => {
+            put_i64(&mut out, *lo);
+            put_i64(&mut out, *hi);
+        }
+        Op::Stab { q } => put_i64(&mut out, *q),
+        Op::TwoSided { x0, y0 } => {
+            put_i64(&mut out, *x0);
+            put_i64(&mut out, *y0);
+        }
+        Op::ThreeSided { x1, x2, y0 } => {
+            put_i64(&mut out, *x1);
+            put_i64(&mut out, *x2);
+            put_i64(&mut out, *y0);
+        }
+        Op::Insert(p) | Op::Delete(p) => put_point(&mut out, p),
+        Op::Ping | Op::Stats | Op::Metrics | Op::Shutdown => {}
+    }
+    out
+}
+
+/// Encodes a full request frame (length prefix + payload).
+pub fn request_frame(req: &Request) -> Vec<u8> {
+    let payload = encode_request(req);
+    let mut out = Vec::with_capacity(4 + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
+    let mut c = Cur::new(payload);
+    let magic = c.u16()?;
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = c.u8()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let opcode = c.u8()?;
+    let id = c.u64()?;
+    let target = c.u16()?;
+    let deadline_ms = c.u32()?;
+    let op = match opcode {
+        OP_RANGE1D => Op::Range1d { lo: c.i64()?, hi: c.i64()? },
+        OP_STAB => Op::Stab { q: c.i64()? },
+        OP_TWO_SIDED => Op::TwoSided { x0: c.i64()?, y0: c.i64()? },
+        OP_THREE_SIDED => Op::ThreeSided { x1: c.i64()?, x2: c.i64()?, y0: c.i64()? },
+        OP_INSERT => Op::Insert(take_point(&mut c)?),
+        OP_DELETE => Op::Delete(take_point(&mut c)?),
+        OP_PING => Op::Ping,
+        OP_STATS => Op::Stats,
+        OP_METRICS => Op::Metrics,
+        OP_SHUTDOWN => Op::Shutdown,
+        other => return Err(DecodeError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok(Request { id, target, deadline_ms, op })
+}
+
+/// Encodes a response payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    let kind = match &resp.body {
+        Body::Points(_) => RESP_POINTS,
+        Body::Intervals(_) => RESP_INTERVALS,
+        Body::Keys(_) => RESP_KEYS,
+        Body::Ack { .. } => RESP_ACK,
+        Body::Pong => RESP_PONG,
+        Body::Stats(_) => RESP_STATS,
+        Body::Metrics(_) => RESP_METRICS,
+        Body::ShutdownAck => RESP_SHUTDOWN_ACK,
+        Body::Error { .. } => RESP_ERROR,
+    };
+    out.push(kind);
+    put_u64(&mut out, resp.id);
+    match &resp.body {
+        Body::Points(ps) => {
+            put_u32(&mut out, ps.len() as u32);
+            out.reserve(ps.len() * 24);
+            for p in ps {
+                put_point(&mut out, p);
+            }
+        }
+        Body::Intervals(ivs) => {
+            put_u32(&mut out, ivs.len() as u32);
+            out.reserve(ivs.len() * 24);
+            for iv in ivs {
+                put_i64(&mut out, iv.lo);
+                put_i64(&mut out, iv.hi);
+                put_u64(&mut out, iv.id);
+            }
+        }
+        Body::Keys(kvs) => {
+            put_u32(&mut out, kvs.len() as u32);
+            out.reserve(kvs.len() * 16);
+            for &(k, v) in kvs {
+                put_i64(&mut out, k);
+                put_u64(&mut out, v);
+            }
+        }
+        Body::Ack { batch, coalesced } => {
+            put_u64(&mut out, *batch);
+            put_u32(&mut out, *coalesced);
+        }
+        Body::Pong | Body::ShutdownAck => {}
+        Body::Stats(pairs) => {
+            put_u32(&mut out, pairs.len() as u32);
+            for (name, v) in pairs {
+                put_u16(&mut out, name.len() as u16);
+                out.extend_from_slice(name.as_bytes());
+                put_u64(&mut out, *v);
+            }
+        }
+        Body::Metrics(text) => {
+            put_u32(&mut out, text.len() as u32);
+            out.extend_from_slice(text.as_bytes());
+        }
+        Body::Error { code, message } => {
+            out.push(code.to_u8());
+            put_u32(&mut out, message.len() as u32);
+            out.extend_from_slice(message.as_bytes());
+        }
+    }
+    out
+}
+
+/// Encodes a full response frame (length prefix + payload) as a [`Page`].
+/// One exact-size allocation; cloning the returned `Page` shares the bytes.
+pub fn response_frame(resp: &Response) -> Page {
+    let payload = encode_response(resp);
+    let mut out = Vec::with_capacity(4 + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    Page::from(out)
+}
+
+/// Decodes a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
+    let mut c = Cur::new(payload);
+    let kind = c.u8()?;
+    let id = c.u64()?;
+    let body = match kind {
+        RESP_POINTS => {
+            let n = c.count(24)?;
+            let mut ps = Vec::with_capacity(n);
+            for _ in 0..n {
+                ps.push(take_point(&mut c)?);
+            }
+            Body::Points(ps)
+        }
+        RESP_INTERVALS => {
+            let n = c.count(24)?;
+            let mut ivs = Vec::with_capacity(n);
+            for _ in 0..n {
+                ivs.push(Interval { lo: c.i64()?, hi: c.i64()?, id: c.u64()? });
+            }
+            Body::Intervals(ivs)
+        }
+        RESP_KEYS => {
+            let n = c.count(16)?;
+            let mut kvs = Vec::with_capacity(n);
+            for _ in 0..n {
+                kvs.push((c.i64()?, c.u64()?));
+            }
+            Body::Keys(kvs)
+        }
+        RESP_ACK => Body::Ack { batch: c.u64()?, coalesced: c.u32()? },
+        RESP_PONG => Body::Pong,
+        RESP_STATS => {
+            // Names are variable-length; 10 bytes (len + value) is the
+            // per-element floor used for the count sanity check.
+            let n = c.count(10)?;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = c.u16()? as usize;
+                let name = c.text(len)?;
+                pairs.push((name, c.u64()?));
+            }
+            Body::Stats(pairs)
+        }
+        RESP_METRICS => {
+            let len = c.count(1)?;
+            Body::Metrics(c.text(len)?)
+        }
+        RESP_SHUTDOWN_ACK => Body::ShutdownAck,
+        RESP_ERROR => {
+            let code = ErrorCode::from_u8(c.u8()?)?;
+            let len = c.count(1)?;
+            Body::Error { code, message: c.text(len)? }
+        }
+        other => return Err(DecodeError::UnknownResponseKind(other)),
+    };
+    c.finish()?;
+    Ok(Response { id, body })
+}
+
+/// Reads one length-prefixed frame from a blocking reader. Returns
+/// `Ok(None)` on a clean EOF at a frame boundary; a connection that dies
+/// mid-frame surfaces as `UnexpectedEof`, and a read timeout surfaces as
+/// the platform's `WouldBlock`/`TimedOut` error — callers treat both as a
+/// dead peer and bail out rather than hang.
+pub fn read_frame(r: &mut impl Read, max: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {max}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Progress report from [`FrameReader::poll`].
+#[derive(Debug)]
+pub enum FrameProgress {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary — the peer closed the connection.
+    Eof,
+    /// The read timed out with no complete frame; partial bytes are
+    /// retained. The caller decides whether the connection is idle-dead.
+    Pending,
+}
+
+/// Incremental frame reader for the server's polling read loop. The
+/// connection thread reads with a short `set_read_timeout` tick so it can
+/// check shutdown and idle-timeout state between reads; partial header or
+/// payload bytes survive across `Pending` returns.
+#[derive(Debug)]
+pub struct FrameReader {
+    max: usize,
+    header: [u8; 4],
+    header_got: usize,
+    payload: Option<Vec<u8>>,
+    payload_got: usize,
+    total_read: u64,
+}
+
+impl FrameReader {
+    /// A reader enforcing the given frame-size cap.
+    pub fn new(max: usize) -> FrameReader {
+        FrameReader { max, header: [0; 4], header_got: 0, payload: None, payload_got: 0, total_read: 0 }
+    }
+
+    /// Cumulative bytes consumed; callers diff this across `Pending`
+    /// returns to distinguish a slow peer from a silent one.
+    pub fn bytes_read(&self) -> u64 {
+        self.total_read
+    }
+
+    /// Drives the reader one step. `Err` means the connection is broken
+    /// (mid-frame EOF, oversized frame, or a real I/O error).
+    pub fn poll(&mut self, r: &mut impl Read) -> io::Result<FrameProgress> {
+        loop {
+            if self.payload.is_none() {
+                // Reading the 4-byte length prefix.
+                match r.read(&mut self.header[self.header_got..]) {
+                    Ok(0) => {
+                        if self.header_got == 0 {
+                            return Ok(FrameProgress::Eof);
+                        }
+                        return Err(io::ErrorKind::UnexpectedEof.into());
+                    }
+                    Ok(n) => {
+                        self.header_got += n;
+                        self.total_read += n as u64;
+                        if self.header_got == 4 {
+                            let len = u32::from_le_bytes(self.header) as usize;
+                            if len > self.max {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("frame length {len} exceeds cap {}", self.max),
+                                ));
+                            }
+                            self.payload = Some(vec![0u8; len]);
+                            self.payload_got = 0;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        return Ok(FrameProgress::Pending);
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else {
+                let buf = self.payload.as_mut().unwrap();
+                if self.payload_got == buf.len() {
+                    let frame = self.payload.take().unwrap();
+                    self.header_got = 0;
+                    return Ok(FrameProgress::Frame(frame));
+                }
+                match r.read(&mut buf[self.payload_got..]) {
+                    Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                    Ok(n) => {
+                        self.payload_got += n;
+                        self.total_read += n as u64;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        return Ok(FrameProgress::Pending);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+}
+
+/// Writes a pre-encoded frame (prefix already included, e.g. from
+/// [`response_frame`]) to a blocking writer.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt_req(req: Request) {
+        let payload = encode_request(&req);
+        assert_eq!(decode_request(&payload).unwrap(), req);
+    }
+
+    fn rt_resp(resp: Response) {
+        let payload = encode_response(&resp);
+        assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        rt_req(Request { id: 7, target: 3, deadline_ms: 250, op: Op::Range1d { lo: -5, hi: 99 } });
+        rt_req(Request { id: 0, target: 0, deadline_ms: 0, op: Op::Stab { q: i64::MIN } });
+        rt_req(Request { id: u64::MAX, target: u16::MAX, deadline_ms: u32::MAX, op: Op::TwoSided { x0: 1, y0: 2 } });
+        rt_req(Request { id: 1, target: 1, deadline_ms: 1, op: Op::ThreeSided { x1: -1, x2: 1, y0: 0 } });
+        rt_req(Request { id: 2, target: 5, deadline_ms: 0, op: Op::Insert(Point { x: 1, y: 2, id: 3 }) });
+        rt_req(Request { id: 3, target: 5, deadline_ms: 0, op: Op::Delete(Point { x: -1, y: -2, id: 9 }) });
+        for op in [Op::Ping, Op::Stats, Op::Metrics, Op::Shutdown] {
+            rt_req(Request { id: 4, target: ADMIN_TARGET, deadline_ms: 0, op });
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        rt_resp(Response { id: 1, body: Body::Points(vec![Point { x: 1, y: 2, id: 3 }]) });
+        rt_resp(Response { id: 2, body: Body::Points(Vec::new()) });
+        rt_resp(Response { id: 3, body: Body::Intervals(vec![Interval { lo: -2, hi: 2, id: 8 }]) });
+        rt_resp(Response { id: 4, body: Body::Keys(vec![(i64::MIN, 0), (i64::MAX, u64::MAX)]) });
+        rt_resp(Response { id: 5, body: Body::Ack { batch: 42, coalesced: 17 } });
+        rt_resp(Response { id: 6, body: Body::Pong });
+        rt_resp(Response { id: 7, body: Body::Stats(vec![("reads".into(), 10), ("".into(), 0)]) });
+        rt_resp(Response { id: 8, body: Body::Metrics("# TYPE x counter\nx 1\n".into()) });
+        rt_resp(Response { id: 9, body: Body::ShutdownAck });
+        for code in ErrorCode::ALL {
+            rt_resp(Response::error(10, code, format!("{code} detail")));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_headers() {
+        assert!(matches!(decode_request(&[]), Err(DecodeError::Truncated { .. })));
+        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, op: Op::Ping });
+        p[0] ^= 0xFF;
+        assert!(matches!(decode_request(&p), Err(DecodeError::BadMagic(_))));
+        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, op: Op::Ping });
+        p[2] = 9;
+        assert!(matches!(decode_request(&p), Err(DecodeError::BadVersion(9))));
+        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, op: Op::Ping });
+        p[3] = 200;
+        assert!(matches!(decode_request(&p), Err(DecodeError::UnknownOpcode(200))));
+        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, op: Op::Ping });
+        p.push(0);
+        assert!(matches!(decode_request(&p), Err(DecodeError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn decode_validates_counts_before_allocating() {
+        // A Points response claiming u32::MAX elements with no bytes behind
+        // it must be rejected without trying to reserve 96 GiB.
+        let mut p = vec![RESP_POINTS];
+        p.extend_from_slice(&7u64.to_le_bytes());
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_response(&p), Err(DecodeError::CountTooLarge { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_bad_utf8() {
+        let resp = Response { id: 1, body: Body::Metrics("ok".into()) };
+        let mut p = encode_response(&resp);
+        let n = p.len();
+        p[n - 1] = 0xFF;
+        p[n - 2] = 0xFE;
+        assert!(matches!(decode_response(&p), Err(DecodeError::BadUtf8)));
+    }
+
+    #[test]
+    fn frames_round_trip_through_io() {
+        let req = Request { id: 11, target: 2, deadline_ms: 30, op: Op::Stab { q: 5 } };
+        let frame = request_frame(&req);
+        let mut cursor = io::Cursor::new(frame);
+        let payload = read_frame(&mut cursor, MAX_FRAME).unwrap().unwrap();
+        assert_eq!(decode_request(&payload).unwrap(), req);
+        // Clean EOF at the boundary.
+        assert!(read_frame(&mut cursor, MAX_FRAME).unwrap().is_none());
+
+        let resp = Response { id: 11, body: Body::Intervals(vec![Interval { lo: 1, hi: 9, id: 4 }]) };
+        let page = response_frame(&resp);
+        let mut cursor = io::Cursor::new(page.as_slice().to_vec());
+        let payload = read_frame(&mut cursor, MAX_FRAME).unwrap().unwrap();
+        assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn read_frame_rejects_oversized_and_truncated() {
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        let err = read_frame(&mut io::Cursor::new(huge), MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let req = Request { id: 1, target: 0, deadline_ms: 0, op: Op::Ping };
+        let mut frame = request_frame(&req);
+        frame.truncate(frame.len() - 1);
+        let err = read_frame(&mut io::Cursor::new(frame), MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn frame_reader_accumulates_across_partial_reads() {
+        // Feed the frame one byte at a time through a reader that returns
+        // WouldBlock between bytes, as a timed-out socket would.
+        struct Trickle {
+            data: Vec<u8>,
+            pos: usize,
+            ready: bool,
+        }
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.pos == self.data.len() {
+                    return Ok(0);
+                }
+                if !self.ready {
+                    self.ready = true;
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                self.ready = false;
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let req = Request { id: 9, target: 1, deadline_ms: 0, op: Op::Range1d { lo: 0, hi: 10 } };
+        let mut t = Trickle { data: request_frame(&req), pos: 0, ready: false };
+        let mut fr = FrameReader::new(MAX_FRAME);
+        let mut pendings = 0;
+        loop {
+            match fr.poll(&mut t).unwrap() {
+                FrameProgress::Frame(p) => {
+                    assert_eq!(decode_request(&p).unwrap(), req);
+                    break;
+                }
+                FrameProgress::Pending => pendings += 1,
+                FrameProgress::Eof => panic!("premature EOF"),
+            }
+        }
+        assert!(pendings > 0);
+        assert_eq!(fr.bytes_read(), t.data.len() as u64);
+        assert!(matches!(fr.poll(&mut t).unwrap(), FrameProgress::Eof));
+    }
+}

@@ -120,6 +120,53 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`]. Same poison stance as the
+/// locks: waits never fail, a poisoned inner mutex is recovered
+/// transparently. Guards are the re-exported std guards, so this wraps
+/// [`std::sync::Condvar`] directly.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Releases `guard` and blocks until notified, then reacquires the lock.
+    /// Spurious wakeups are possible — always re-check the predicate.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Like [`Condvar::wait`] with an upper bound on the blocked time.
+    /// Returns the reacquired guard and whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (g, res) = self.0.wait_timeout(guard, dur).unwrap_or_else(PoisonError::into_inner);
+        (g, res.timed_out())
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +224,30 @@ mod tests {
         assert_eq!(*l.read(), 3);
         *l.write() = 4;
         assert_eq!(*l.read(), 4);
+    }
+
+    #[test]
+    fn condvar_signals_and_times_out() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+
+        // Timeout path: nobody notifies, so the wait must report timed-out.
+        let (m, cv) = &*pair;
+        let (_g, timed_out) = cv.wait_timeout(m.lock(), std::time::Duration::from_millis(10));
+        assert!(timed_out);
     }
 
     #[test]

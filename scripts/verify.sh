@@ -9,7 +9,7 @@
 # Both instrumentation modes are exercised: the default build (pc-obs
 # compiled to no-ops) and `--features obs` (live tracing/metrics).
 #
-# Usage: scripts/verify.sh [--bench] [--chaos]
+# Usage: scripts/verify.sh [--bench] [--chaos] [--serve]
 #   --bench   additionally run the perf-trajectory benchmarks:
 #             * pool_scaling, refreshing BENCH_pool.json;
 #             * obs_overhead in both modes, merging the two reports into
@@ -19,17 +19,24 @@
 #             random seed (the fixed-seed runs are already part of the
 #             workspace tests above). The seed is printed so a failure can
 #             be reproduced verbatim with PC_CHAOS_SEED=<seed>.
+#   --serve   additionally gate the service layer: build pc-serve and
+#             pc-loadgen in both instrumentation modes, run the loadgen
+#             smoke (self-spawned server, steady + overload-shed phases)
+#             under a hard timeout, and check BENCH_server.json is
+#             well-formed and actually shed load.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
 RUN_CHAOS=0
+RUN_SERVE=0
 for arg in "$@"; do
     case "$arg" in
         --bench) RUN_BENCH=1 ;;
         --chaos) RUN_CHAOS=1 ;;
-        *) echo "unknown argument: $arg (supported: --bench, --chaos)" >&2; exit 2 ;;
+        --serve) RUN_SERVE=1 ;;
+        *) echo "unknown argument: $arg (supported: --bench, --chaos, --serve)" >&2; exit 2 ;;
     esac
 done
 
@@ -82,6 +89,36 @@ if [ "$RUN_CHAOS" = 1 ]; then
     echo "    (reproduce with: PC_CHAOS_SEED=$CHAOS_SEED cargo test -q --test chaos)"
     PC_CHAOS_SEED="$CHAOS_SEED" cargo test -q --offline --test chaos
     echo "OK: chaos suites green under seed $CHAOS_SEED"
+fi
+
+if [ "$RUN_SERVE" = 1 ]; then
+    echo "==> service layer: build pc-serve + pc-loadgen in both modes"
+    cargo build --release --offline -p pc-serve -p pc-loadgen
+    cargo build --release --offline -p pc-serve -p pc-loadgen --features pc-serve/obs,pc-loadgen/obs
+
+    # Loadgen smoke: self-spawns a server on an ephemeral port, runs a
+    # steady closed-loop phase plus an overload-shed phase against a
+    # deliberately undersized queue. The hard timeout turns any hang (the
+    # exact bug class the idle/read timeouts exist for) into a failure.
+    echo "==> pc-loadgen --smoke (hard timeout 120s)"
+    timeout 120 target/release/pc-loadgen --smoke --out BENCH_server.json
+
+    python3 - BENCH_server.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "server", doc
+phases = {p["name"]: p for p in doc["phases"]}
+assert "steady" in phases and "shed" in phases, list(phases)
+for name, p in phases.items():
+    assert p["ok"] > 0, f"{name}: zero completed requests"
+    assert p["latency_ns"]["p50"] <= p["latency_ns"]["p99"], f"{name}: malformed quantiles"
+assert phases["shed"]["overloaded"] > 0, "shed phase never shed load"
+print(f'steady: {phases["steady"]["ok"]} ok @ {phases["steady"]["throughput_ops_s"]:.0f} ops/s, '
+      f'p99={phases["steady"]["latency_ns"]["p99"]}ns')
+print(f'shed: {phases["shed"]["ok"]} admitted / {phases["shed"]["overloaded"]} overloaded, '
+      f'admitted p99={phases["shed"]["latency_ns"]["p99"]}ns')
+PY
+    echo "OK: BENCH_server.json refreshed, service smoke passed"
 fi
 
 if [ "$RUN_BENCH" = 1 ]; then

@@ -17,6 +17,9 @@ mod temporal_db;
 #[path = "../examples/storage_tradeoffs.rs"]
 mod storage_tradeoffs;
 
+#[path = "../examples/server_quickstart.rs"]
+mod server_quickstart;
+
 /// Shrinks every example to a size that runs in well under a second even
 /// in debug builds. The returned guard serializes the example runs: every
 /// `set_var` and every env read inside an example `main` happens while the
@@ -75,4 +78,10 @@ fn temporal_db_core_path_runs() {
 fn storage_tradeoffs_core_path_runs() {
     let _serial = smoke_scale();
     storage_tradeoffs::main().expect("storage_tradeoffs example must complete");
+}
+
+#[test]
+fn server_quickstart_core_path_runs() {
+    let _serial = smoke_scale();
+    server_quickstart::main().expect("server_quickstart example must complete");
 }

@@ -1,0 +1,200 @@
+//! Chaos tests for the service layer: a server whose page store runs under
+//! seeded fault injection must keep the wire contract — every request gets
+//! a response (correct answer or a typed error), never a hung connection
+//! and never a silently wrong result — and the store's resilience counters
+//! must be visible over the ADMIN stats op.
+//!
+//! Seeds follow the `tests/chaos.rs` convention: fixed by default,
+//! `PC_CHAOS_SEED=<u64>` to explore fresh scenarios.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pc_pagestore::backend::MemBackend;
+use pc_pagestore::{FaultBackend, FaultPlan, PageStore, Point, RetryPolicy, StoreConfig};
+use pc_pst::DynamicPst;
+use pc_rng::Rng;
+use pc_serve::wire::{Body, ErrorCode, Op};
+use pc_serve::{Client, DynamicPstTarget, Registry, Server, ServerConfig, ServerHandle, Service};
+
+const PAGE: usize = 512;
+
+fn chaos_seed() -> u64 {
+    match std::env::var("PC_CHAOS_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PC_CHAOS_SEED must parse as u64, got {s:?}")),
+        Err(_) => 0x00C0_FFEE,
+    }
+}
+
+fn gen_points(rng: &mut Rng, n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point { x: rng.gen_range(0i64..400), y: rng.gen_range(0i64..400), id: i as u64 })
+        .collect()
+}
+
+/// Spawns a one-target (dynamic PST) server over the given store.
+fn spawn_over(store: PageStore, seed: u64) -> ServerHandle {
+    let store = Arc::new(store);
+    let mut rng = Rng::seed_from_u64(seed);
+    let points = gen_points(&mut rng, 250);
+    let pst = DynamicPst::build(&store, &points)
+        .unwrap_or_else(|e| panic!("build under faults failed (seed={seed}): {e}"));
+    let mut registry = Registry::new();
+    registry.register("dyn", Box::new(DynamicPstTarget::new(pst)));
+    Server::spawn(Service { store, registry }, ServerConfig { workers: 2, ..Default::default() })
+        .unwrap()
+}
+
+/// The seeded client workload: interleaved queries, inserts, and deletes.
+/// Returns one canonical line per response.
+fn drive(c: &mut Client, seed: u64) -> Vec<String> {
+    let mut rng = Rng::seed_from_u64(seed ^ 0xd21e);
+    let mut log = Vec::new();
+    let mut next_id = 10_000u64;
+    for _ in 0..80 {
+        let op = match rng.gen_range(0..4usize) {
+            0 => {
+                next_id += 1;
+                Op::Insert(Point {
+                    x: rng.gen_range(0i64..400),
+                    y: rng.gen_range(0i64..400),
+                    id: next_id,
+                })
+            }
+            1 => Op::Delete(Point {
+                x: rng.gen_range(0i64..400),
+                y: rng.gen_range(0i64..400),
+                id: rng.gen_range(0..250u64),
+            }),
+            _ => Op::TwoSided {
+                x0: rng.gen_range(-20i64..420),
+                y0: rng.gen_range(-20i64..420),
+            },
+        };
+        let resp = c.call(0, 0, op).unwrap();
+        match resp.body {
+            Body::Points(mut ps) => {
+                ps.sort_unstable_by_key(|p| p.id);
+                log.push(format!("points {:?}", ps.iter().map(|p| p.id).collect::<Vec<_>>()));
+            }
+            Body::Ack { .. } => log.push("ack".to_string()),
+            other => log.push(format!("{other:?}")),
+        }
+    }
+    log
+}
+
+fn admin_stat(c: &mut Client, name: &str) -> u64 {
+    match c.stats().unwrap().body {
+        Body::Stats(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("stat {name} missing")),
+        other => panic!("unexpected body {other:?}"),
+    }
+}
+
+/// Transient faults absorbed by retries are invisible over the wire: the
+/// response log matches a fault-free server bit-for-bit, and the retries
+/// show up in the ADMIN stats.
+#[test]
+fn transient_store_faults_are_invisible_over_the_wire() {
+    let seed = chaos_seed();
+
+    let clean = spawn_over(PageStore::in_memory(PAGE), seed);
+    let mut c = Client::connect(clean.addr(), Duration::from_secs(10)).unwrap();
+    let want = drive(&mut c, seed);
+    clean.shutdown();
+    clean.join();
+
+    // Same plan as tests/chaos.rs: p=0.02 per access, 10-attempt budget.
+    let retry = RetryPolicy { max_attempts: 10, backoff: None };
+    let backend = FaultBackend::new(Box::new(MemBackend::new(PAGE + 8)), FaultPlan::transient(seed, 0.02));
+    let store = PageStore::new(StoreConfig::strict(PAGE).with_retry(retry), Box::new(backend));
+    let faulty = spawn_over(store, seed);
+    let mut c = Client::connect(faulty.addr(), Duration::from_secs(10)).unwrap();
+    let got = drive(&mut c, seed);
+    assert_eq!(got, want, "responses diverged under transient faults (seed={seed})");
+
+    // Resilience counters are visible over ADMIN stats.
+    let retries = admin_stat(&mut c, "io_retries");
+    assert!(retries > 0, "the transient plan never fired (seed={seed})");
+    for key in ["io_reads", "io_failovers", "io_repairs", "io_quarantined"] {
+        admin_stat(&mut c, key); // presence check
+    }
+    faulty.shutdown();
+    faulty.join();
+}
+
+/// Silent page corruption surfaces as a typed `Storage` error response —
+/// never a hung connection, never a silently different answer. The
+/// connection stays usable afterwards.
+#[test]
+fn corruption_is_a_typed_error_response_never_a_hang() {
+    let seed = chaos_seed();
+    let store = PageStore::in_memory(PAGE);
+    let handle = {
+        let store_arc = Arc::new(store);
+        let mut rng = Rng::seed_from_u64(seed);
+        let points = gen_points(&mut rng, 250);
+        let pst = DynamicPst::build(&store_arc, &points).unwrap();
+        let mut registry = Registry::new();
+        registry.register("dyn", Box::new(DynamicPstTarget::new(pst)));
+        Server::spawn(
+            Service { store: Arc::clone(&store_arc), registry },
+            ServerConfig { workers: 2, ..Default::default() },
+        )
+        .unwrap()
+    };
+
+    // The client enforces its own read timeout: a hang would fail the test
+    // with an Io error rather than wedging it.
+    let mut c = Client::connect(handle.addr(), Duration::from_secs(5)).unwrap();
+    let mut rng = Rng::seed_from_u64(seed ^ 0xc0de);
+    let queries: Vec<Op> = (0..8)
+        .map(|_| Op::TwoSided { x0: rng.gen_range(-20i64..420), y0: rng.gen_range(-20i64..420) })
+        .collect();
+    let golden: Vec<Body> =
+        queries.iter().map(|op| c.call(0, 0, op.clone()).unwrap().body).collect();
+
+    // Walk the allocated pages: corrupt one at a time (XOR — a second
+    // injection restores the frame) and replay the query set.
+    let store = Arc::clone(handle.store());
+    let mut detections = 0u64;
+    for id in store.allocated_pages() {
+        store.inject_corruption(id, 1).unwrap();
+        for (i, op) in queries.iter().enumerate() {
+            let resp = c.call(0, 0, op.clone()).unwrap_or_else(|e| {
+                panic!("wire call failed with page {id:?} corrupt (seed={seed}): {e}")
+            });
+            match resp.body {
+                Body::Error { code: ErrorCode::Storage, message } => {
+                    assert!(!message.is_empty());
+                    detections += 1;
+                }
+                body => assert_eq!(
+                    body, golden[i],
+                    "silent wrong answer with page {id:?} corrupt (seed={seed})"
+                ),
+            }
+        }
+        store.inject_corruption(id, 1).unwrap();
+    }
+    assert!(detections > 0, "no corruption was ever read back (seed={seed})");
+    assert_eq!(
+        admin_stat(&mut c, "pc_serve_storage_errors_total"),
+        detections,
+        "every detection must be counted (seed={seed})"
+    );
+
+    // After the walk everything is healed: answers match golden again.
+    for (i, op) in queries.iter().enumerate() {
+        assert_eq!(c.call(0, 0, op.clone()).unwrap().body, golden[i]);
+    }
+    handle.shutdown();
+    handle.join();
+}
