@@ -1,5 +1,5 @@
 //! The paper-experiment harness: one sub-command per experiment in
-//! DESIGN.md's index (E1–E18), each regenerating the measurements recorded
+//! DESIGN.md's index (E1–E20), each regenerating the measurements recorded
 //! in EXPERIMENTS.md.
 //!
 //! ```text
@@ -39,7 +39,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-        "e14", "e15", "e16", "e17", "e18",
+        "e14", "e15", "e16", "e17", "e18", "e20",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -66,6 +66,7 @@ fn main() {
             "e16" => e16_buffer_pool(),
             "e17" => e17_page_size_ablation(),
             "e18" => e18_chaos_resilience(),
+            "e20" => e20_crash_durability(),
             other => eprintln!("unknown experiment {other}"),
         }
     }
@@ -1058,4 +1059,173 @@ fn e18_chaos_resilience() {
         ]);
     }
     table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E20: crash durability — group-commit amortization + kill-point matrix
+// ---------------------------------------------------------------------------
+
+fn e20_crash_durability() {
+    use std::sync::Arc;
+
+    use pc_pagestore::{
+        CrashBackend, CrashController, CrashLog, CrashPlan, WalConfig,
+    };
+
+    println!("## E20 — crash durability: ARIES-lite WAL, group commit, recovery (§10)\n");
+
+    // Part 1: group commit amortizes one fsync over a whole update batch —
+    // the serve layer's Thm 5.1 buffering, applied to durability cost.
+    println!(
+        "group-commit amortization: 256 page updates on a durable store,\n\
+         committed in batches of k; fsyncs/update is the durability overhead\n"
+    );
+    let mut table = Table::new(&["batch k", "updates", "fsyncs", "fsyncs/update", "max group"]);
+    for k in [1u64, 4, 16, 64] {
+        let (store, _) = PageStore::in_memory_durable(PAGE);
+        let ids: Vec<_> = (0..8).map(|_| store.alloc().unwrap()).collect();
+        store.sync().unwrap();
+        let base = store.wal_stats().unwrap().fsyncs;
+        const UPDATES: u64 = 256;
+        for u in 0..UPDATES {
+            store.write(ids[(u % 8) as usize], &[u as u8; 128]).unwrap();
+            if (u + 1) % k == 0 {
+                store.commit_with(&u.to_le_bytes()).unwrap();
+            }
+        }
+        let ws = store.wal_stats().unwrap();
+        let fsyncs = ws.fsyncs - base;
+        table.row(vec![
+            k.to_string(),
+            UPDATES.to_string(),
+            fsyncs.to_string(),
+            f2(fsyncs as f64 / UPDATES as f64),
+            ws.max_group.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Part 2: kill-point matrix. A mixed alloc/write/free workload commits
+    // six batches over crash-simulated media; we kill it at every durable
+    // I/O, recover from the seeded survivors, and check the recovered
+    // store equals a committed batch prefix covering every acked batch.
+    const SEED: u64 = 0x0dd5_eed5;
+    const KPAGE: usize = 64;
+    const KFRAME: usize = KPAGE + 8;
+    let wal_cfg = WalConfig { checkpoint_bytes: 800 };
+    let cfg = || StoreConfig::strict(KPAGE);
+    let payload = |b: u8, s: u8| {
+        let mut v = vec![b.wrapping_mul(16).wrapping_add(s); KPAGE];
+        (v[0], v[1]) = (b, s);
+        v
+    };
+    type PageImage = Vec<(pc_pagestore::PageId, Vec<u8>)>;
+    let snapshot = |store: &PageStore| -> PageImage {
+        store
+            .allocated_pages()
+            .into_iter()
+            .map(|id| (id, store.read(id).unwrap().to_vec()))
+            .collect()
+    };
+    let workload = |store: &PageStore, snaps: Option<&mut Vec<PageImage>>| -> u64 {
+        let mut live = Vec::new();
+        let mut acked = 0u64;
+        let mut snaps = snaps;
+        if let Some(s) = snaps.as_deref_mut() {
+            s.push(snapshot(store));
+        }
+        for b in 0..6u8 {
+            let step = || -> pc_pagestore::Result<()> {
+                for s in 0..2u8 {
+                    let id = store.alloc()?;
+                    store.write(id, &payload(b, s))?;
+                    live.push(id);
+                }
+                store.write(live[b as usize % live.len()], &payload(b, 0xF0))?;
+                if b % 2 == 1 && live.len() > 3 {
+                    store.free(live.remove(0))?;
+                }
+                store.commit_with(&[b])?;
+                Ok(())
+            }();
+            match step {
+                Ok(()) => {
+                    acked += 1;
+                    if let Some(s) = snaps.as_deref_mut() {
+                        s.push(snapshot(store));
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        acked
+    };
+
+    let media = |kill_at: u64| {
+        let ctrl = CrashController::new(CrashPlan { seed: SEED, kill_at });
+        let backend = Arc::new(CrashBackend::new(KFRAME, ctrl.clone()));
+        let log = Arc::new(CrashLog::new(ctrl.clone()));
+        (ctrl, backend, log)
+    };
+
+    // Counting + reference pass.
+    let (ctrl, backend, log) = media(0);
+    let (store, _) = PageStore::new_durable(
+        cfg(),
+        Box::new(Arc::clone(&backend)),
+        Box::new(Arc::clone(&log)),
+        wal_cfg,
+    )
+    .unwrap();
+    let mut snaps = Vec::new();
+    workload(&store, Some(&mut snaps));
+    let total = ctrl.ops();
+    drop(store);
+
+    let (mut recovered_ok, mut acked_survived, mut torn_tails, mut replayed) =
+        (0u64, 0u64, 0u64, 0u64);
+    for kill_at in 1..=total {
+        let (_, backend, log) = media(kill_at);
+        let acked = match PageStore::new_durable(
+            cfg(),
+            Box::new(Arc::clone(&backend)),
+            Box::new(Arc::clone(&log)),
+            wal_cfg,
+        ) {
+            Ok((store, _)) => workload(&store, None),
+            Err(_) => 0,
+        };
+        if let Ok((store, report)) = PageStore::new_durable(
+            cfg(),
+            Box::new(backend.surviving_backend()),
+            Box::new(log.surviving_log()),
+            wal_cfg,
+        ) {
+            recovered_ok += 1;
+            torn_tails += u64::from(report.torn_tail);
+            replayed += report.replayed_records();
+            let state = snapshot(&store);
+            if let Some(idx) = snaps.iter().position(|s| s == &state) {
+                if idx as u64 >= acked {
+                    acked_survived += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "\nkill-point matrix: seed {SEED:#x}, {total} durable I/Os ⇒ {total} kill points\n"
+    );
+    let mut table = Table::new(&[
+        "kill points", "recovered", "acked survived", "torn WAL tails", "records replayed",
+    ]);
+    table.row(vec![
+        total.to_string(),
+        format!("{recovered_ok}/{total}"),
+        format!("{acked_survived}/{total}"),
+        torn_tails.to_string(),
+        replayed.to_string(),
+    ]);
+    table.print();
+    assert_eq!(recovered_ok, total, "recovery must succeed at every kill point");
+    assert_eq!(acked_survived, total, "every acked batch must survive every kill point");
 }

@@ -419,6 +419,28 @@ pub mod fault_metrics {
     pub const INJECTED: &str = "pc_fault_injected_total";
 }
 
+/// Registry names for the pagestore write-ahead-log / durability metrics,
+/// collected here (like [`fault_metrics`]) so the emitting code in
+/// `pc-pagestore`, the serve layer's exposition, and the crash tests never
+/// drift apart. All are monotonic totals except the histogram; see
+/// DESIGN.md §10 "Durability & recovery".
+pub mod wal_metrics {
+    /// WAL records appended (all kinds, commits and checkpoints included).
+    pub const APPENDS: &str = "pc_wal_appends_total";
+    /// Commit records written — successful group commits.
+    pub const COMMITS: &str = "pc_wal_commits_total";
+    /// `fsync`s issued against the log medium (commits + checkpoints).
+    pub const FSYNCS: &str = "pc_wal_fsyncs_total";
+    /// Checkpoints installed (atomic log swaps).
+    pub const CHECKPOINTS: &str = "pc_wal_checkpoints_total";
+    /// Records replayed by recovery on open.
+    pub const REPLAYED: &str = "pc_wal_replayed_records_total";
+    /// Torn log or data tails truncated during recovery.
+    pub const TORN_TAILS: &str = "pc_wal_torn_tails_total";
+    /// Histogram of records made durable per group commit.
+    pub const GROUP_COMMIT_SIZE: &str = "pc_wal_group_commit_records";
+}
+
 /// Registry/exposition names for the `pc-serve` service-layer metrics,
 /// collected here (like [`fault_metrics`]) so the server's own exposition,
 /// the load generator, dashboards, and tests never drift apart. All are
@@ -451,6 +473,12 @@ pub mod serve_metrics {
     /// Updates carried inside those batches (mean batch size =
     /// `BATCHED_UPDATES / BATCHES`).
     pub const BATCHED_UPDATES: &str = "pc_serve_batched_updates_total";
+    /// Group commits driven by the batcher against a durable store (one
+    /// WAL fsync each; an Ack is only sent after its group's commit).
+    pub const GROUP_COMMITS: &str = "pc_serve_group_commits_total";
+    /// Batches whose group commit failed — every update in the batch was
+    /// answered with a storage error instead of an Ack.
+    pub const COMMIT_FAILURES: &str = "pc_serve_commit_failures_total";
     /// Queue-to-response latency histogram for queries, nanoseconds.
     pub const QUERY_LATENCY: &str = "pc_serve_query_latency_ns";
     /// Queue-to-ack latency histogram for updates, nanoseconds.

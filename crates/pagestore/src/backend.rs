@@ -215,8 +215,42 @@ impl FileBackend {
                 path.display()
             )));
         }
-        let frames = (len - SUPERBLOCK_LEN) / frame_size as u64;
+        let body = len - SUPERBLOCK_LEN;
+        let trailing_bytes = body % frame_size as u64;
+        if trailing_bytes != 0 {
+            // A file ending mid-frame is the tail of a write that a crash
+            // cut short. Refusing (instead of silently rounding the frame
+            // count down, which hides the damage) forces the caller to
+            // decide: re-create the file, or recover explicitly via
+            // [`FileBackend::open_recovering`].
+            return Err(StoreError::TornWrite {
+                complete: body / frame_size as u64,
+                trailing_bytes,
+            });
+        }
+        let frames = body / frame_size as u64;
         Ok(FileBackend { file, frame_size, frames: AtomicU64::new(frames) })
+    }
+
+    /// Opens like [`FileBackend::open`], but a file ending mid-frame (a
+    /// torn tail) is truncated back to the last complete frame instead of
+    /// refused. Returns the backend plus whether a torn tail was dropped.
+    /// Intended for durable stores, whose WAL restores whatever page the
+    /// truncated tail belonged to; on a bare file store the truncation
+    /// would silently lose that page's last write, which is exactly why
+    /// `open` refuses instead.
+    pub fn open_recovering(path: &Path, frame_size: usize) -> Result<(Self, bool)> {
+        match Self::open(path, frame_size) {
+            Err(StoreError::TornWrite { complete, .. }) => {
+                let file =
+                    OpenOptions::new().read(true).write(true).open(path)?;
+                file.set_len(SUPERBLOCK_LEN + complete * frame_size as u64)?;
+                file.sync_data()?;
+                drop(file);
+                Ok((Self::open(path, frame_size)?, true))
+            }
+            other => Ok((other?, false)),
+        }
     }
 
     fn frame_offset(&self, id: PageId) -> u64 {
@@ -350,6 +384,46 @@ mod tests {
         let mut buf = [0u8; 64];
         b.read_frame(PageId(0), &mut buf).unwrap();
         assert_eq!(buf, [7u8; 64]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backend_surfaces_a_torn_tail_instead_of_silently_truncating() {
+        let dir = std::env::temp_dir().join(format!("pcps-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.bin");
+        {
+            let b = FileBackend::open(&path, 64).unwrap();
+            b.write_frame(PageId(0), &[1u8; 64]).unwrap();
+            b.write_frame(PageId(1), &[2u8; 64]).unwrap();
+            b.sync().unwrap();
+        }
+        // A crash mid-append leaves a partial trailing frame.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[9u8; 40]).unwrap();
+        }
+        // Plain open refuses with the typed condition (the old behavior
+        // was to round the frame count down and hide the damage).
+        match FileBackend::open(&path, 64).unwrap_err() {
+            StoreError::TornWrite { complete, trailing_bytes } => {
+                assert_eq!((complete, trailing_bytes), (2, 40));
+            }
+            other => panic!("expected TornWrite, got {other}"),
+        }
+        // open_recovering truncates back to the last complete frame…
+        let (b, torn) = FileBackend::open_recovering(&path, 64).unwrap();
+        assert!(torn);
+        assert_eq!(b.frame_count(), 2);
+        let mut buf = [0u8; 64];
+        b.read_frame(PageId(1), &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 64]);
+        drop(b);
+        // …durably: the next plain open sees a whole-frame file.
+        let (b, torn) = FileBackend::open_recovering(&path, 64).unwrap();
+        assert!(!torn);
+        assert_eq!(b.frame_count(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 

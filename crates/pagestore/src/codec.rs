@@ -178,23 +178,53 @@ pub fn fnv1a64(data: &[u8]) -> u64 {
     h
 }
 
-/// True if a raw frame (payload + trailing 8-byte [`fnv1a64`] checksum) is
-/// internally consistent: either the stored checksum matches the payload,
-/// or the frame is all-zero (the "never written" state, valid by the
-/// backend contract). Frames shorter than the checksum trailer are invalid.
+/// Integrity classification of a raw frame (payload + trailing 8-byte
+/// [`fnv1a64`] checksum), from [`classify_frame`].
+///
+/// The distinction between [`FrameState::Unwritten`] and
+/// [`FrameState::Corrupt`] matters: an all-zero frame is what backends
+/// return for never-written slots *by contract*, so it is not evidence of
+/// damage — but it is also not evidence of data. Consumers that can get a
+/// second opinion (a mirror replica, a WAL) must not let an `Unwritten`
+/// answer shadow a `Written` one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameState {
+    /// The stored checksum matches the payload: real written data.
+    Written,
+    /// All-zero payload and zero checksum: the backend's "never written"
+    /// state. Reads as a zero page, but carries no information.
+    Unwritten,
+    /// Non-zero contents whose checksum does not match (torn or rotted),
+    /// or a frame too short to carry a checksum at all.
+    Corrupt,
+}
+
+/// Classifies a raw frame; see [`FrameState`]. Frames shorter than the
+/// checksum trailer are [`FrameState::Corrupt`].
 ///
 /// This is the one frame-validity rule in the workspace; the store's
 /// checksum verification and [`crate::backend::MirrorBackend`]'s read
 /// failover both delegate here so they can never disagree.
-pub fn frame_is_valid(frame: &[u8]) -> bool {
+pub fn classify_frame(frame: &[u8]) -> FrameState {
     let Some(payload_len) = frame.len().checked_sub(8) else {
-        return false;
+        return FrameState::Corrupt;
     };
     let stored = u64::from_le_bytes(frame[payload_len..].try_into().unwrap());
     if stored == 0 && frame[..payload_len].iter().all(|&b| b == 0) {
-        return true;
+        return FrameState::Unwritten;
     }
-    stored == fnv1a64(&frame[..payload_len])
+    if stored == fnv1a64(&frame[..payload_len]) {
+        FrameState::Written
+    } else {
+        FrameState::Corrupt
+    }
+}
+
+/// True if a raw frame is internally consistent — [`FrameState::Written`]
+/// or [`FrameState::Unwritten`]. Use [`classify_frame`] when the
+/// written/unwritten distinction matters.
+pub fn frame_is_valid(frame: &[u8]) -> bool {
+    classify_frame(frame) != FrameState::Corrupt
 }
 
 #[cfg(test)]
@@ -279,5 +309,24 @@ mod tests {
         assert!(frame_is_valid(&zeroed));
         // Too short to carry a checksum: invalid.
         assert!(!frame_is_valid(&[0u8; 7]));
+    }
+
+    #[test]
+    fn classify_frame_distinguishes_unwritten_from_written_and_corrupt() {
+        assert_eq!(classify_frame(&[0u8; 32]), FrameState::Unwritten);
+        let mut frame = vec![7u8; 32];
+        let sum = fnv1a64(&frame[..24]);
+        frame[24..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(classify_frame(&frame), FrameState::Written);
+        frame[3] ^= 0x01;
+        assert_eq!(classify_frame(&frame), FrameState::Corrupt);
+        // A *written* zero page (zero payload, real checksum) is Written,
+        // not Unwritten: it carries information.
+        let mut zeroed = vec![0u8; 32];
+        let sum = fnv1a64(&zeroed[..24]);
+        zeroed[24..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(classify_frame(&zeroed), FrameState::Written);
+        assert_eq!(classify_frame(&[0u8; 7]), FrameState::Corrupt);
+        assert_eq!(classify_frame(&[]), FrameState::Corrupt);
     }
 }

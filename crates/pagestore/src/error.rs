@@ -30,6 +30,21 @@ pub enum StoreError {
     /// repaired (e.g. via [`crate::PageStore::scrub`]) or the set is
     /// cleared with [`crate::PageStore::clear_quarantine`].
     Quarantined(PageId),
+    /// A partial (torn) trailing write was detected in a backing file: the
+    /// file ends mid-frame or mid-record. A WAL-backed open recovers by
+    /// truncating the tail and replaying the log
+    /// ([`crate::PageStore::file_durable`]); without a log the damage is
+    /// surfaced rather than silently dropped.
+    TornWrite {
+        /// Complete frames (or log records) preceding the torn tail.
+        complete: u64,
+        /// Dangling bytes beyond the last complete unit.
+        trailing_bytes: u64,
+    },
+    /// The simulated-crash harness ([`crate::crash`]) killed the store at
+    /// an injected crash point; all further I/O on this store fails with
+    /// this error until the surviving media are reopened and recovered.
+    Crashed,
 }
 
 impl StoreError {
@@ -67,6 +82,12 @@ impl fmt::Display for StoreError {
             StoreError::Quarantined(id) => {
                 write!(f, "page {id:?} is quarantined after exhausting its retry budget")
             }
+            StoreError::TornWrite { complete, trailing_bytes } => write!(
+                f,
+                "torn trailing write: {trailing_bytes} dangling bytes after {complete} \
+                 complete units (recoverable via WAL replay)"
+            ),
+            StoreError::Crashed => write!(f, "store killed at an injected crash point"),
         }
     }
 }
@@ -113,6 +134,16 @@ mod tests {
         assert!(!StoreError::PageNotAllocated(PageId(1)).is_transient());
         assert!(!StoreError::Corrupt("x".into()).is_transient());
         assert!(!StoreError::Quarantined(PageId(1)).is_transient());
+        assert!(!StoreError::TornWrite { complete: 3, trailing_bytes: 17 }.is_transient());
+        assert!(!StoreError::Crashed.is_transient());
+    }
+
+    #[test]
+    fn torn_write_display_carries_both_lengths() {
+        let e = StoreError::TornWrite { complete: 12, trailing_bytes: 300 };
+        assert!(e.to_string().contains("12"), "{e}");
+        assert!(e.to_string().contains("300"), "{e}");
+        assert!(e.to_string().contains("torn"), "{e}");
     }
 
     #[test]

@@ -43,22 +43,28 @@
 
 pub mod backend;
 pub mod codec;
+pub mod crash;
 pub mod error;
 pub mod fault;
 pub mod layout;
 pub mod mirror;
 pub mod page;
 pub mod pool;
+pub mod recovery;
 pub mod stats;
 pub mod store;
 pub mod types;
+pub mod wal;
 
 pub use backend::{ResilienceStats, ScrubReport};
+pub use crash::{CrashBackend, CrashController, CrashLog, CrashPlan};
 pub use error::{Result, StoreError};
 pub use fault::{FaultBackend, FaultHandle, FaultPlan, InjectionStats};
 pub use mirror::MirrorBackend;
 pub use page::Page;
 pub use pool::{BufferPool, ShardStats, ShardedPool};
+pub use recovery::RecoveryReport;
 pub use stats::IoStats;
-pub use store::{PageId, PageStore, RetryPolicy, StoreConfig, NULL_PAGE};
+pub use store::{PageId, PageStore, RetryPolicy, StoreConfig, WalConfig, NULL_PAGE};
 pub use types::{Interval, Point, Record};
+pub use wal::{AllocSnapshot, FileLog, LogMedium, MemLog, Wal, WalStats};

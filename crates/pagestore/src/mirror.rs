@@ -6,13 +6,16 @@
 //! is reported (preferring a retryable error) so the store's retry layer
 //! re-drives the whole replicated write, rather than leaving one replica
 //! silently stale behind a valid checksum. Reads try replicas in order and
-//! accept the first frame that passes the workspace frame-validity rule
-//! ([`crate::codec::frame_is_valid`] — the same rule the store's checksum
+//! serve the first frame the workspace frame rule classifies as *written*
+//! ([`crate::codec::classify_frame`] — the same rule the store's checksum
 //! verification applies, so the mirror can never "accept" bytes the store
-//! would reject). A read served by a later replica is a *failover*, and the
-//! bad earlier replicas are rewritten from the good frame on the spot
-//! (*read-repair*). [`MirrorBackend::scrub`] walks every frame offline and
-//! restores replica agreement from the lowest-indexed valid copy.
+//! would reject). An all-zero *unwritten* frame never shadows a later
+//! replica's written data: a fresh or wiped replica answering zeros is a
+//! failover-and-repair case, not an answer. A read served by a later
+//! replica is a *failover*, and the divergent earlier replicas are
+//! rewritten from the good frame on the spot (*read-repair*).
+//! [`MirrorBackend::scrub`] walks every frame offline and restores replica
+//! agreement from the lowest-indexed written copy.
 //!
 //! Scrub restores **agreement, not recency**: if replicas diverge with both
 //! copies internally valid (possible only after a partial write escaped the
@@ -32,7 +35,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::backend::{Backend, ResilienceStats, ScrubReport};
-use crate::codec::frame_is_valid;
+use crate::codec::{classify_frame, FrameState};
 use crate::error::{Result, StoreError};
 use crate::store::PageId;
 
@@ -95,59 +98,75 @@ impl Backend for MirrorBackend {
 
     fn read_frame(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
         let mut errs: Vec<StoreError> = Vec::new();
-        // Earlier replicas that returned *bytes* which failed validation;
-        // they can be repaired once a good copy turns up.
+        // Earlier replicas that could not produce *written* data; they can
+        // be repaired once a good copy turns up. `corrupt` frames failed
+        // their checksum; `unwritten` frames read as all-zero — which is
+        // not damage, but must never shadow a later replica's real data
+        // (a fresh or wiped replica would otherwise silently answer every
+        // read with a zero page).
         let mut corrupt: Vec<usize> = Vec::new();
+        let mut unwritten: Vec<usize> = Vec::new();
         let mut corrupt_bytes: Option<Vec<u8>> = None;
         for (i, replica) in self.replicas.iter().enumerate() {
             match replica.read_frame(id, buf) {
-                Ok(()) if frame_is_valid(buf) => {
-                    if i > 0 {
-                        self.failovers.fetch_add(1, Ordering::Relaxed);
-                        pc_obs::counter(pc_obs::fault_metrics::FAILOVERS).inc();
-                    }
-                    // Read-repair, best-effort — a failed repair write
-                    // leaves that replica corrupt-but-detectable, which
-                    // scrub will get. The round rewrites *every* replica,
-                    // not just the corrupt ones: a repair that wrote a
-                    // strict subset would advance the replicas' write
-                    // counts unevenly, and deterministic fault injectors
-                    // keyed on per-page write ordinals (FaultBackend with
-                    // phase-offset plans) rely on those staying in lockstep
-                    // to guarantee faults never hit all replicas at once.
-                    if !corrupt.is_empty() {
-                        for (j, replica) in self.replicas.iter().enumerate() {
-                            if replica.write_frame(id, buf).is_ok() && corrupt.contains(&j) {
-                                self.note_repair();
+                Ok(()) => match classify_frame(buf) {
+                    FrameState::Written => {
+                        if i > 0 {
+                            self.failovers.fetch_add(1, Ordering::Relaxed);
+                            pc_obs::counter(pc_obs::fault_metrics::FAILOVERS).inc();
+                        }
+                        // Read-repair, best-effort — a failed repair write
+                        // leaves that replica corrupt-but-detectable, which
+                        // scrub will get. The round rewrites *every*
+                        // replica, not just the divergent ones: a repair
+                        // that wrote a strict subset would advance the
+                        // replicas' write counts unevenly, and
+                        // deterministic fault injectors keyed on per-page
+                        // write ordinals (FaultBackend with phase-offset
+                        // plans) rely on those staying in lockstep to
+                        // guarantee faults never hit all replicas at once.
+                        if !corrupt.is_empty() || !unwritten.is_empty() {
+                            for (j, replica) in self.replicas.iter().enumerate() {
+                                if replica.write_frame(id, buf).is_ok()
+                                    && (corrupt.contains(&j) || unwritten.contains(&j))
+                                {
+                                    self.note_repair();
+                                }
                             }
                         }
+                        return Ok(());
                     }
-                    return Ok(());
-                }
-                Ok(()) => {
-                    corrupt.push(i);
-                    if corrupt_bytes.is_none() {
-                        corrupt_bytes = Some(buf.to_vec());
+                    FrameState::Unwritten => unwritten.push(i),
+                    FrameState::Corrupt => {
+                        corrupt.push(i);
+                        if corrupt_bytes.is_none() {
+                            corrupt_bytes = Some(buf.to_vec());
+                        }
                     }
-                }
+                },
                 Err(e) => errs.push(e),
             }
         }
-        // No replica produced a valid frame. Corruption is only *confirmed*
-        // when every replica answered definitively (bytes or a permanent
-        // error): a replica that failed retryably may still hold a good
-        // copy, so in that case surface the retryable error and let the
-        // store's retry loop re-drive the whole mirrored read. Otherwise,
-        // if any replica produced bytes, hand those up so the store reports
-        // ChecksumMismatch — data is corrupt everywhere, and retrying would
-        // not change that.
+        // No replica produced written data. A replica that failed
+        // retryably may still hold a good copy, so a retryable error wins:
+        // the store's retry loop re-drives the whole mirrored read. Failing
+        // that, corrupt bytes beat unwritten zeroes — a corrupt frame is
+        // evidence data existed, and handing up its bytes lets the store
+        // report ChecksumMismatch instead of silently serving a zero page.
+        // Only when every answering replica says "never written" is the
+        // zero page the truth.
         let retryable = errs.iter().any(StoreError::is_transient);
-        match corrupt_bytes {
-            Some(bytes) if !retryable => {
+        match (corrupt_bytes, retryable) {
+            (_, true) => Err(prefer_transient(errs)),
+            (Some(bytes), false) => {
                 buf.copy_from_slice(&bytes);
                 Ok(())
             }
-            _ => Err(prefer_transient(errs)),
+            (None, false) if !unwritten.is_empty() => {
+                buf.fill(0);
+                Ok(())
+            }
+            (None, false) => Err(prefer_transient(errs)),
         }
     }
 
@@ -217,19 +236,32 @@ impl Backend for MirrorBackend {
         for ordinal in 0..self.frame_count() {
             let id = PageId(ordinal);
             report.frames_checked += 1;
-            // Canonical copy: the lowest-indexed replica whose frame is
-            // readable and valid (agreement, not recency — see module docs).
+            // Canonical copy: the lowest-indexed replica holding *written*
+            // data (agreement, not recency — see module docs). An unwritten
+            // (all-zero) frame is never canonical: a fresh or wiped replica
+            // must not "repair" a good replica down to zeros, and zeros
+            // must not paper over a corrupt replica — corruption stays
+            // detectable. A frame every answering replica reports as
+            // unwritten is simply healthy and needs nothing.
             let mut canonical: Option<usize> = None;
+            let mut saw_corrupt = false;
+            let mut saw_unwritten = false;
             for (i, replica) in self.replicas.iter().enumerate() {
-                if read_retrying(replica.as_ref(), id, &mut frame).is_ok()
-                    && frame_is_valid(&frame)
-                {
-                    canonical = Some(i);
-                    break;
+                if read_retrying(replica.as_ref(), id, &mut frame).is_ok() {
+                    match classify_frame(&frame) {
+                        FrameState::Written => {
+                            canonical = Some(i);
+                            break;
+                        }
+                        FrameState::Unwritten => saw_unwritten = true,
+                        FrameState::Corrupt => saw_corrupt = true,
+                    }
                 }
             }
             let Some(canon_idx) = canonical else {
-                report.unrecoverable += 1;
+                if saw_corrupt || !saw_unwritten {
+                    report.unrecoverable += 1;
+                }
                 continue;
             };
             let mut divergent: Vec<usize> = Vec::new();
@@ -284,7 +316,7 @@ impl Backend for MirrorBackend {
 mod tests {
     use super::*;
     use crate::backend::MemBackend;
-    use crate::codec::fnv1a64;
+    use crate::codec::{fnv1a64, frame_is_valid};
     use crate::fault::{FaultBackend, FaultHandle, FaultPlan};
 
     const FS: usize = 64;
@@ -407,6 +439,77 @@ mod tests {
             assert_eq!(buf, valid_frame(i as u8 + 1));
         }
         assert_eq!(m.resilience_stats().failovers, 0);
+    }
+
+    #[test]
+    fn fresh_primary_must_not_shadow_written_secondary() {
+        // Regression: replica 0 is fresh (reads as zeros — "unwritten"),
+        // replica 1 holds real data. The zero frame used to pass
+        // frame_is_valid and win, silently serving a zero page.
+        let secondary = MemBackend::new(FS);
+        let frame = valid_frame(6);
+        secondary.write_frame(PageId(0), &frame).unwrap();
+        let m = MirrorBackend::new(vec![
+            Box::new(MemBackend::new(FS)),
+            Box::new(secondary),
+        ]);
+        let mut buf = vec![0u8; FS];
+        m.read_frame(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf, frame, "written data must win over unwritten zeros");
+        let rs = m.resilience_stats();
+        assert_eq!((rs.failovers, rs.repairs), (1, 1));
+        // Read-repair filled the fresh replica: next read is clean off the
+        // primary, no second failover.
+        m.read_frame(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf, frame);
+        assert_eq!(m.resilience_stats().failovers, 1);
+    }
+
+    #[test]
+    fn never_written_frame_reads_as_zeros_without_failover() {
+        let (m, _, _) = mirror2();
+        let mut buf = vec![1u8; FS];
+        m.read_frame(PageId(9), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(m.resilience_stats(), ResilienceStats::default());
+    }
+
+    #[test]
+    fn scrub_repairs_fresh_replica_from_written_one_never_the_reverse() {
+        let secondary = MemBackend::new(FS);
+        let frame = valid_frame(4);
+        secondary.write_frame(PageId(0), &frame).unwrap();
+        let m = MirrorBackend::new(vec![
+            Box::new(MemBackend::new(FS)),
+            Box::new(secondary),
+        ]);
+        let report = m.scrub().unwrap();
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.unrecoverable, 0);
+        let mut buf = vec![0u8; FS];
+        m.read_frame(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf, frame, "scrub must copy written data into the fresh replica");
+        assert_eq!(m.resilience_stats().failovers, 0, "primary now holds the data");
+    }
+
+    #[test]
+    fn scrub_leaves_never_written_frames_alone_and_keeps_corruption_detectable() {
+        let (m, ha, hb) = mirror2();
+        // Frame 0: written then corrupted on both replicas — no written
+        // copy survives, and the unwritten-looking zeros elsewhere must
+        // not be used to paper over it.
+        m.write_frame(PageId(0), &valid_frame(2)).unwrap();
+        ha.rot_page(PageId(0));
+        hb.rot_page(PageId(0));
+        // Frame 1: written on both, so frames 0..=1 exist; frame 1 healthy.
+        m.write_frame(PageId(1), &valid_frame(3)).unwrap();
+        let report = m.scrub().unwrap();
+        assert_eq!(report.unrecoverable, 1);
+        assert_eq!(report.repaired, 0);
+        // The corrupt frame still reads as corrupt bytes, not zeros.
+        let mut buf = vec![0u8; FS];
+        m.read_frame(PageId(0), &mut buf).unwrap();
+        assert!(!frame_is_valid(&buf));
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! scale too, and a pool hit hands back the resident `Arc` without copying
 //! payload bytes.
 
-use std::collections::HashSet;
-use std::path::Path;
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pc_obs::IoEvent;
@@ -22,7 +22,9 @@ use crate::codec::fnv1a64;
 use crate::error::{Result, StoreError};
 use crate::page::Page;
 use crate::pool::ShardedPool;
+use crate::recovery::RecoveryReport;
 use crate::stats::IoStats;
+use crate::wal::{AllocSnapshot, FileLog, LogMedium, MemLog, Wal, WalStats};
 
 /// Identifier of a page within one [`PageStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -104,7 +106,45 @@ impl StoreConfig {
     }
 }
 
-const CHECKSUM_LEN: usize = 8;
+/// Length of the fnv1a64 checksum trailer appended to every stored frame
+/// (so a backend frame is `page_size + CHECKSUM_LEN` bytes).
+pub const CHECKSUM_LEN: usize = 8;
+
+/// Configuration for a durable (WAL-backed) store.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Log size (in bytes) at which a successful commit triggers an
+    /// automatic checkpoint, bounding both log growth and replay work at
+    /// the next open. Checkpoints only ever run at commit boundaries, so
+    /// the data file never sees an inconsistent state.
+    pub checkpoint_bytes: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig { checkpoint_bytes: 1 << 20 }
+    }
+}
+
+/// The durable half of a [`PageStore`]: the write-ahead log plus the
+/// no-steal dirty-page table.
+///
+/// Durability discipline (see `wal` module docs): every mutation is logged
+/// *before* it becomes visible; page images live only in `dirty` (and the
+/// log) until a checkpoint flushes them to the data backend at a commit
+/// boundary. The data file therefore only ever holds committed, consistent
+/// states — redo-only recovery, no undo.
+struct WalState {
+    wal: Wal,
+    /// Committed-or-pending page images not yet checkpointed into the data
+    /// backend, keyed by page id. Reads check here first.
+    dirty: Mutex<BTreeMap<u64, Page>>,
+    /// Serializes mutations (write/alloc/free) against commit/checkpoint,
+    /// so a checkpoint's log reset can never drop a record appended after
+    /// its data-file flush. Always taken before the allocation lock.
+    op_lock: Mutex<()>,
+    checkpoint_bytes: u64,
+}
 
 /// Store-global counters. Pool hits and evictions live in per-shard
 /// atomics inside [`ShardedPool`] and are folded in by
@@ -169,6 +209,9 @@ pub struct PageStore {
     /// Mirror of `quarantine.len()`, so the (overwhelmingly common) empty
     /// case is a lock-free relaxed load on the hot read/write path.
     quarantine_len: AtomicU64,
+    /// `Some` for durable stores: write-ahead log + dirty table. `None`
+    /// keeps the classic volatile store with bit-identical I/O accounting.
+    wal: Option<WalState>,
 }
 
 impl PageStore {
@@ -195,7 +238,73 @@ impl PageStore {
             retry: config.retry,
             quarantine: Mutex::new(HashSet::new()),
             quarantine_len: AtomicU64::new(0),
+            wal: None,
         }
+    }
+
+    /// Opens a **durable** store: a write-ahead log over `log` protects
+    /// every acked mutation against crashes of the process or the machine
+    /// (see the `wal` module docs for the protocol). Runs recovery first —
+    /// scanning the log, truncating any torn tail, replaying to the last
+    /// commit — and returns the [`RecoveryReport`] alongside the store.
+    ///
+    /// Durable stores are strict (`pool_pages` must be 0): the dirty-page
+    /// table is the only write buffer, so WAL-before-data can hold by
+    /// construction. Durability is opt-in per store and never changes the
+    /// volatile store's I/O accounting.
+    pub fn new_durable(
+        config: StoreConfig,
+        backend: Box<dyn Backend>,
+        log: Box<dyn LogMedium>,
+        wal_config: WalConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        assert!(config.page_size >= 32, "page size must be at least 32 bytes");
+        assert_eq!(
+            backend.frame_size(),
+            config.page_size + CHECKSUM_LEN,
+            "backend frame size must be page_size + 8"
+        );
+        assert_eq!(
+            config.pool_pages, 0,
+            "durable stores are strict: the WAL dirty table is the only write buffer"
+        );
+        let (wal, outcome) = Wal::open(log, config.page_size)?;
+        if outcome.torn_bytes > 0 {
+            pc_obs::counter(pc_obs::wal_metrics::TORN_TAILS).inc();
+        }
+        let (report, snap) = crate::recovery::replay(backend.as_ref(), config.page_size, &outcome)?;
+        // Make the replayed state durable, then retire the old log: after
+        // install_checkpoint the replayed records are never needed again.
+        backend.sync()?;
+        wal.install_checkpoint(&snap)?;
+        wal.note_replayed(report.replayed_records());
+        let mut allocated = vec![true; snap.next_id as usize];
+        for &f in &snap.free_list {
+            if let Some(slot) = allocated.get_mut(f as usize) {
+                *slot = false;
+            }
+        }
+        let store = PageStore {
+            page_size: config.page_size,
+            backend,
+            stats: AtomicStats::default(),
+            alloc: RwLock::new(AllocState {
+                allocated,
+                free_list: snap.free_list,
+                next_id: snap.next_id,
+            }),
+            pool: None,
+            retry: config.retry,
+            quarantine: Mutex::new(HashSet::new()),
+            quarantine_len: AtomicU64::new(0),
+            wal: Some(WalState {
+                wal,
+                dirty: Mutex::new(BTreeMap::new()),
+                op_lock: Mutex::new(()),
+                checkpoint_bytes: wal_config.checkpoint_bytes,
+            }),
+        };
+        Ok((store, report))
     }
 
     /// Strict-model in-memory store: the standard configuration for all
@@ -228,6 +337,46 @@ impl PageStore {
         Ok(PageStore::new(StoreConfig::strict(page_size), Box::new(backend)))
     }
 
+    /// Durable in-memory store (a [`MemLog`] WAL over a
+    /// [`MemBackend`]) — the configuration crash tests reopen from a
+    /// [`crate::CrashBackend`]/[`crate::CrashLog`] survivor's state.
+    pub fn in_memory_durable(page_size: usize) -> (Self, RecoveryReport) {
+        PageStore::new_durable(
+            StoreConfig::strict(page_size),
+            Box::new(MemBackend::new(page_size + CHECKSUM_LEN)),
+            Box::new(MemLog::new()),
+            WalConfig::default(),
+        )
+        .expect("an empty in-memory durable store cannot fail to open")
+    }
+
+    /// Durable file-backed store: data at `path`, WAL at `path` + `.wal`.
+    ///
+    /// A data file ending mid-frame (torn by a crash) is truncated back to
+    /// the last complete frame before recovery, and reported via
+    /// [`RecoveryReport::data_torn_tail`] — the WAL restores anything the
+    /// truncation dropped, because checkpointed frames were synced before
+    /// their log records were retired.
+    pub fn file_durable(
+        path: &Path,
+        page_size: usize,
+        wal_config: WalConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let (backend, data_torn_tail) =
+            FileBackend::open_recovering(path, page_size + CHECKSUM_LEN)?;
+        let mut wal_path = path.as_os_str().to_os_string();
+        wal_path.push(".wal");
+        let log = FileLog::open(&PathBuf::from(wal_path))?;
+        let (store, mut report) = PageStore::new_durable(
+            StoreConfig::strict(page_size),
+            Box::new(backend),
+            Box::new(log),
+            wal_config,
+        )?;
+        report.data_torn_tail = data_torn_tail;
+        Ok((store, report))
+    }
+
     /// Usable page payload size in bytes.
     pub fn page_size(&self) -> usize {
         self.page_size
@@ -236,7 +385,10 @@ impl PageStore {
     /// Allocates a fresh (or recycled) page. The page reads as all-zero
     /// until first written; recycled pages are zeroed on reuse (one write
     /// I/O), so no stale contents ever leak across a free/alloc cycle.
+    /// Durable stores log the allocation (and the recycled page's zeroing)
+    /// so recovery reconstructs the allocation table exactly.
     pub fn alloc(&self) -> Result<PageId> {
+        let _op = self.wal.as_ref().map(|ws| ws.op_lock.lock());
         let (id, recycled) = {
             let mut a = self.alloc.write();
             let (id, recycled) = match a.free_list.pop() {
@@ -254,7 +406,15 @@ impl PageStore {
             a.allocated[idx] = true;
             (id, recycled)
         };
-        if recycled {
+        if let Some(ws) = &self.wal {
+            ws.wal.append_alloc(PageId(id))?;
+            if recycled {
+                // Zero the recycled page through the WAL: the old owner's
+                // bytes must not leak, and replay must re-zero it too.
+                ws.wal.append_write(PageId(id), &[])?;
+                ws.dirty.lock().insert(id, Page::from(vec![0u8; self.page_size]));
+            }
+        } else if recycled {
             self.backend_write(PageId(id), &[])?;
         }
         self.stats.allocs.fetch_add(1, Ordering::Relaxed);
@@ -264,6 +424,7 @@ impl PageStore {
 
     /// Releases a page for reuse. Its contents become undefined.
     pub fn free(&self, id: PageId) -> Result<()> {
+        let _op = self.wal.as_ref().map(|ws| ws.op_lock.lock());
         {
             let mut a = self.alloc.write();
             if id.is_null() || !a.allocated.get(id.0 as usize).copied().unwrap_or(false) {
@@ -271,6 +432,12 @@ impl PageStore {
             }
             a.allocated[id.0 as usize] = false;
             a.free_list.push(id.0);
+        }
+        if let Some(ws) = &self.wal {
+            ws.wal.append_free(id)?;
+            // A pending image for a freed page will never be read again;
+            // dropping it keeps the checkpoint flush from resurrecting it.
+            ws.dirty.lock().remove(&id.0);
         }
         if let Some(pool) = &self.pool {
             pool.discard(id);
@@ -354,6 +521,16 @@ impl PageStore {
     pub fn read(&self, id: PageId) -> Result<Page> {
         self.check_allocated(id)?;
         self.check_quarantine(id)?;
+        if let Some(ws) = &self.wal {
+            // The dirty table holds the newest image of every page not yet
+            // checkpointed; the data backend is allowed to be stale for
+            // those pages (no-steal), so the table must be checked first.
+            if let Some(page) = ws.dirty.lock().get(&id.0) {
+                ws.wal.note_dirty_hit();
+                return Ok(page.clone());
+            }
+            return self.backend_read(id);
+        }
         if let Some(pool) = &self.pool {
             return pool.read_through(
                 id,
@@ -378,6 +555,17 @@ impl PageStore {
         }
         self.check_allocated(id)?;
         self.check_quarantine(id)?;
+        if let Some(ws) = &self.wal {
+            // WAL-before-visibility: the full page image is logged before
+            // the dirty table (and thus any reader) can see it. The data
+            // backend is only written at checkpoints.
+            let _op = ws.op_lock.lock();
+            ws.wal.append_write(id, data)?;
+            let mut padded = vec![0u8; self.page_size];
+            padded[..data.len()].copy_from_slice(data);
+            ws.dirty.lock().insert(id.0, Page::from(padded));
+            return Ok(());
+        }
         if let Some(pool) = &self.pool {
             let mut padded = vec![0u8; self.page_size];
             padded[..data.len()].copy_from_slice(data);
@@ -419,11 +607,90 @@ impl PageStore {
 
     /// Flushes all buffered dirty pages (shard by shard, in shard order)
     /// and syncs the backend.
+    ///
+    /// On a durable store this is a group commit with empty metadata: when
+    /// `sync` returns, every mutation so far survives a crash. Use
+    /// [`PageStore::commit_with`] to tag the commit instead.
     pub fn sync(&self) -> Result<()> {
+        if self.wal.is_some() {
+            return self.commit_with(&[]).map(|_| ());
+        }
         if let Some(pool) = &self.pool {
             pool.flush(|vid, vdata| self.backend_write(vid, vdata))?;
         }
         self.backend.sync()
+    }
+
+    /// Group commit on a durable store: appends a commit record carrying
+    /// the caller's opaque `meta` (e.g. a batch sequence number — recovery
+    /// hands back the last one it restored) and issues **one** fsync for
+    /// all records since the previous commit. Returns the group size; `0`
+    /// means nothing was pending and no fsync was issued. After a
+    /// successful commit, every mutation in the group is crash-durable —
+    /// this is the "Ack means durable" point for the serve layer.
+    ///
+    /// Commits mark consistency points, so a commit whose log has outgrown
+    /// [`WalConfig::checkpoint_bytes`] also installs a checkpoint. On a
+    /// volatile store this is a no-op returning 0.
+    pub fn commit_with(&self, meta: &[u8]) -> Result<u64> {
+        let Some(ws) = &self.wal else { return Ok(0) };
+        let _op = ws.op_lock.lock();
+        let group = ws.wal.commit(meta)?;
+        if ws.wal.log_bytes() >= ws.checkpoint_bytes {
+            self.checkpoint_locked(ws)?;
+        }
+        Ok(group)
+    }
+
+    /// Forces a checkpoint on a durable store: commits anything pending,
+    /// flushes the dirty table into the data backend, syncs it, and
+    /// atomically resets the log to a single allocation snapshot — after
+    /// which reopening replays nothing. A no-op on a volatile store.
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(ws) = &self.wal else { return Ok(()) };
+        let _op = ws.op_lock.lock();
+        // A checkpoint must sit at a consistency point: anything pending
+        // gets committed first so the flushed data file never contains an
+        // unacknowledged half-update.
+        ws.wal.commit(&[])?;
+        self.checkpoint_locked(ws)
+    }
+
+    /// True when this store has a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// WAL activity counters, or `None` on a volatile store.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(|ws| {
+            let mut s = ws.wal.stats();
+            s.dirty_pages = ws.dirty.lock().len() as u64;
+            s
+        })
+    }
+
+    /// Checkpoint body; caller holds `op_lock` and has just committed (the
+    /// WAL has no uncommitted records).
+    fn checkpoint_locked(&self, ws: &WalState) -> Result<()> {
+        debug_assert_eq!(ws.wal.uncommitted(), 0, "checkpoint off a commit boundary");
+        // Flush the dirty table into the data backend. The table is not
+        // drained until the backend sync succeeds: a failed flush must
+        // leave every image still readable from the table (and still
+        // protected by the old log).
+        {
+            let dirty = ws.dirty.lock();
+            for (&id, page) in dirty.iter() {
+                self.backend_write(PageId(id), &page[..])?;
+            }
+        }
+        self.backend.sync()?;
+        ws.dirty.lock().clear();
+        let snap = {
+            let a = self.alloc.read();
+            AllocSnapshot { next_id: a.next_id, free_list: a.free_list.clone() }
+        };
+        ws.wal.install_checkpoint(&snap)
     }
 
     /// Snapshot of cumulative I/O counters. Per-shard pool counters are
@@ -529,6 +796,15 @@ impl PageStore {
     /// `byte_offset` twice restores the frame bit-for-bit.
     pub fn inject_corruption(&self, id: PageId, byte_offset: usize) -> Result<()> {
         self.check_allocated(id)?;
+        if let Some(ws) = &self.wal {
+            // Push a pending image down into the backend and drop it from
+            // the dirty table, so the flipped frame is what reads observe.
+            let _op = ws.op_lock.lock();
+            let mut dirty = ws.dirty.lock();
+            if let Some(page) = dirty.remove(&id.0) {
+                self.backend_write(id, &page[..])?;
+            }
+        }
         if let Some(pool) = &self.pool {
             pool.flush(|vid, vdata| self.backend_write(vid, vdata))?;
             pool.discard(id);
@@ -857,6 +1133,108 @@ mod tests {
         let ids: Vec<PageId> = (0..4).map(|_| store.alloc().unwrap()).collect();
         store.free(ids[1]).unwrap();
         assert_eq!(store.allocated_pages(), vec![ids[0], ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn durable_store_reads_its_own_writes_through_the_dirty_table() {
+        let (store, report) = PageStore::in_memory_durable(64);
+        assert!(report.clean(), "fresh store: nothing to recover: {report:?}");
+        assert!(store.is_durable());
+        let id = store.alloc().unwrap();
+        store.write(id, b"logged").unwrap();
+        // The write went to the WAL + dirty table, not the data backend.
+        let s = store.stats();
+        assert_eq!(s.writes, 0, "no-steal: data backend untouched before checkpoint");
+        assert_eq!(&store.read(id).unwrap()[..6], b"logged");
+        assert_eq!(s.reads, 0, "dirty hit is not a transfer");
+        let ws = store.wal_stats().unwrap();
+        assert_eq!(ws.dirty_pages, 1);
+        assert_eq!(ws.dirty_hits, 1);
+        assert_eq!(ws.appends, 3, "open-time checkpoint + alloc + page write");
+        assert_eq!(ws.commits, 0);
+    }
+
+    #[test]
+    fn durable_commit_then_checkpoint_flushes_to_the_backend() {
+        let (store, _) = PageStore::in_memory_durable(64);
+        let ids: Vec<PageId> = (0..3).map(|_| store.alloc().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            store.write(id, &[i as u8 + 1]).unwrap();
+        }
+        assert_eq!(store.commit_with(b"batch-7").unwrap(), 6, "3 allocs + 3 writes");
+        assert_eq!(store.commit_with(b"empty").unwrap(), 0);
+        store.checkpoint().unwrap();
+        let ws = store.wal_stats().unwrap();
+        assert_eq!(ws.dirty_pages, 0, "checkpoint drains the dirty table");
+        // Open + explicit: install_checkpoint ran twice.
+        assert_eq!(ws.checkpoints, 2);
+        assert_eq!(store.stats().writes, 3, "checkpoint flush is 3 backend transfers");
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(store.read(id).unwrap()[0], i as u8 + 1, "now served by the backend");
+        }
+        assert_eq!(store.stats().reads, 3);
+    }
+
+    #[test]
+    fn durable_sync_is_a_group_commit() {
+        let (store, _) = PageStore::in_memory_durable(64);
+        let id = store.alloc().unwrap();
+        store.write(id, b"x").unwrap();
+        store.sync().unwrap();
+        let ws = store.wal_stats().unwrap();
+        assert_eq!(ws.commits, 1);
+        assert_eq!(ws.fsyncs, 2, "open-time checkpoint + the commit");
+        assert_eq!(ws.max_group, 2, "alloc + write in one group");
+    }
+
+    #[test]
+    fn durable_recycled_page_reads_zero_not_stale() {
+        let (store, _) = PageStore::in_memory_durable(64);
+        let a = store.alloc().unwrap();
+        store.write(a, b"secret").unwrap();
+        store.checkpoint().unwrap(); // old bytes now in the data backend
+        store.free(a).unwrap();
+        let b = store.alloc().unwrap();
+        assert_eq!(b, a, "free list recycles");
+        let page = store.read(b).unwrap();
+        assert!(page.iter().all(|&x| x == 0), "recycled page must not leak old bytes");
+    }
+
+    #[test]
+    fn durable_auto_checkpoint_bounds_the_log() {
+        let (store, _) = PageStore::new_durable(
+            StoreConfig::strict(64),
+            Box::new(MemBackend::new(64 + CHECKSUM_LEN)),
+            Box::new(MemLog::new()),
+            WalConfig { checkpoint_bytes: 256 },
+        )
+        .unwrap();
+        let id = store.alloc().unwrap();
+        for i in 0..20u8 {
+            store.write(id, &[i; 40]).unwrap();
+            store.sync().unwrap();
+        }
+        let ws = store.wal_stats().unwrap();
+        assert!(ws.checkpoints > 1, "commits past the threshold must checkpoint: {ws:?}");
+        assert!(ws.log_bytes < 512, "log stays bounded: {ws:?}");
+    }
+
+    #[test]
+    fn durable_corruption_injection_still_detected() {
+        let (store, _) = PageStore::in_memory_durable(64);
+        let id = store.alloc().unwrap();
+        store.write(id, b"payload").unwrap();
+        store.inject_corruption(id, 2).unwrap();
+        assert!(matches!(store.read(id), Err(StoreError::ChecksumMismatch(_))));
+    }
+
+    #[test]
+    fn volatile_store_commit_and_checkpoint_are_noops() {
+        let store = PageStore::in_memory(64);
+        assert!(!store.is_durable());
+        assert_eq!(store.commit_with(b"x").unwrap(), 0);
+        store.checkpoint().unwrap();
+        assert!(store.wal_stats().is_none());
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Store-level durability integration tests: reopen after a clean
+//! shutdown, WAL replay of committed-but-unflushed state, torn-tail
+//! handling in both the data file and the log, and checkpointing bounding
+//! replay. The exhaustive kill-point matrix lives in `crash_recovery.rs`;
+//! these tests pin the individual behaviors it composes.
+
+use std::sync::Arc;
+
+use pc_pagestore::{
+    CrashBackend, CrashController, CrashLog, CrashPlan, PageId, PageStore, StoreConfig,
+    WalConfig,
+};
+
+const PAGE: usize = 64;
+const FRAME: usize = PAGE + 8;
+
+fn cfg() -> StoreConfig {
+    StoreConfig::strict(PAGE)
+}
+
+/// Deterministic page payload: page index tagged with a generation byte.
+fn payload(tag: u8, i: u8) -> Vec<u8> {
+    let mut v = vec![tag; PAGE / 2];
+    v.push(i);
+    v
+}
+
+/// Logical state snapshot: every allocated page's id and bytes.
+fn snapshot(store: &PageStore) -> Vec<(PageId, Vec<u8>)> {
+    store
+        .allocated_pages()
+        .into_iter()
+        .map(|id| (id, store.read(id).unwrap().to_vec()))
+        .collect()
+}
+
+fn tempfile(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pc-durability-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    let mut wal = path.clone().into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(&wal);
+    path
+}
+
+#[test]
+fn file_store_reopen_after_clean_shutdown_restores_every_page() {
+    let path = tempfile("clean.pcstore");
+    let before;
+    {
+        let (store, report) = PageStore::file_durable(&path, PAGE, WalConfig::default()).unwrap();
+        assert!(report.clean());
+        for i in 0..8u8 {
+            let id = store.alloc().unwrap();
+            store.write(id, &payload(0xAA, i)).unwrap();
+        }
+        store.sync().unwrap();
+        before = snapshot(&store);
+    }
+    let (store, report) = PageStore::file_durable(&path, PAGE, WalConfig::default()).unwrap();
+    assert!(!report.data_torn_tail);
+    assert_eq!(snapshot(&store), before, "reopen must restore the exact committed state");
+}
+
+#[test]
+fn committed_but_unflushed_writes_survive_via_wal_replay() {
+    // No checkpoint ever runs (huge threshold), so the data file never sees
+    // the writes — recovery must rebuild them from the log alone.
+    let ctrl = CrashController::new(CrashPlan::count_only(11));
+    let backend = Arc::new(CrashBackend::new(FRAME, ctrl.clone()));
+    let log = Arc::new(CrashLog::new(ctrl));
+    let wal_cfg = WalConfig { checkpoint_bytes: u64::MAX };
+    let (store, _) = PageStore::new_durable(
+        cfg(),
+        Box::new(Arc::clone(&backend)),
+        Box::new(Arc::clone(&log)),
+        wal_cfg,
+    )
+    .unwrap();
+    let mut want = Vec::new();
+    for i in 0..5u8 {
+        let id = store.alloc().unwrap();
+        let data = payload(0xBB, i);
+        store.write(id, &data).unwrap();
+        want.push((id, data));
+    }
+    store.commit_with(b"batch-1").unwrap();
+
+    // "Die now": extract what durable media hold and recover from them.
+    let (store2, report) = PageStore::new_durable(
+        cfg(),
+        Box::new(backend.surviving_backend()),
+        Box::new(log.surviving_log()),
+        WalConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(report.replayed_writes, 5, "all committed writes replay: {report:?}");
+    assert_eq!(report.last_commit_meta.as_deref(), Some(&b"batch-1"[..]));
+    for (id, data) in &want {
+        let mut padded = data.clone();
+        padded.resize(PAGE, 0);
+        assert_eq!(&store2.read(*id).unwrap()[..], &padded[..]);
+    }
+    assert_eq!(store2.allocated_pages().len(), 5);
+}
+
+#[test]
+fn uncommitted_tail_is_discarded_and_acked_state_kept() {
+    for seed in 0..16u64 {
+        let ctrl = CrashController::new(CrashPlan::count_only(seed));
+        let backend = Arc::new(CrashBackend::new(FRAME, ctrl.clone()));
+        let log = Arc::new(CrashLog::new(ctrl));
+        let wal_cfg = WalConfig { checkpoint_bytes: u64::MAX };
+        let (store, _) = PageStore::new_durable(
+            cfg(),
+            Box::new(Arc::clone(&backend)),
+            Box::new(Arc::clone(&log)),
+            wal_cfg,
+        )
+        .unwrap();
+        let id = store.alloc().unwrap();
+        store.write(id, &payload(0xCC, 0)).unwrap();
+        store.commit_with(b"acked").unwrap();
+        let committed = snapshot(&store);
+
+        // Past the commit: more writes, some on fresh pages, never synced.
+        store.write(id, &payload(0xDD, 1)).unwrap();
+        let id2 = store.alloc().unwrap();
+        store.write(id2, &payload(0xEE, 2)).unwrap();
+
+        let (store2, report) = PageStore::new_durable(
+            cfg(),
+            Box::new(backend.surviving_backend()),
+            Box::new(log.surviving_log()),
+            WalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.last_commit_meta.as_deref(), Some(&b"acked"[..]), "seed {seed}");
+        assert_eq!(
+            snapshot(&store2),
+            committed,
+            "seed {seed}: recovery must restore exactly the acked state — \
+             no uncommitted writes, no lost acked ones"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_moves_state_to_the_data_file_and_empties_replay() {
+    let ctrl = CrashController::new(CrashPlan::count_only(7));
+    let backend = Arc::new(CrashBackend::new(FRAME, ctrl.clone()));
+    let log = Arc::new(CrashLog::new(ctrl));
+    let (store, _) = PageStore::new_durable(
+        cfg(),
+        Box::new(Arc::clone(&backend)),
+        Box::new(Arc::clone(&log)),
+        WalConfig::default(),
+    )
+    .unwrap();
+    for i in 0..4u8 {
+        let id = store.alloc().unwrap();
+        store.write(id, &payload(0x11, i)).unwrap();
+    }
+    store.checkpoint().unwrap();
+    let committed = snapshot(&store);
+    let ws = store.wal_stats().unwrap();
+    assert_eq!(ws.dirty_pages, 0, "checkpoint drains the dirty table");
+
+    let (store2, report) = PageStore::new_durable(
+        cfg(),
+        Box::new(backend.surviving_backend()),
+        Box::new(log.surviving_log()),
+        WalConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(report.replayed_writes, 0, "nothing left to replay: {report:?}");
+    assert_eq!(snapshot(&store2), committed);
+}
+
+#[test]
+fn auto_checkpoint_keeps_the_log_bounded_across_reopens() {
+    let path = tempfile("bounded.pcstore");
+    let wal_cfg = WalConfig { checkpoint_bytes: 512 };
+    let before;
+    {
+        let (store, _) = PageStore::file_durable(&path, PAGE, wal_cfg).unwrap();
+        let ids: Vec<PageId> = (0..6).map(|_| store.alloc().unwrap()).collect();
+        for round in 0..20u8 {
+            for (i, &id) in ids.iter().enumerate() {
+                store.write(id, &payload(round, i as u8)).unwrap();
+            }
+            store.commit_with(&[round]).unwrap();
+        }
+        let ws = store.wal_stats().unwrap();
+        assert!(ws.checkpoints > 1, "workload must cross the threshold: {ws:?}");
+        assert!(
+            ws.log_bytes < 8 * 512,
+            "log must stay within a small multiple of the threshold: {ws:?}"
+        );
+        before = snapshot(&store);
+    }
+    let (store, report) = PageStore::file_durable(&path, PAGE, wal_cfg).unwrap();
+    assert!(!report.data_torn_tail);
+    assert_eq!(snapshot(&store), before);
+}
+
+#[test]
+fn torn_data_file_tail_is_detected_and_recovered_on_open() {
+    let path = tempfile("torn.pcstore");
+    let before;
+    {
+        let (store, _) = PageStore::file_durable(&path, PAGE, WalConfig::default()).unwrap();
+        for i in 0..3u8 {
+            let id = store.alloc().unwrap();
+            store.write(id, &payload(0x77, i)).unwrap();
+        }
+        // Checkpoint so the data file holds the frames, then commit.
+        store.checkpoint().unwrap();
+        before = snapshot(&store);
+    }
+    // Simulate a crash mid-frame-append: a partial trailing frame.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x5Au8; FRAME / 2]).unwrap();
+    }
+    let (store, report) = PageStore::file_durable(&path, PAGE, WalConfig::default()).unwrap();
+    assert!(report.data_torn_tail, "the torn tail must be surfaced, not silently dropped");
+    assert_eq!(snapshot(&store), before, "truncating the tear restores the committed state");
+
+    // And a second open is clean: the tear was actually repaired on disk.
+    drop(store);
+    let (_, report) = PageStore::file_durable(&path, PAGE, WalConfig::default()).unwrap();
+    assert!(!report.data_torn_tail);
+}
+
+#[test]
+fn torn_wal_tail_is_truncated_on_open() {
+    let path = tempfile("tornwal.pcstore");
+    let before;
+    {
+        let (store, _) = PageStore::file_durable(&path, PAGE, WalConfig::default()).unwrap();
+        let id = store.alloc().unwrap();
+        store.write(id, &payload(0x33, 0)).unwrap();
+        store.sync().unwrap();
+        before = snapshot(&store);
+    }
+    // Tear the log: append half a record's worth of garbage.
+    let mut wal_path = path.clone().into_os_string();
+    wal_path.push(".wal");
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal_path).unwrap();
+        f.write_all(&[0xFFu8; 10]).unwrap();
+    }
+    let (store, report) = PageStore::file_durable(&path, PAGE, WalConfig::default()).unwrap();
+    assert!(report.torn_tail, "the torn log tail must be reported: {report:?}");
+    assert_eq!(snapshot(&store), before);
+}
+
+#[test]
+fn recycled_free_alloc_cycle_survives_recovery() {
+    let ctrl = CrashController::new(CrashPlan::count_only(3));
+    let backend = Arc::new(CrashBackend::new(FRAME, ctrl.clone()));
+    let log = Arc::new(CrashLog::new(ctrl));
+    let (store, _) = PageStore::new_durable(
+        cfg(),
+        Box::new(Arc::clone(&backend)),
+        Box::new(Arc::clone(&log)),
+        WalConfig { checkpoint_bytes: u64::MAX },
+    )
+    .unwrap();
+    let a = store.alloc().unwrap();
+    let b = store.alloc().unwrap();
+    store.write(a, &payload(0x01, 0)).unwrap();
+    store.write(b, &payload(0x02, 1)).unwrap();
+    store.free(a).unwrap();
+    let c = store.alloc().unwrap();
+    assert_eq!(c, a, "strict stores recycle the freed id");
+    store.write(c, &payload(0x03, 2)).unwrap();
+    store.commit_with(b"cycle").unwrap();
+    let committed = snapshot(&store);
+
+    let (store2, _) = PageStore::new_durable(
+        cfg(),
+        Box::new(backend.surviving_backend()),
+        Box::new(log.surviving_log()),
+        WalConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(snapshot(&store2), committed);
+    // The free list is state too: the next alloc must pick the same id a
+    // continued run would have.
+    let d1 = store.alloc().unwrap();
+    let d2 = store2.alloc().unwrap();
+    assert_eq!(d1, d2, "recovered allocator must continue identically");
+}

@@ -193,8 +193,13 @@ impl Engine<'_> {
             cur_slot = next.slot;
         }
 
+        // Saturating: on a durable store, reads served from the WAL dirty
+        // table are not backend transfers, so the output-block counts can
+        // exceed the transfer delta. The paper's exact accounting holds in
+        // the strict volatile stores the experiments use.
         let total_reads = (self.store.stats() - before).reads;
-        profile.search_ios = total_reads - profile.useful_ios - profile.wasteful_ios;
+        profile.search_ios =
+            total_reads.saturating_sub(profile.useful_ios + profile.wasteful_ios);
         Ok(profile)
     }
 }

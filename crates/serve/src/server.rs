@@ -229,6 +229,8 @@ fn batcher_loop(shared: &Shared) {
                 None => groups.push((job.req.target, vec![job])),
             }
         }
+        let mut outcomes: Vec<(Job, std::result::Result<u32, TargetError>, )> = Vec::new();
+        let mut applied_any = false;
         for (tid, jobs) in groups {
             let ops: Vec<UpdateOp> = jobs
                 .iter()
@@ -253,17 +255,48 @@ fn batcher_loop(shared: &Shared) {
             };
             shared.stats.batches.fetch_add(1, Relaxed);
             shared.stats.batched_updates.fetch_add(coalesced as u64, Relaxed);
-            for (job, res) in jobs.iter().zip(results) {
-                let resp = match res {
-                    Ok(()) => {
-                        shared.stats.updates_ok.fetch_add(1, Relaxed);
-                        Response { id: job.req.id, body: Body::Ack { batch: seq, coalesced } }
-                    }
-                    Err(e) => target_error_response(&shared.stats, job.req.id, e),
-                };
-                shared.stats.update_latency_ns.record(job.enqueued.elapsed().as_nanos() as u64);
-                shared.respond(&job.conn, &resp);
+            for (job, res) in jobs.into_iter().zip(results) {
+                applied_any |= res.is_ok();
+                outcomes.push((job, res.map(|()| coalesced)));
             }
+        }
+
+        // Group commit before any Ack leaves the server: on a durable
+        // store an acknowledged update must already be in the synced WAL,
+        // otherwise a crash (or a plain shutdown) after the Ack silently
+        // loses it — the lost-ack bug. One commit covers the whole batch,
+        // so the WAL fsync cost amortizes across every coalesced update.
+        if applied_any && shared.store.is_durable() {
+            match shared.store.commit_with(&seq.to_le_bytes()) {
+                Ok(_) => {
+                    shared.stats.group_commits.fetch_add(1, Relaxed);
+                }
+                Err(e) => {
+                    // Nothing in this batch is durable: acking any of it
+                    // would be a lie. Fail every applied update.
+                    shared.stats.commit_failures.fetch_add(1, Relaxed);
+                    let msg = format!("group commit failed: {e}");
+                    for (_, res) in outcomes.iter_mut() {
+                        if res.is_ok() {
+                            *res = Err(TargetError::Storage(
+                                pc_pagestore::StoreError::Corrupt(msg.clone()),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        for (job, res) in outcomes {
+            let resp = match res {
+                Ok(coalesced) => {
+                    shared.stats.updates_ok.fetch_add(1, Relaxed);
+                    Response { id: job.req.id, body: Body::Ack { batch: seq, coalesced } }
+                }
+                Err(e) => target_error_response(&shared.stats, job.req.id, e),
+            };
+            shared.stats.update_latency_ns.record(job.enqueued.elapsed().as_nanos() as u64);
+            shared.respond(&job.conn, &resp);
         }
     }
 }
@@ -527,6 +560,13 @@ impl ServerHandle {
         }
         if let Some(b) = self.batcher.take() {
             let _ = b.join();
+            // Drain-time sync: the batcher has applied its last batch, so
+            // flush whatever the store still buffers (the pool's dirty
+            // pages on a pooled store, pending WAL records on a durable
+            // one). Without this, a clean drain-then-shutdown could drop
+            // acked updates that were still sitting in the buffer pool —
+            // the shutdown flavor of the lost-ack bug.
+            let _ = self.shared.store.sync();
         }
         loop {
             let Some(h) = self.conn_threads.lock().pop() else { break };

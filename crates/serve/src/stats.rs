@@ -42,6 +42,12 @@ pub struct ServeStats {
     pub batches: AtomicU64,
     /// Updates carried inside those batches.
     pub batched_updates: AtomicU64,
+    /// Group commits driven against a durable store (one per batch with at
+    /// least one applied update; Acks are sent only after the commit).
+    pub group_commits: AtomicU64,
+    /// Batches whose group commit failed (their updates were answered with
+    /// storage errors, never acked).
+    pub commit_failures: AtomicU64,
     /// Queue-to-response latency for queries, nanoseconds.
     pub query_latency_ns: Histogram,
     /// Queue-to-ack latency for updates, nanoseconds.
@@ -70,6 +76,8 @@ impl ServeStats {
             (names::UPDATES_OK.into(), self.updates_ok.load(Relaxed)),
             (names::BATCHES.into(), self.batches.load(Relaxed)),
             (names::BATCHED_UPDATES.into(), self.batched_updates.load(Relaxed)),
+            (names::GROUP_COMMITS.into(), self.group_commits.load(Relaxed)),
+            (names::COMMIT_FAILURES.into(), self.commit_failures.load(Relaxed)),
             ("pc_serve_query_p50_ns".into(), q.quantile(0.50)),
             ("pc_serve_query_p99_ns".into(), q.quantile(0.99)),
             ("pc_serve_update_p50_ns".into(), u.quantile(0.50)),
@@ -109,6 +117,8 @@ impl ServeStats {
             (names::UPDATES_OK, self.updates_ok.load(Relaxed)),
             (names::BATCHES, self.batches.load(Relaxed)),
             (names::BATCHED_UPDATES, self.batched_updates.load(Relaxed)),
+            (names::GROUP_COMMITS, self.group_commits.load(Relaxed)),
+            (names::COMMIT_FAILURES, self.commit_failures.load(Relaxed)),
         ];
         for (name, v) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));

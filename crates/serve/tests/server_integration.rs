@@ -11,7 +11,7 @@ use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pc_pagestore::{PageStore, Point};
+use pc_pagestore::{PageStore, Point, WalConfig};
 use pc_pst::DynamicPst;
 use pc_serve::wire::{Body, ErrorCode, Op};
 use pc_serve::{
@@ -276,6 +276,81 @@ fn graceful_shutdown_drains_admitted_work() {
 
     // …and the listener is gone afterwards.
     assert!(Client::connect(addr, Duration::from_millis(500)).is_err());
+}
+
+#[test]
+fn acked_updates_survive_reopen_after_drain() {
+    // Lost-ack regression: every update the server acknowledged before a
+    // graceful drain must be readable after closing the store and reopening
+    // it from disk. The batcher's group commit makes Ack mean "durable", and
+    // join() syncs once more on drain, so reopen recovery must reproduce the
+    // exact page images.
+    let dir = std::env::temp_dir().join(format!("pc-serve-drain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("drain.pcstore");
+    let _ = std::fs::remove_file(&path);
+    let mut wal_path = path.clone().into_os_string();
+    wal_path.push(".wal");
+    let _ = std::fs::remove_file(&wal_path);
+
+    let (store, report) = PageStore::file_durable(&path, PAGE, WalConfig::default()).unwrap();
+    assert!(report.clean(), "fresh store must open clean: {report:?}");
+    let store = Arc::new(store);
+    let mut registry = Registry::new();
+    let pst = DynamicPst::build(&store, &points(50)).unwrap();
+    registry.register("dyn", Box::new(DynamicPstTarget::new(pst)));
+    let service = Service { store: Arc::clone(&store), registry };
+    let handle = Server::spawn(service, test_config()).unwrap();
+    let mut c = connect(&handle);
+
+    // Pipeline a burst of inserts and require an Ack for every one.
+    let n = 25u64;
+    for i in 0..n {
+        c.send(0, 0, Op::Insert(Point { x: 1000 + i as i64, y: i as i64, id: 900 + i }))
+            .unwrap();
+    }
+    for _ in 0..n {
+        let resp = c.recv().unwrap();
+        assert!(matches!(resp.body, Body::Ack { .. }), "every update must be acked: {resp:?}");
+    }
+
+    // On a durable store, Acks ride behind at least one group commit.
+    match c.stats().unwrap().body {
+        Body::Stats(pairs) => {
+            let get = |nm: &str| pairs.iter().find(|(k, _)| k == nm).map(|&(_, v)| v).unwrap();
+            assert!(get("pc_serve_group_commits_total") >= 1);
+            assert_eq!(get("pc_serve_commit_failures_total"), 0);
+        }
+        other => panic!("unexpected body {other:?}"),
+    }
+
+    let resp = c.call(0, 0, Op::TwoSided { x0: 0, y0: 0 }).unwrap();
+    match resp.body {
+        Body::Points(ps) => assert_eq!(ps.len(), 75),
+        other => panic!("unexpected body {other:?}"),
+    }
+
+    // Snapshot the full durable state as the server sees it, then drain.
+    let pages = store.allocated_pages();
+    let images: Vec<(pc_pagestore::PageId, Vec<u8>)> =
+        pages.iter().map(|&id| (id, store.read(id).unwrap().to_vec())).collect();
+    drop(c);
+    handle.join();
+    drop(store);
+
+    let (store2, report) = PageStore::file_durable(&path, PAGE, WalConfig::default()).unwrap();
+    assert!(!report.data_torn_tail, "clean shutdown must not leave a torn data file");
+    assert_eq!(store2.allocated_pages(), pages, "allocation table must survive reopen");
+    for (id, img) in &images {
+        assert_eq!(
+            &store2.read(*id).unwrap()[..],
+            &img[..],
+            "page {id:?} must be bit-identical after reopen"
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wal_path);
 }
 
 #[test]

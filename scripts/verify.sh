@@ -9,7 +9,7 @@
 # Both instrumentation modes are exercised: the default build (pc-obs
 # compiled to no-ops) and `--features obs` (live tracing/metrics).
 #
-# Usage: scripts/verify.sh [--bench] [--chaos] [--serve]
+# Usage: scripts/verify.sh [--bench] [--chaos] [--crash] [--serve]
 #   --bench   additionally run the perf-trajectory benchmarks:
 #             * pool_scaling, refreshing BENCH_pool.json;
 #             * obs_overhead in both modes, merging the two reports into
@@ -19,6 +19,10 @@
 #             random seed (the fixed-seed runs are already part of the
 #             workspace tests above). The seed is printed so a failure can
 #             be reproduced verbatim with PC_CHAOS_SEED=<seed>.
+#   --crash   additionally run the crash-point suite (kill-point matrix,
+#             per-structure acked-survives, store durability, WAL codec
+#             properties) in both instrumentation modes under a hard
+#             timeout — a recovery hang is a failure, not a stall.
 #   --serve   additionally gate the service layer: build pc-serve and
 #             pc-loadgen in both instrumentation modes, run the loadgen
 #             smoke (self-spawned server, steady + overload-shed phases)
@@ -30,13 +34,15 @@ cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
 RUN_CHAOS=0
+RUN_CRASH=0
 RUN_SERVE=0
 for arg in "$@"; do
     case "$arg" in
         --bench) RUN_BENCH=1 ;;
         --chaos) RUN_CHAOS=1 ;;
+        --crash) RUN_CRASH=1 ;;
         --serve) RUN_SERVE=1 ;;
-        *) echo "unknown argument: $arg (supported: --bench, --chaos, --serve)" >&2; exit 2 ;;
+        *) echo "unknown argument: $arg (supported: --bench, --chaos, --crash, --serve)" >&2; exit 2 ;;
     esac
 done
 
@@ -89,6 +95,23 @@ if [ "$RUN_CHAOS" = 1 ]; then
     echo "    (reproduce with: PC_CHAOS_SEED=$CHAOS_SEED cargo test -q --test chaos)"
     PC_CHAOS_SEED="$CHAOS_SEED" cargo test -q --offline --test chaos
     echo "OK: chaos suites green under seed $CHAOS_SEED"
+fi
+
+if [ "$RUN_CRASH" = 1 ]; then
+    # Kill-point matrix + per-structure acked-survives live in the
+    # workspace-level crash_recovery suite; the store-level durability and
+    # WAL-codec property suites live in pc-pagestore. All three run in both
+    # instrumentation modes. The hard timeouts turn a recovery hang (a
+    # replay loop that never terminates, a lock held across a crash point)
+    # into a failure instead of a stuck CI job.
+    echo "==> crash-point suite (hard timeout, default mode)"
+    timeout 300 cargo test -q --offline --test crash_recovery
+    timeout 300 cargo test -q --offline -p pc-pagestore --test durability --test wal_proptest
+    echo "==> crash-point suite (hard timeout, --features obs)"
+    timeout 300 cargo test -q --offline --test crash_recovery --features obs
+    timeout 300 cargo test -q --offline -p pc-pagestore --features obs \
+        --test durability --test wal_proptest
+    echo "OK: crash-point suite green in both instrumentation modes"
 fi
 
 if [ "$RUN_SERVE" = 1 ]; then
