@@ -1,0 +1,159 @@
+//! Physical-layout benchmark: build-order vs van Emde Boas repacked
+//! page placement, measured as wall-clock point-lookup latency against a
+//! real file-backed store with no buffer pool.
+//!
+//! The strict-model I/O accounting that gates the experiments is
+//! placement-blind: a transfer costs 1 no matter where the page sits.
+//! This bench is the wall-clock complement — it builds a B-tree with a
+//! shuffled insertion order (so build-order page placement is scattered),
+//! repacks it into a fresh file in vEB order, and times random `get`s
+//! against both files. Rounds alternate which store is measured first,
+//! and before every measured pass the bench syncs and tries to drop the
+//! OS page cache (`/proc/sys/vm/drop_caches`; needs root). When the drop
+//! fails the run is warm-cache and the layouts should tie (`ratio ≈ 1`);
+//! when it works the repacked file benefits from readahead locality. The
+//! `cold_cache` flag in the artifact records which regime was measured.
+//!
+//! Writes a machine-readable `BENCH_layout.json` (override the path with
+//! `PC_BENCH_OUT`). `PC_BENCH_QUERIES` scales the per-round query count
+//! (default 2000). Run with `cargo bench --bench layout_bench` or
+//! `scripts/verify.sh --layout`.
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use pc_bench::Json;
+use pc_btree::BTree;
+use pc_pagestore::PageStore;
+use pc_rng::Rng;
+
+const PAGE: usize = 4096;
+const NS: [usize; 3] = [20_000, 100_000, 400_000];
+const ROUNDS: usize = 9;
+
+fn queries_per_round() -> usize {
+    std::env::var("PC_BENCH_QUERIES").ok().and_then(|v| v.parse().ok()).unwrap_or(2000)
+}
+
+/// Syncs dirty pages and drops the OS page cache. Returns false when the
+/// drop is not permitted (non-root / sandboxed), i.e. warm-cache mode.
+fn drop_os_cache() -> bool {
+    let _ = std::process::Command::new("sync").status();
+    std::fs::write("/proc/sys/vm/drop_caches", "3").is_ok()
+}
+
+/// Builds a B-tree over `n` shuffled keys in a file-backed store, so the
+/// logical key order is scattered across physical pages.
+fn build_scattered(path: &Path, n: usize, seed: u64) -> (PageStore, BTree<i64, u64>) {
+    let store = PageStore::file(path, PAGE).expect("create build-order store");
+    let mut keys: Vec<i64> = (0..n as i64).map(|k| k * 2).collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    for i in (1..keys.len()).rev() {
+        keys.swap(i, rng.gen_range(0usize..i + 1));
+    }
+    let mut tree = BTree::new(&store).expect("btree root");
+    for &k in &keys {
+        tree.insert(&store, k, k as u64).expect("insert");
+    }
+    (store, tree)
+}
+
+/// Times `queries` random point lookups; returns ns per query.
+fn measure(store: &PageStore, tree: &BTree<i64, u64>, n: usize, queries: usize, seed: u64) -> u64 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let start = Instant::now();
+    for _ in 0..queries {
+        let key = 2 * rng.gen_range(0..n as u64) as i64;
+        let hit = tree.get(store, &key).expect("get").expect("key present");
+        black_box(hit);
+    }
+    start.elapsed().as_nanos() as u64 / queries as u64
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let queries = queries_per_round();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("pc_layout_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    println!(
+        "layout_bench: page {PAGE}, {queries} queries/round, {ROUNDS} rounds, \
+         {cores} hardware threads, files under {}\n",
+        dir.display()
+    );
+    println!(
+        "{:>9} {:>8} {:>16} {:>17} {:>7}",
+        "n", "pages", "build ns/query", "packed ns/query", "ratio"
+    );
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut cold = true;
+    let mut ratio_largest = 0.0f64;
+    for (i, &n) in NS.iter().enumerate() {
+        let build_path = dir.join(format!("build_{n}.db"));
+        let packed_path = dir.join(format!("packed_{n}.db"));
+        let (src, tree) = build_scattered(&build_path, n, 0x1a70_u64 ^ n as u64);
+        let dst = PageStore::file(&packed_path, PAGE).expect("create repacked store");
+        let packed = tree.repack(&src, &dst).expect("repack");
+        assert_eq!(dst.live_pages(), src.live_pages(), "repack must copy every page");
+
+        let mut build_ns = Vec::with_capacity(ROUNDS);
+        let mut packed_ns = Vec::with_capacity(ROUNDS);
+        for round in 0..ROUNDS {
+            let seed = 0xbe1c_0000 + (i * ROUNDS + round) as u64;
+            // Alternate measurement order to cancel drift.
+            if round % 2 == 0 {
+                cold &= drop_os_cache();
+                build_ns.push(measure(&src, &tree, n, queries, seed));
+                cold &= drop_os_cache();
+                packed_ns.push(measure(&dst, &packed, n, queries, seed));
+            } else {
+                cold &= drop_os_cache();
+                packed_ns.push(measure(&dst, &packed, n, queries, seed));
+                cold &= drop_os_cache();
+                build_ns.push(measure(&src, &tree, n, queries, seed));
+            }
+        }
+        let b = median(build_ns);
+        let p = median(packed_ns);
+        let ratio = p as f64 / b.max(1) as f64;
+        ratio_largest = ratio;
+        println!("{n:>9} {:>8} {b:>16} {p:>17} {ratio:>7.3}", src.live_pages());
+        rows.push(Json::obj(vec![
+            ("n", Json::Int(n as u64)),
+            ("pages", Json::Int(src.live_pages())),
+            ("build_ns_per_query", Json::Int(b)),
+            ("packed_ns_per_query", Json::Int(p)),
+            ("ratio", Json::Num(ratio)),
+        ]));
+    }
+
+    println!(
+        "\ncold_cache={cold} (page-cache drop {}), largest-n ratio {ratio_largest:.3} \
+         (<= ~1 means the repacked layout is no slower)",
+        if cold { "succeeded" } else { "unavailable — warm-cache run" }
+    );
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("layout".into())),
+        ("page_size", Json::Int(PAGE as u64)),
+        ("hardware_threads", Json::Int(cores as u64)),
+        ("pool_pages", Json::Int(0)),
+        ("cold_cache", Json::Bool(cold)),
+        ("queries_per_round", Json::Int(queries as u64)),
+        ("rounds", Json::Int(ROUNDS as u64)),
+        ("rows", Json::Arr(rows)),
+        ("ratio_largest_n", Json::Num(ratio_largest)),
+    ]);
+    let out = std::env::var("PC_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_layout.json").into());
+    std::fs::write(&out, format!("{report}\n")).expect("write benchmark artifact");
+    println!("wrote {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -64,6 +64,8 @@ impl Table {
 /// small hand-rolled emitter; it only needs to *write* JSON, never parse.
 #[derive(Debug, Clone)]
 pub enum Json {
+    /// A boolean.
+    Bool(bool),
     /// A float (serialized with enough precision to round-trip).
     Num(f64),
     /// An unsigned integer.
@@ -101,6 +103,7 @@ fn write_json_str(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Json::Bool(v) => write!(f, "{v}"),
             Json::Num(v) if v.is_finite() => write!(f, "{v}"),
             Json::Num(_) => f.write_str("null"),
             Json::Int(v) => write!(f, "{v}"),

@@ -34,6 +34,7 @@
 
 mod bulk;
 mod node;
+mod repack;
 mod tree;
 
 pub use tree::BTree;

@@ -1,0 +1,176 @@
+//! van Emde Boas repacking of a built B+-tree.
+//!
+//! See [`pc_pagestore::repack`] for the overall scheme. The B+-tree's page
+//! graph is the node tree itself: internal children are tree edges, while
+//! the leaf chain's `next`/`prev` links are *not* — every leaf is already
+//! reachable as some internal node's child, so the sibling pointers are
+//! merely remapped during the rewrite.
+
+use std::collections::HashSet;
+
+use pc_pagestore::repack::{ensure_quiesced, PageGraph, Relocation};
+use pc_pagestore::{PageId, PageStore, Record, Result};
+
+use crate::node::{Internal, Leaf, Node};
+use crate::tree::BTree;
+
+impl<K: Record + Ord + Clone, V: Record + Clone> BTree<K, V> {
+    /// Records this tree's pages into `graph` (one descent's worth of
+    /// reads per page). A no-op if the root is already in the graph.
+    pub fn collect_pages(&self, store: &PageStore, graph: &mut PageGraph) -> Result<()> {
+        let Some(root_idx) = graph.add_root(self.root_page()) else {
+            return Ok(());
+        };
+        self.collect_below(store, graph, self.root_page(), root_idx)
+    }
+
+    fn collect_below(
+        &self,
+        store: &PageStore,
+        graph: &mut PageGraph,
+        page: PageId,
+        idx: usize,
+    ) -> Result<()> {
+        if let Node::Internal(n) = Node::<K, V>::read(store, page)? {
+            for child in n.children {
+                if let Some(child_idx) = graph.add_child(idx, child) {
+                    self.collect_below(store, graph, child, child_idx)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-encodes every page into `dst` at its relocated id, mapping child
+    /// pointers and leaf sibling links through `map`. Returns the handle
+    /// of the relocated tree.
+    pub fn rewrite_into(
+        &self,
+        src: &PageStore,
+        dst: &PageStore,
+        map: &Relocation,
+    ) -> Result<Self> {
+        let mut visited = HashSet::new();
+        let mut stack = vec![self.root_page()];
+        while let Some(page) = stack.pop() {
+            if !visited.insert(page.0) {
+                continue;
+            }
+            match Node::<K, V>::read(src, page)? {
+                Node::Internal(n) => {
+                    stack.extend_from_slice(&n.children);
+                    let children =
+                        n.children.iter().map(|&c| map.get(c)).collect::<Result<Vec<_>>>()?;
+                    Node::<K, V>::Internal(Internal { keys: n.keys, children })
+                        .write(dst, map.get(page)?)?;
+                }
+                Node::Leaf(leaf) => {
+                    let moved = Leaf {
+                        entries: leaf.entries,
+                        next: map.get(leaf.next)?,
+                        prev: map.get(leaf.prev)?,
+                    };
+                    Node::Leaf(moved).write(dst, map.get(page)?)?;
+                }
+            }
+        }
+        Ok(BTree::from_parts(map.get(self.root_page())?, self.height(), self.len()))
+    }
+
+    /// Rewrites this tree into `dst` in van Emde Boas page order and
+    /// returns the relocated handle. Both stores must be quiesced (no
+    /// uncheckpointed dirty pages); `dst` is typically fresh, in which
+    /// case allocation order equals physical order.
+    pub fn repack(&self, src: &PageStore, dst: &PageStore) -> Result<Self> {
+        ensure_quiesced(src)?;
+        ensure_quiesced(dst)?;
+        let mut graph = PageGraph::new();
+        self.collect_pages(src, &mut graph)?;
+        let reloc = Relocation::alloc_in(&graph.veb_order(), dst)?;
+        self.rewrite_into(src, dst, &reloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repacked_tree_answers_identically() {
+        let src = PageStore::in_memory(256);
+        let mut t: BTree<i64, u64> = BTree::new(&src).unwrap();
+        for k in 0..2000i64 {
+            t.insert(&src, k * 7 % 4001, k as u64).unwrap();
+        }
+        let dst = PageStore::in_memory(256);
+        let packed = t.repack(&src, &dst).unwrap();
+        assert_eq!(packed.len(), t.len());
+        assert_eq!(packed.height(), t.height());
+        assert_eq!(dst.live_pages(), src.live_pages());
+        assert_eq!(packed.scan_all(&dst).unwrap(), t.scan_all(&src).unwrap());
+        for probe in [-5i64, 0, 1, 7, 1234, 4000, 9999] {
+            assert_eq!(packed.get(&dst, &probe).unwrap(), t.get(&src, &probe).unwrap());
+            assert_eq!(packed.pred(&dst, &probe).unwrap(), t.pred(&src, &probe).unwrap());
+        }
+        assert_eq!(
+            packed.range(&dst, &100, &900).unwrap(),
+            t.range(&src, &100, &900).unwrap()
+        );
+    }
+
+    #[test]
+    fn repack_into_fresh_store_places_root_first() {
+        let src = PageStore::in_memory(256);
+        let mut t: BTree<i64, u64> = BTree::new(&src).unwrap();
+        for k in 0..500i64 {
+            t.insert(&src, k, k as u64).unwrap();
+        }
+        assert!(t.height() >= 2);
+        let dst = PageStore::in_memory(256);
+        let packed = t.repack(&src, &dst).unwrap();
+        assert_eq!(packed.root_page(), PageId(0), "vEB order starts at the root");
+    }
+
+    #[test]
+    fn repack_transfer_counts_are_identical() {
+        let src = PageStore::in_memory(256);
+        let mut t: BTree<i64, u64> = BTree::new(&src).unwrap();
+        for k in 0..3000i64 {
+            t.insert(&src, k, k as u64).unwrap();
+        }
+        let dst = PageStore::in_memory(256);
+        let packed = t.repack(&src, &dst).unwrap();
+        for probe in [0i64, 1499, 2999] {
+            src.reset_stats();
+            t.get(&src, &probe).unwrap();
+            let before = src.stats().reads;
+            dst.reset_stats();
+            packed.get(&dst, &probe).unwrap();
+            assert_eq!(dst.stats().reads, before, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn repack_empty_tree() {
+        let src = PageStore::in_memory(256);
+        let t: BTree<i64, u64> = BTree::new(&src).unwrap();
+        let dst = PageStore::in_memory(256);
+        let packed = t.repack(&src, &dst).unwrap();
+        assert!(packed.is_empty());
+        assert_eq!(packed.scan_all(&dst).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn repack_refuses_dirty_durable_source() {
+        let (src, _) = PageStore::in_memory_durable(256);
+        let mut t: BTree<i64, u64> = BTree::new(&src).unwrap();
+        t.insert(&src, 1, 1).unwrap();
+        let dst = PageStore::in_memory(256);
+        let err = t.repack(&src, &dst).unwrap_err();
+        assert!(matches!(err, pc_pagestore::StoreError::DirtyStore { .. }), "{err}");
+        src.sync().unwrap();
+        src.checkpoint().unwrap();
+        let packed = t.repack(&src, &dst).unwrap();
+        assert_eq!(packed.get(&dst, &1).unwrap(), Some(1));
+    }
+}

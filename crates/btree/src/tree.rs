@@ -10,6 +10,7 @@
 //! These are the 1-d optimal bounds the paper cites for B+-trees (§1) and
 //! that experiment E1 validates empirically.
 
+use pc_pagestore::search;
 use pc_pagestore::{PageId, PageStore, Record, Result};
 
 use crate::node::{empty_leaf, Internal, Leaf, Node};
@@ -86,11 +87,8 @@ impl<K: Record + Ord + Clone, V: Record + Clone> BTree<K, V> {
     pub fn get(&self, store: &PageStore, key: &K) -> Result<Option<V>> {
         let _span = pc_obs::span!("btree_get");
         let (_, _, leaf) = self.descend(store, key)?;
-        Ok(leaf
-            .entries
-            .binary_search_by(|(k, _)| k.cmp(key))
-            .ok()
-            .map(|i| leaf.entries[i].1.clone()))
+        let i = search::partition_point(&leaf.entries, |(k, _)| k < key);
+        Ok(leaf.entries.get(i).filter(|(k, _)| k == key).map(|(_, v)| v.clone()))
     }
 
     /// Predecessor lookup: the entry with the greatest key `<= key`.
@@ -98,7 +96,7 @@ impl<K: Record + Ord + Clone, V: Record + Clone> BTree<K, V> {
     pub fn pred(&self, store: &PageStore, key: &K) -> Result<Option<(K, V)>> {
         let _span = pc_obs::span!("btree_pred");
         let (_, _, leaf) = self.descend(store, key)?;
-        let idx = leaf.entries.partition_point(|(k, _)| k <= key);
+        let idx = search::partition_point(&leaf.entries, |(k, _)| k <= key);
         if idx > 0 {
             return Ok(Some(leaf.entries[idx - 1].clone()));
         }
@@ -175,14 +173,13 @@ impl<K: Record + Ord + Clone, V: Record + Clone> BTree<K, V> {
         let internal_cap = Node::<K, V>::internal_capacity(store.page_size());
 
         let (mut path, leaf_id, mut leaf) = self.descend(store, &key)?;
-        match leaf.entries.binary_search_by(|(k, _)| k.cmp(&key)) {
-            Ok(i) => {
-                let old = std::mem::replace(&mut leaf.entries[i].1, value);
-                Node::Leaf(leaf).write(store, leaf_id)?;
-                return Ok(Some(old));
-            }
-            Err(i) => leaf.entries.insert(i, (key, value)),
+        let i = search::partition_point(&leaf.entries, |(k, _)| k < &key);
+        if leaf.entries.get(i).is_some_and(|(k, _)| *k == key) {
+            let old = std::mem::replace(&mut leaf.entries[i].1, value);
+            Node::Leaf(leaf).write(store, leaf_id)?;
+            return Ok(Some(old));
         }
+        leaf.entries.insert(i, (key, value));
         self.len += 1;
 
         if leaf.entries.len() <= leaf_cap {
@@ -246,10 +243,11 @@ impl<K: Record + Ord + Clone, V: Record + Clone> BTree<K, V> {
     pub fn delete(&mut self, store: &PageStore, key: &K) -> Result<Option<V>> {
         let _span = pc_obs::span!("btree_delete");
         let (mut path, leaf_id, mut leaf) = self.descend(store, key)?;
-        let removed = match leaf.entries.binary_search_by(|(k, _)| k.cmp(key)) {
-            Ok(i) => leaf.entries.remove(i).1,
-            Err(_) => return Ok(None),
-        };
+        let i = search::partition_point(&leaf.entries, |(k, _)| k < key);
+        if leaf.entries.get(i).is_none_or(|(k, _)| k != key) {
+            return Ok(None);
+        }
+        let removed = leaf.entries.remove(i).1;
         self.len -= 1;
 
         let min_leaf = Self::min_leaf(store);

@@ -50,5 +50,6 @@
 
 mod build;
 mod query;
+mod repack;
 
 pub use build::ExternalIntervalTree;

@@ -371,6 +371,11 @@ fn run() -> Result<(), String> {
 
     let doc = Json::obj(vec![
         ("bench", Json::Str("server".to_string())),
+        ("page_size", Json::Int(PAGE as u64)),
+        (
+            "hardware_threads",
+            Json::Int(std::thread::available_parallelism().map_or(1, |p| p.get()) as u64),
+        ),
         ("seed", Json::Int(args.seed)),
         ("n_points", Json::Int(args.n_points as u64)),
         ("ops", Json::Int(args.ops as u64)),

@@ -45,6 +45,16 @@ pub enum StoreError {
     /// an injected crash point; all further I/O on this store fails with
     /// this error until the surviving media are reopened and recovered.
     Crashed,
+    /// A whole-store physical operation (e.g. [`crate::repack`]) was asked
+    /// to run against a durable store whose no-steal dirty table is not
+    /// empty. The dirty table holds logged-but-not-checkpointed page
+    /// images; reading pages around it would mix committed and uncommitted
+    /// bytes, and a relocated copy could not be replayed onto by recovery.
+    /// Quiesce first: `commit_with` (or `sync`) then `checkpoint`.
+    DirtyStore {
+        /// Pages currently held in the no-steal dirty table.
+        dirty_pages: u64,
+    },
 }
 
 impl StoreError {
@@ -88,6 +98,11 @@ impl fmt::Display for StoreError {
                  complete units (recoverable via WAL replay)"
             ),
             StoreError::Crashed => write!(f, "store killed at an injected crash point"),
+            StoreError::DirtyStore { dirty_pages } => write!(
+                f,
+                "store has {dirty_pages} uncheckpointed dirty pages; quiesce \
+                 (commit + checkpoint) before physical reorganization"
+            ),
         }
     }
 }
@@ -136,6 +151,14 @@ mod tests {
         assert!(!StoreError::Quarantined(PageId(1)).is_transient());
         assert!(!StoreError::TornWrite { complete: 3, trailing_bytes: 17 }.is_transient());
         assert!(!StoreError::Crashed.is_transient());
+        assert!(!StoreError::DirtyStore { dirty_pages: 2 }.is_transient());
+    }
+
+    #[test]
+    fn dirty_store_display_carries_count_and_remedy() {
+        let e = StoreError::DirtyStore { dirty_pages: 5 };
+        assert!(e.to_string().contains('5'), "{e}");
+        assert!(e.to_string().contains("checkpoint"), "{e}");
     }
 
     #[test]

@@ -76,6 +76,14 @@ impl<R: Record> BlockList<R> {
         self.head
     }
 
+    /// The same list rooted at a different head page. This is the
+    /// relocation primitive used by [`crate::repack`]: after copying the
+    /// chain's pages into a new store, the embedded handle is rewritten to
+    /// point at the relocated head while the length is unchanged.
+    pub fn with_head(&self, head: PageId) -> Self {
+        BlockList { head, len: self.len, _marker: PhantomData }
+    }
+
     /// Total number of records.
     pub fn len(&self) -> u64 {
         self.len

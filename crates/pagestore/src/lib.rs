@@ -51,6 +51,8 @@ pub mod mirror;
 pub mod page;
 pub mod pool;
 pub mod recovery;
+pub mod repack;
+pub mod search;
 pub mod stats;
 pub mod store;
 pub mod types;
@@ -64,6 +66,7 @@ pub use mirror::MirrorBackend;
 pub use page::Page;
 pub use pool::{BufferPool, ShardStats, ShardedPool};
 pub use recovery::RecoveryReport;
+pub use repack::{ensure_quiesced, PageGraph, Relocation};
 pub use stats::IoStats;
 pub use store::{PageId, PageStore, RetryPolicy, StoreConfig, WalConfig, NULL_PAGE};
 pub use types::{Interval, Point, Record};

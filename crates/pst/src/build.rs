@@ -383,7 +383,7 @@ macro_rules! pst_variant {
     ($(#[$doc:meta])* $name:ident, $mode:expr) => {
         $(#[$doc])*
         pub struct $name {
-            core: PstCore,
+            pub(crate) core: PstCore,
         }
 
         impl $name {

@@ -20,8 +20,8 @@ use crate::two_level::{build_region_tree, query_handle, region_caps, InnerHandle
 
 /// The multilevel recursive PST (Theorem 4.4).
 pub struct MultilevelPst {
-    root: InnerHandle,
-    levels: u32,
+    pub(crate) root: InnerHandle,
+    pub(crate) levels: u32,
 }
 
 impl MultilevelPst {

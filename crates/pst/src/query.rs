@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use pc_pagestore::layout::BlockList;
+use pc_pagestore::search::partition_point;
 use pc_pagestore::{PageId, PageStore, Point, Result};
 
 use crate::build::{
@@ -153,7 +154,9 @@ impl Ctx<'_> {
         let before = self.results.len();
         let pp = read_points_page(self.store, rec.own_pts)?;
         self.counters.node_blocks += 1;
-        self.results.extend(pp.points.iter().filter(|p| self.q.contains(p)));
+        // Points are descending by y-key, so the y-qualifiers are a prefix.
+        let cut = partition_point(&pp.points, |p| p.y >= self.q.y0);
+        self.results.extend(pp.points[..cut].iter().filter(|p| p.x >= self.q.x0));
         pc_obs::add_items((self.results.len() - before) as u64);
         Ok(())
     }
@@ -249,17 +252,12 @@ fn traverse_descendants_inner(
     while let Some((page_id, add)) = stack.pop() {
         let pp = read_points_page(store, page_id)?;
         counters.node_blocks += 1;
-        let mut all = true;
-        for p in &pp.points {
-            if p.y >= y0 {
-                if add {
-                    results.push(*p);
-                }
-            } else {
-                all = false;
-            }
+        // Points are descending by y-key, so the y-qualifiers are a prefix.
+        let cut = partition_point(&pp.points, |p| p.y >= y0);
+        if add {
+            results.extend_from_slice(&pp.points[..cut]);
         }
-        if all && !pp.points.is_empty() {
+        if cut == pp.points.len() && !pp.points.is_empty() {
             if !pp.left_pts.is_null() && pp.left_cnt > 0 {
                 stack.push((pp.left_pts, true));
             }

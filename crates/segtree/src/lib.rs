@@ -57,5 +57,6 @@
 mod build;
 mod ext;
 mod mem;
+mod repack;
 
 pub use ext::{CachedSegmentTree, NaiveSegmentTree, QueryProfile, SegTreeHandle};

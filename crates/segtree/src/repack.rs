@@ -1,0 +1,254 @@
+//! van Emde Boas repacking of a built external segment tree.
+//!
+//! See [`pc_pagestore::repack`] for the overall scheme. The segment
+//! tree's physical layout has three page families, all reached from a
+//! [`SegTreeHandle`]:
+//!
+//! * the **endpoint B-tree** (queried first by every stab) — delegated to
+//!   `pc-btree`'s own collect/rewrite;
+//! * the **skeletal pages** — a *DAG*, not a tree: the build packs several
+//!   pending subtree roots into each page, so two parent pages can point
+//!   into the same child page. The first-discovery spanning tree drives
+//!   the vEB recursion; later edges are merely remapped;
+//! * per skeletal page, the **attached pages**: the shared-region
+//!   directory plus its raw interval pages, and every record's full
+//!   cover-list chain — laid out contiguously right after their page.
+
+use std::collections::{HashSet, VecDeque};
+
+use pc_btree::BTree;
+use pc_pagestore::codec::{PageReader, PageWriter};
+use pc_pagestore::repack::{
+    chain_pages, copy_chain, copy_raw, ensure_quiesced, PageGraph, Relocation,
+};
+use pc_pagestore::{PageId, PageStore, Record, Result};
+
+use crate::build::{decode_record, read_shared_dir};
+use crate::ext::SegTreeHandle;
+
+impl SegTreeHandle {
+    fn endpoint_tree(&self) -> BTree<i64, u64> {
+        BTree::from_parts(self.ep_root, self.ep_height, self.ep_len)
+    }
+
+    /// Records every page of this tree (endpoint B-tree, skeletal DAG,
+    /// shared regions, cover chains) into `graph`. The endpoint tree goes
+    /// first: stab queries traverse it before the skeletal descent.
+    pub fn collect_pages(&self, store: &PageStore, graph: &mut PageGraph) -> Result<()> {
+        self.endpoint_tree().collect_pages(store, graph)?;
+        collect_skeletal(store, self.root_page, graph)
+    }
+
+    /// Re-encodes every page into `dst` at its relocated id, mapping all
+    /// embedded page ids through `map`. Returns the relocated handle.
+    pub fn rewrite_into(
+        &self,
+        src: &PageStore,
+        dst: &PageStore,
+        map: &Relocation,
+    ) -> Result<SegTreeHandle> {
+        let ep = self.endpoint_tree().rewrite_into(src, dst, map)?;
+        rewrite_skeletal(src, dst, self.root_page, map)?;
+        Ok(SegTreeHandle {
+            root_page: map.get(self.root_page)?,
+            ep_root: ep.root_page(),
+            ep_height: ep.height(),
+            ep_len: ep.len(),
+            n: self.n,
+        })
+    }
+
+    /// Rewrites the whole tree into `dst` in van Emde Boas page order and
+    /// returns the relocated handle. Both stores must be quiesced.
+    pub fn repack(&self, src: &PageStore, dst: &PageStore) -> Result<SegTreeHandle> {
+        ensure_quiesced(src)?;
+        ensure_quiesced(dst)?;
+        let mut graph = PageGraph::new();
+        self.collect_pages(src, &mut graph)?;
+        let reloc = Relocation::alloc_in(&graph.veb_order(), dst)?;
+        self.rewrite_into(src, dst, &reloc)
+    }
+}
+
+/// Decodes a skeletal page header: `[count: u16][shared_dir: u64]`.
+fn skeletal_header(page: &[u8]) -> Result<(usize, PageId)> {
+    let mut r = PageReader::new(page);
+    let count = r.get_u16()? as usize;
+    let dir = PageId(r.get_u64()?);
+    Ok((count, dir))
+}
+
+fn collect_skeletal(store: &PageStore, root: PageId, graph: &mut PageGraph) -> Result<()> {
+    let Some(root_idx) = graph.add_root(root) else {
+        return Ok(());
+    };
+    let mut queue = VecDeque::from([(root, root_idx)]);
+    while let Some((pid, idx)) = queue.pop_front() {
+        let page = store.read(pid)?;
+        let (count, dir) = skeletal_header(&page)?;
+        if !dir.is_null() {
+            let raw = read_shared_dir(store, dir)?;
+            graph.attach(idx, &[dir]);
+            graph.attach(idx, &raw);
+        }
+        for slot in 0..count {
+            let rec = decode_record(&page, slot as u16)?;
+            if !rec.cover_full.is_empty() {
+                graph.attach(idx, &chain_pages(store, rec.cover_full.head())?);
+            }
+            for child in [rec.left, rec.right] {
+                if !child.page.is_null() && child.page != pid {
+                    if let Some(child_idx) = graph.add_child(idx, child.page) {
+                        queue.push_back((child.page, child_idx));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rewrite_skeletal(
+    src: &PageStore,
+    dst: &PageStore,
+    root: PageId,
+    map: &Relocation,
+) -> Result<()> {
+    let mut visited = HashSet::new();
+    let mut stack = vec![root];
+    let mut buf = vec![0u8; src.page_size()];
+    while let Some(pid) = stack.pop() {
+        if !visited.insert(pid.0) {
+            continue;
+        }
+        let page = src.read(pid)?;
+        let (count, dir) = skeletal_header(&page)?;
+        if !dir.is_null() {
+            // Raw region pages hold bare interval arrays (no embedded
+            // ids); the directory is rebuilt with relocated ids.
+            let raw = read_shared_dir(src, dir)?;
+            for &p in &raw {
+                copy_raw(src, dst, p, map)?;
+            }
+            let used = {
+                let mut w = PageWriter::new(&mut buf);
+                w.put_u16(raw.len() as u16)?;
+                for &p in &raw {
+                    w.put_u64(map.get(p)?.0)?;
+                }
+                w.position()
+            };
+            dst.write(map.get(dir)?, &buf[..used])?;
+        }
+        let used = {
+            let mut w = PageWriter::new(&mut buf);
+            w.put_u16(count as u16)?;
+            w.put_u64(map.get(dir)?.0)?;
+            for slot in 0..count {
+                let rec = decode_record(&page, slot as u16)?;
+                // Mirror of build_external's record serialization.
+                w.put_u32(rec.split)?;
+                for child in [rec.left, rec.right] {
+                    w.put_u64(map.get(child.page)?.0)?;
+                    w.put_u16(child.slot)?;
+                }
+                rec.cover_full.with_head(map.get(rec.cover_full.head())?).encode(&mut w)?;
+                w.put_u32(rec.shared_off)?;
+                w.put_u32(rec.shared_len)?;
+                w.put_u32(rec.above_off)?;
+                w.put_u32(rec.above_len)?;
+            }
+            w.position()
+        };
+        for slot in 0..count {
+            let rec = decode_record(&page, slot as u16)?;
+            if !rec.cover_full.is_empty() {
+                copy_chain(src, dst, rec.cover_full.head(), map)?;
+            }
+            for child in [rec.left, rec.right] {
+                if !child.page.is_null() && child.page != pid {
+                    stack.push(child.page);
+                }
+            }
+        }
+        dst.write(map.get(pid)?, &buf[..used])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ext::{CachedSegmentTree, NaiveSegmentTree};
+    use pc_pagestore::Interval;
+
+    fn xorshift(state: &mut u64, bound: i64) -> i64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        (*state % bound as u64) as i64
+    }
+
+    fn random_intervals(n: usize, seed: u64) -> Vec<Interval> {
+        let mut s = seed;
+        (0..n)
+            .map(|id| {
+                let a = xorshift(&mut s, 10_000);
+                Interval::new(a, a + xorshift(&mut s, 500), id as u64)
+            })
+            .collect()
+    }
+
+    fn ids(mut v: Vec<Interval>) -> Vec<u64> {
+        let mut out: Vec<u64> = v.drain(..).map(|i| i.id).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn repacked_cached_tree_answers_and_profiles_identically() {
+        let src = PageStore::in_memory(512);
+        let intervals = random_intervals(1500, 0xc0de);
+        let tree = CachedSegmentTree::build(&src, &intervals).unwrap();
+        let dst = PageStore::in_memory(512);
+        let packed = tree.repack(&src, &dst).unwrap();
+        assert_eq!(dst.live_pages(), src.live_pages());
+        let mut s = 0x9999u64;
+        for _ in 0..40 {
+            let q = xorshift(&mut s, 11_000) - 200;
+            let a = tree.stab_profiled(&src, q).unwrap();
+            let b = packed.stab_profiled(&dst, q).unwrap();
+            assert_eq!(ids(a.results.clone()), ids(b.results.clone()), "q={q}");
+            assert_eq!(a.total_ios(), b.total_ios(), "transfer count q={q}");
+            assert_eq!(a.useful_ios, b.useful_ios, "q={q}");
+            assert_eq!(a.wasteful_ios, b.wasteful_ios, "q={q}");
+        }
+    }
+
+    #[test]
+    fn repacked_naive_tree_answers_identically() {
+        let src = PageStore::in_memory(512);
+        let intervals = random_intervals(600, 0xeeee);
+        let tree = NaiveSegmentTree::build(&src, &intervals).unwrap();
+        let dst = PageStore::in_memory(512);
+        let packed = tree.repack(&src, &dst).unwrap();
+        let mut s = 0x1212u64;
+        for _ in 0..30 {
+            let q = xorshift(&mut s, 11_000) - 200;
+            assert_eq!(
+                ids(packed.stab(&dst, q).unwrap()),
+                ids(tree.stab(&src, q).unwrap()),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn repack_empty_tree() {
+        let src = PageStore::in_memory(512);
+        let tree = CachedSegmentTree::build(&src, &[]).unwrap();
+        let dst = PageStore::in_memory(512);
+        let packed = tree.repack(&src, &dst).unwrap();
+        assert!(packed.stab(&dst, 5).unwrap().is_empty());
+    }
+}

@@ -9,12 +9,17 @@
 # Both instrumentation modes are exercised: the default build (pc-obs
 # compiled to no-ops) and `--features obs` (live tracing/metrics).
 #
-# Usage: scripts/verify.sh [--bench] [--chaos] [--crash] [--serve]
+# Usage: scripts/verify.sh [--bench] [--chaos] [--crash] [--serve] [--layout]
 #   --bench   additionally run the perf-trajectory benchmarks:
 #             * pool_scaling, refreshing BENCH_pool.json;
 #             * obs_overhead in both modes, merging the two reports into
 #               BENCH_obs.json and GATING the off-mode marginal span cost
 #             at <= 1% (the "observability is free when off" contract).
+#   --layout  additionally run the physical-layout benchmark (build-order
+#             vs van Emde Boas repacked, file-backed, cold cache when the
+#             host permits dropping the page cache), refreshing
+#             BENCH_layout.json and GATING the largest-n ratio: the
+#             repacked layout must not be slower than build order.
 #   --chaos   additionally re-run the fault-injection suites under a fresh
 #             random seed (the fixed-seed runs are already part of the
 #             workspace tests above). The seed is printed so a failure can
@@ -36,13 +41,15 @@ RUN_BENCH=0
 RUN_CHAOS=0
 RUN_CRASH=0
 RUN_SERVE=0
+RUN_LAYOUT=0
 for arg in "$@"; do
     case "$arg" in
         --bench) RUN_BENCH=1 ;;
         --chaos) RUN_CHAOS=1 ;;
         --crash) RUN_CRASH=1 ;;
         --serve) RUN_SERVE=1 ;;
-        *) echo "unknown argument: $arg (supported: --bench, --chaos, --crash, --serve)" >&2; exit 2 ;;
+        --layout) RUN_LAYOUT=1 ;;
+        *) echo "unknown argument: $arg (supported: --bench, --chaos, --crash, --serve, --layout)" >&2; exit 2 ;;
     esac
 done
 
@@ -174,4 +181,31 @@ if pct > 1.0:
     sys.exit(f"GATE FAILED: disabled-mode span overhead {pct:.2f}% > 1%")
 PY
     echo "OK: BENCH_obs.json refreshed, off-mode overhead gate passed"
+fi
+
+if [ "$RUN_LAYOUT" = 1 ]; then
+    # Wall-clock complement of the strict-model transfer counts: the
+    # repack pass is only worth shipping if the vEB layout is never slower
+    # than build order on a real file. A tie is acceptable (warm page
+    # cache, fast device); a regression is not. The 10% headroom absorbs
+    # timer noise on busy hosts.
+    echo "==> cargo bench -p pc-bench --bench layout_bench (hard timeout 600s)"
+    timeout 600 cargo bench --offline -p pc-bench --bench layout_bench
+    python3 - BENCH_layout.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "layout", doc
+assert doc["page_size"] > 0 and doc["hardware_threads"] > 0, doc
+assert doc["rows"], "no measurement rows"
+for row in doc["rows"]:
+    assert row["build_ns_per_query"] > 0 and row["packed_ns_per_query"] > 0, row
+ratio = doc["ratio_largest_n"]
+largest = doc["rows"][-1]
+print(f'largest n={largest["n"]}: build {largest["build_ns_per_query"]}ns, '
+      f'packed {largest["packed_ns_per_query"]}ns, ratio {ratio:.3f} '
+      f'(cold_cache={doc["cold_cache"]})')
+if ratio > 1.10:
+    sys.exit(f"GATE FAILED: repacked layout is {ratio:.3f}x build order (> 1.10)")
+PY
+    echo "OK: BENCH_layout.json refreshed, layout gate passed"
 fi
