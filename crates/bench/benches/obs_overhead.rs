@@ -104,6 +104,10 @@ fn main() {
         ("bench", Json::Str("obs_overhead".into())),
         ("obs_enabled", Json::Str(if enabled { "true".into() } else { "false".into() })),
         ("page_size", Json::Int(PAGE as u64)),
+        (
+            "hardware_threads",
+            Json::Int(std::thread::available_parallelism().map_or(1, |p| p.get()) as u64),
+        ),
         ("keys", Json::Int(KEYS as u64)),
         ("ops", Json::Int(n as u64)),
         ("baseline_ns_per_op", Json::Int(base_ns)),

@@ -47,6 +47,14 @@ struct Args {
     n_points: usize,
     seed: u64,
     out: String,
+    /// Trace 1 in N requests (0 = off). Self-spawned servers are configured
+    /// directly; an external `--addr` server is retuned over the wire with
+    /// the `SetSampling` ADMIN op.
+    sample: u64,
+    /// Scrape the ADMIN `Stats`/`Metrics`/`SlowLog` surface mid-run and
+    /// again at the end of the steady phase, recording both snapshots
+    /// (structured pairs + the raw Prometheus text) into the artifact.
+    scrape: bool,
 }
 
 impl Default for Args {
@@ -61,12 +69,15 @@ impl Default for Args {
             n_points: 50_000,
             seed: 0x10AD_0001,
             out: "BENCH_server.json".to_string(),
+            sample: 0,
+            scrape: false,
         }
     }
 }
 
 const USAGE: &str = "usage: pc-loadgen [--smoke] [--addr HOST:PORT] [--conns N] [--ops N] \
-                     [--mode open|closed] [--rate OPS_PER_S] [--points N] [--seed S] [--out PATH]";
+                     [--mode open|closed] [--rate OPS_PER_S] [--points N] [--seed S] \
+                     [--sample N] [--scrape] [--out PATH]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -100,6 +111,10 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 args.seed = val("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--sample" => {
+                args.sample = val("--sample")?.parse().map_err(|e| format!("bad --sample: {e}"))?;
+            }
+            "--scrape" => args.scrape = true,
             "--out" => args.out = val("--out")?,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
@@ -291,6 +306,51 @@ fn run_phase(
     Ok(t0.elapsed())
 }
 
+/// One scrape of the server's observability plane over the wire: the
+/// structured `Stats` pairs, the Prometheus `Metrics` text, and a summary
+/// of the slow-query log. Everything lands in the bench artifact, so a
+/// run's server-side view (per-target families, WAL/pool counters, §3
+/// waste aggregates) rides next to the client-side latency histograms.
+fn scrape_admin(addr: SocketAddr) -> Result<Json, String> {
+    let mut admin =
+        Client::connect(addr, IO_TIMEOUT).map_err(|e| format!("scrape connect: {e}"))?;
+    let stats = match admin.stats().map_err(|e| format!("scrape stats: {e}"))?.body {
+        Body::Stats(pairs) => pairs,
+        other => return Err(format!("scrape stats: unexpected body {other:?}")),
+    };
+    let text = match admin.metrics().map_err(|e| format!("scrape metrics: {e}"))?.body {
+        Body::Metrics(text) => text,
+        other => return Err(format!("scrape metrics: unexpected body {other:?}")),
+    };
+    let slow = match admin.slow_log(8, false).map_err(|e| format!("scrape slow_log: {e}"))?.body {
+        Body::SlowLog(entries) => entries,
+        other => return Err(format!("scrape slow_log: unexpected body {other:?}")),
+    };
+    let families = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    Ok(Json::obj(vec![
+        ("stats", Json::Obj(stats.into_iter().map(|(k, v)| (k, Json::Int(v))).collect())),
+        ("metrics_families", Json::Int(families as u64)),
+        ("metrics_text", Json::Str(text)),
+        (
+            "slowlog",
+            Json::Arr(
+                slow.iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("request_id", Json::Int(e.request_id)),
+                            ("op", Json::Str(e.op.clone())),
+                            ("target", Json::Str(e.target.clone())),
+                            ("latency_ns", Json::Int(e.latency_ns)),
+                            ("wasteful_ios", Json::Int(e.wasteful_ios)),
+                            ("spans", Json::Int(e.spans.len() as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]))
+}
+
 fn spawn_server(args: &Args, cfg: ServerConfig) -> Result<ServerHandle, String> {
     let store = Arc::new(PageStore::in_memory(PAGE));
     let points: Vec<Point> = gen_points(args.n_points, PointDist::Uniform, args.seed)
@@ -319,15 +379,37 @@ fn run() -> Result<(), String> {
     // self-spawned server with a production-shaped queue.
     let steady = PhaseStats::default();
     let mode = if args.open_loop { "open" } else { "closed" };
-    let steady_elapsed = match args.addr {
-        Some(addr) => run_phase(addr, &args, args.open_loop, 0, &steady)?,
-        None => {
-            let handle = spawn_server(&args, ServerConfig::default())?;
-            let elapsed = run_phase(handle.addr(), &args, args.open_loop, 0, &steady)?;
-            shutdown(handle)?;
-            elapsed
-        }
+    let handle = match args.addr {
+        Some(_) => None,
+        None => Some(spawn_server(
+            &args,
+            ServerConfig { trace_sample: args.sample, ..ServerConfig::default() },
+        )?),
     };
+    let addr = args.addr.unwrap_or_else(|| handle.as_ref().expect("self-spawned").addr());
+    if args.addr.is_some() && args.sample > 0 {
+        // Externally started server: retune its sampling over the wire.
+        let mut admin =
+            Client::connect(addr, IO_TIMEOUT).map_err(|e| format!("admin connect: {e}"))?;
+        admin.set_sampling(args.sample).map_err(|e| format!("set_sampling: {e}"))?;
+    }
+    // The mid-run scrape rides its own thread so it observes the plane
+    // *under* live traffic (queue depths, in-flight counters), not after.
+    let mid_scrape = args.scrape.then(|| {
+        std::thread::spawn(move || -> Result<Json, String> {
+            std::thread::sleep(Duration::from_millis(200));
+            scrape_admin(addr)
+        })
+    });
+    let steady_elapsed = run_phase(addr, &args, args.open_loop, 0, &steady)?;
+    let scrape_mid = match mid_scrape {
+        Some(h) => Some(h.join().map_err(|_| "scrape thread panicked".to_string())??),
+        None => None,
+    };
+    let scrape_final = if args.scrape { Some(scrape_admin(addr)?) } else { None };
+    if let Some(handle) = handle {
+        shutdown(handle)?;
+    }
     let ok = steady.ok.load(Ordering::Relaxed);
     let snap = steady.latency_ns.snapshot();
     eprintln!(
@@ -347,7 +429,12 @@ fn run() -> Result<(), String> {
     // some Overloaded responses while admitted p99 stays bounded by the
     // tiny queue. Recorded here; asserted in tests/server_e2e.rs.
     if args.addr.is_none() {
-        let shed_cfg = ServerConfig { workers: 1, queue_depth: 2, ..ServerConfig::default() };
+        let shed_cfg = ServerConfig {
+            workers: 1,
+            queue_depth: 2,
+            trace_sample: args.sample,
+            ..ServerConfig::default()
+        };
         let handle = spawn_server(&args, shed_cfg)?;
         let shed = PhaseStats::default();
         let mut shed_args = args.clone();
@@ -369,7 +456,7 @@ fn run() -> Result<(), String> {
         }
     }
 
-    let doc = Json::obj(vec![
+    let mut doc_pairs = vec![
         ("bench", Json::Str("server".to_string())),
         ("page_size", Json::Int(PAGE as u64)),
         (
@@ -380,8 +467,13 @@ fn run() -> Result<(), String> {
         ("n_points", Json::Int(args.n_points as u64)),
         ("ops", Json::Int(args.ops as u64)),
         ("smoke", Json::Int(u64::from(args.smoke))),
+        ("trace_sample_every", Json::Int(args.sample)),
         ("phases", Json::Arr(phases)),
-    ]);
+    ];
+    if let (Some(mid), Some(fin)) = (scrape_mid, scrape_final) {
+        doc_pairs.push(("scrape", Json::obj(vec![("mid", mid), ("final", fin)])));
+    }
+    let doc = Json::obj(doc_pairs);
     std::fs::write(&args.out, format!("{doc}\n"))
         .map_err(|e| format!("write {}: {e}", args.out))?;
     eprintln!("wrote {}", args.out);

@@ -25,12 +25,19 @@
 //!    by I/O count, each retaining its full span tree ([`flight_top`]), for
 //!    "why was this query expensive" dumps.
 //!
-//! Everything compiles to an inert no-op unless the `obs` cargo feature is
-//! enabled (check at runtime with [`enabled`]); the off-mode overhead is
-//! pinned ≤ 1% by the `obs_overhead` bench gate in `scripts/verify.sh`.
-//! Instrumentation is purely observational: it never changes which pages a
-//! structure touches, so strict-mode transfer counts are bit-identical with
-//! the feature on or off.
+//! The tracing layer is **always compiled** with a request-scoped
+//! activation model: without the `obs` feature, spans only do work while
+//! the thread is inside a [`begin_trace`] capture window — the serve layer
+//! opens one for requests picked by a [`sample::Sampler`], so release
+//! binaries trace 1-in-N requests and feed a [`slowlog::SlowLog`] with no
+//! recompile. The metrics registry and the flight recorder remain
+//! feature-gated (check at runtime with [`enabled`]); with `obs` off their
+//! API compiles to inert no-ops, and the unarmed span fast path is pinned
+//! ≤ 1% by the `obs_overhead` bench gate in `scripts/verify.sh` (and
+//! allocation-free by the `zero_alloc` test). Instrumentation is purely
+//! observational: it never changes which pages a structure touches, so
+//! strict-mode transfer counts are bit-identical with the feature (or the
+//! sampler) on or off.
 
 #![forbid(unsafe_code)]
 
@@ -483,31 +490,103 @@ pub mod serve_metrics {
     pub const QUERY_LATENCY: &str = "pc_serve_query_latency_ns";
     /// Queue-to-ack latency histogram for updates, nanoseconds.
     pub const UPDATE_LATENCY: &str = "pc_serve_update_latency_ns";
+    /// Admission-to-dequeue wait histogram (queries and updates),
+    /// nanoseconds — the time a job sat in a bounded queue.
+    pub const QUEUE_WAIT: &str = "pc_serve_queue_wait_ns";
+    /// Histogram of updates coalesced per batch (the batcher's §5 win; the
+    /// `BATCHED_UPDATES / BATCHES` mean hides the distribution this shows).
+    pub const BATCH_COALESCE: &str = "pc_serve_batch_coalesce";
+    /// Request traces retained by the sampling plane (captures that
+    /// finished with a root span and were offered to the slow-query log).
+    pub const TRACES_RETAINED: &str = "pc_serve_traces_retained_total";
+    /// Gauge: jobs currently waiting in the query queue.
+    pub const QUERY_QUEUE_DEPTH: &str = "pc_serve_query_queue_depth";
+    /// Gauge: jobs currently waiting in the update queue.
+    pub const UPDATE_QUEUE_DEPTH: &str = "pc_serve_update_queue_depth";
+    /// Gauge: the live trace-sampling rate (sample 1 in N; 0 = off).
+    pub const TRACE_SAMPLE_EVERY: &str = "pc_serve_trace_sample_every";
+    /// Traces ever offered to the slow-query log (retained or not).
+    pub const SLOWLOG_OFFERED: &str = "pc_serve_slowlog_offered_total";
+}
+
+/// Exposition names for the per-target (per-tenant-namespace) metric
+/// families the server renders with a `{target="name"}` label. Collected
+/// here (like [`serve_metrics`]) so the exposition, the structured ADMIN
+/// `Stats` form, the load generator, and the tests never drift apart.
+pub mod target_metrics {
+    /// Well-formed requests routed at this target (admitted or shed).
+    pub const REQUESTS: &str = "pc_target_requests_total";
+    /// Queries this target answered successfully.
+    pub const QUERIES_OK: &str = "pc_target_queries_ok_total";
+    /// Updates this target acknowledged successfully.
+    pub const UPDATES_OK: &str = "pc_target_updates_ok_total";
+    /// Requests at this target answered with any error.
+    pub const ERRORS: &str = "pc_target_errors_total";
+    /// Per-target execution latency histogram, nanoseconds.
+    pub const LATENCY: &str = "pc_target_latency_ns";
+    /// Update batches applied against this target.
+    pub const BATCHES: &str = "pc_target_update_batches_total";
+    /// Updates carried inside those batches.
+    pub const BATCHED_UPDATES: &str = "pc_target_batched_updates_total";
+    /// Sampled request traces retained for this target.
+    pub const TRACES: &str = "pc_target_traces_total";
+    /// Total transfers observed inside this target's sampled traces.
+    pub const TRACED_IO: &str = "pc_target_traced_io_total";
+    /// §3 wasteful transfers observed inside this target's sampled traces.
+    pub const TRACED_WASTEFUL: &str = "pc_target_traced_wasteful_io_total";
+}
+
+/// Exposition names for the store-level families the server renders from
+/// the shared `PageStore` (its `IoStats` and always-on `WalStats`), plus
+/// the commit-observer histogram. Distinct from the `pc_wal_*` /
+/// `pc_io_*` names in [`wal_metrics`] and `IoEvent::counter_name`, which
+/// are the process-global `obs`-feature registry: these are per-store and
+/// always available.
+pub mod store_metrics {
+    /// WAL records appended (all kinds).
+    pub const WAL_APPENDS: &str = "pc_store_wal_appends_total";
+    /// Successful group commits.
+    pub const WAL_COMMITS: &str = "pc_store_wal_commits_total";
+    /// `fsync`s issued against the log medium.
+    pub const WAL_FSYNCS: &str = "pc_store_wal_fsyncs_total";
+    /// Checkpoints installed.
+    pub const WAL_CHECKPOINTS: &str = "pc_store_wal_checkpoints_total";
+    /// Records replayed by recovery on open.
+    pub const WAL_REPLAYED: &str = "pc_store_wal_replayed_records_total";
+    /// Gauge: current log length in bytes.
+    pub const WAL_LOG_BYTES: &str = "pc_store_wal_log_bytes";
+    /// Gauge: pages dirty since the last checkpoint.
+    pub const WAL_DIRTY_PAGES: &str = "pc_store_wal_dirty_pages";
+    /// Histogram of records made durable per group commit, fed live by the
+    /// store's commit observer hook.
+    pub const WAL_GROUP_COMMIT_RECORDS: &str = "pc_store_wal_group_commit_records";
+    /// Gauge (scaled ×10⁶): buffer-pool hit ratio `hits / (hits + reads)`.
+    pub const POOL_HIT_RATIO_PPM: &str = "pc_store_pool_hit_ratio_ppm";
 }
 
 pub mod hist;
+pub mod sample;
+pub mod slowlog;
+mod trace;
+
+pub use trace::{add_items, begin_trace, record_io, set_block_capacity, Span, TraceCapture};
 
 #[cfg(feature = "obs")]
 mod metrics;
 #[cfg(feature = "obs")]
 mod recorder;
-#[cfg(feature = "obs")]
-mod trace;
 
 #[cfg(feature = "obs")]
 pub use metrics::{counter, histogram, render_text, snapshot, Counter, Histogram};
 #[cfg(feature = "obs")]
 pub use recorder::{flight_clear, flight_top};
-#[cfg(feature = "obs")]
-pub use trace::{add_items, record_io, set_block_capacity, Span};
 
 #[cfg(not(feature = "obs"))]
 mod noop;
 
 #[cfg(not(feature = "obs"))]
 pub use noop::{
-    add_items, counter, flight_clear, flight_top, histogram, record_io, render_text,
-    set_block_capacity, snapshot, Counter, Histogram, Span,
+    counter, flight_clear, flight_top, histogram, render_text, snapshot, Counter, Histogram,
 };
 
 /// Serializes tests that observe global registry / flight-recorder state.

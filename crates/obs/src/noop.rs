@@ -1,11 +1,15 @@
-//! Inert stand-ins compiled when the `obs` feature is off.
+//! Inert stand-ins for the *registry and flight-recorder* API, compiled
+//! when the `obs` feature is off.
 //!
-//! Every function is `#[inline(always)]` with an empty body and every type
-//! is a zero-sized struct without `Drop`, so instrumented call sites
-//! vanish entirely under optimization — the bench gate in
-//! `scripts/verify.sh` pins the residual overhead at ≤ 1%.
+//! The span/tracing layer is always compiled (see `trace.rs`) so sampled
+//! request tracing works in release builds; only the process-global
+//! metrics registry and the flight recorder vanish. Every function here is
+//! `#[inline(always)]` with an empty body and every type is a zero-sized
+//! struct without `Drop`, so instrumented call sites disappear entirely
+//! under optimization — the bench gate in `scripts/verify.sh` pins the
+//! residual overhead at ≤ 1%.
 
-use crate::{IoEvent, QueryTrace, Snapshot, SpanKind};
+use crate::{QueryTrace, Snapshot};
 
 /// Inert counter (see the `obs`-enabled `Counter` for semantics).
 #[derive(Debug, Default)]
@@ -62,7 +66,8 @@ pub fn snapshot() -> Snapshot {
     Snapshot::default()
 }
 
-/// Inert: no traces are ever recorded.
+/// Inert: no traces are ever recorded globally. (Sampled request traces
+/// still flow through `begin_trace` captures — those are always compiled.)
 pub fn flight_top(_k: usize) -> Vec<QueryTrace> {
     Vec::new()
 }
@@ -70,33 +75,6 @@ pub fn flight_top(_k: usize) -> Vec<QueryTrace> {
 /// No-op.
 #[inline(always)]
 pub fn flight_clear() {}
-
-/// Inert span guard: zero-sized, no `Drop`.
-#[must_use = "a span records nothing unless the guard is held"]
-#[derive(Debug)]
-pub struct Span {
-    _priv: (),
-}
-
-impl Span {
-    /// No-op.
-    #[inline(always)]
-    pub fn enter(_name: &'static str, _kind: SpanKind, _arg: u64) -> Span {
-        Span { _priv: () }
-    }
-}
-
-/// No-op.
-#[inline(always)]
-pub fn record_io(_ev: IoEvent) {}
-
-/// No-op.
-#[inline(always)]
-pub fn add_items(_n: u64) {}
-
-/// No-op.
-#[inline(always)]
-pub fn set_block_capacity(_b: u64) {}
 
 #[cfg(test)]
 mod tests {
@@ -109,11 +87,6 @@ mod tests {
         c.inc();
         assert_eq!(c.get(), 0);
         histogram("anything").record(7);
-        let _span = Span::enter("query", SpanKind::Nav, 0);
-        record_io(IoEvent::Read);
-        add_items(3);
-        set_block_capacity(170);
-        drop(_span);
         assert!(snapshot().counters.is_empty());
         assert!(flight_top(3).is_empty());
         flight_clear();

@@ -1,16 +1,33 @@
-//! The thread-local span stack (live `obs` implementation).
+//! The thread-local span stack.
 //!
 //! A [`Span`] guard pushes a frame recording the thread's cumulative I/O
 //! counts at open; [`record_io`] bumps those counts; on drop the frame's
 //! delta becomes a [`SpanNode`] attached to its parent. When the *root*
-//! frame pops, the finished tree is folded into the metrics registry and
-//! offered to the flight recorder.
+//! frame pops, the finished tree is delivered to whoever asked for it.
+//!
+//! This module is **always compiled** — that is what makes request-scoped
+//! tracing work in release builds. Two activation paths:
+//!
+//! * With the `obs` cargo feature, every root span is live: on finalize it
+//!   is folded into the global metrics registry and offered to the flight
+//!   recorder, exactly as in earlier revisions.
+//! * Without `obs`, a span does real work only while the current thread has
+//!   an open [`TraceCapture`] (see [`begin_trace`]) — the serve layer opens
+//!   one for sampled requests. Otherwise [`Span::enter`] is a single
+//!   const-initialized thread-local load plus a branch: no allocation, no
+//!   `Instant::now()`, nothing for the optimizer to keep. The zero-alloc
+//!   property is pinned by the `zero_alloc` integration test and the
+//!   `obs_overhead` bench gate.
+//!
+//! Either way, [`begin_trace`]/[`TraceCapture::finish`] capture the next
+//! finished *root* span on this thread as a [`QueryTrace`] and hand it back
+//! to the caller — that is the per-request trace context: the worker owns
+//! the tree, with no detour through process-global state.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::time::Instant;
 
-use crate::metrics::fixed;
-use crate::{recorder, IoDelta, IoEvent, QueryTrace, SpanKind, SpanNode};
+use crate::{IoDelta, IoEvent, QueryTrace, SpanKind, SpanNode};
 
 struct Frame {
     name: &'static str,
@@ -25,7 +42,7 @@ struct Frame {
     /// Capacity set via [`set_block_capacity`] on this frame, if any.
     block_capacity: Option<u64>,
     children: Vec<SpanNode>,
-    /// Set only on root frames, for the latency histogram.
+    /// Set only on root frames, for the latency measurement.
     opened_at: Option<Instant>,
 }
 
@@ -38,14 +55,65 @@ struct Tracer {
 
 thread_local! {
     static TRACER: RefCell<Tracer> = RefCell::new(Tracer::default());
+    /// True while a [`TraceCapture`] is open on this thread. Const-init so
+    /// the unsampled fast path is a plain TLS load with no lazy-init check.
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static CAPTURED: RefCell<Option<QueryTrace>> = const { RefCell::new(None) };
 }
 
-/// Reports one page-store event to the tracing layer and the global
-/// per-event counters. Called by the `pc-pagestore` observer hook; purely
-/// observational (never alters store behavior or its own `IoStats`).
+/// True when spans on this thread should record anything at all.
+#[inline(always)]
+fn tracing_live() -> bool {
+    cfg!(feature = "obs") || CAPTURING.with(Cell::get)
+}
+
+/// Captures the next root span finished on this thread.
+///
+/// Arms tracing (in builds without the `obs` feature, spans are inert
+/// outside a capture) and reserves the thread's capture slot. Call
+/// [`TraceCapture::finish`] after the root span guard has dropped to take
+/// the finished [`QueryTrace`]. Captures nest: an inner capture takes the
+/// inner root, the outer capture state is restored when the guard goes.
+pub fn begin_trace() -> TraceCapture {
+    let prev = CAPTURING.with(|c| c.replace(true));
+    let stale = CAPTURED.with(|c| c.borrow_mut().take());
+    drop(stale);
+    TraceCapture { prev }
+}
+
+/// Guard for one armed request-trace window; see [`begin_trace`].
+#[must_use = "a capture that is dropped immediately records nothing"]
+#[derive(Debug)]
+pub struct TraceCapture {
+    prev: bool,
+}
+
+impl TraceCapture {
+    /// Takes the root span captured since [`begin_trace`], if one finished.
+    /// Consumes the guard (disarming the thread if the capture was the
+    /// outermost one).
+    pub fn finish(self) -> Option<QueryTrace> {
+        CAPTURED.with(|c| c.borrow_mut().take())
+        // `self` drops here, restoring the previous arming state.
+    }
+}
+
+impl Drop for TraceCapture {
+    fn drop(&mut self) {
+        CAPTURING.with(|c| c.set(self.prev));
+    }
+}
+
+/// Reports one page-store event to the tracing layer and (with `obs`) the
+/// global per-event counters. Called by the `pc-pagestore` observer hook;
+/// purely observational (never alters store behavior or its own `IoStats`).
 #[inline]
 pub fn record_io(ev: IoEvent) {
-    fixed().io[ev.index()].inc();
+    #[cfg(feature = "obs")]
+    crate::metrics::fixed().io[ev.index()].inc();
+    if !tracing_live() {
+        return;
+    }
     TRACER.with(|t| t.borrow_mut().io[ev.index()] += 1);
 }
 
@@ -53,7 +121,7 @@ pub fn record_io(ev: IoEvent) {
 /// span is open.
 #[inline]
 pub fn add_items(n: u64) {
-    if n == 0 {
+    if n == 0 || !tracing_live() {
         return;
     }
     TRACER.with(|t| {
@@ -69,6 +137,9 @@ pub fn add_items(n: u64) {
 /// keep independent capacities. Defaults to 1.
 #[inline]
 pub fn set_block_capacity(b: u64) {
+    if !tracing_live() {
+        return;
+    }
     TRACER.with(|t| {
         if let Some(f) = t.borrow_mut().stack.last_mut() {
             f.block_capacity = Some(b);
@@ -80,13 +151,18 @@ pub fn set_block_capacity(b: u64) {
 #[must_use = "a span records nothing unless the guard is held"]
 #[derive(Debug)]
 pub struct Span {
-    _priv: (),
+    /// False when the span was opened on an unarmed thread (no `obs`
+    /// feature, no capture): enter pushed nothing and drop pops nothing.
+    live: bool,
 }
 
 impl Span {
     /// Opens a span. Prefer the [`span!`](crate::span) macro.
     #[inline]
     pub fn enter(name: &'static str, kind: SpanKind, arg: u64) -> Span {
+        if !tracing_live() {
+            return Span { live: false };
+        }
         TRACER.with(|t| {
             let mut t = t.borrow_mut();
             let opened_at = if t.stack.is_empty() { Some(Instant::now()) } else { None };
@@ -103,12 +179,15 @@ impl Span {
                 opened_at,
             });
         });
-        Span { _priv: () }
+        Span { live: true }
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
         let finished = TRACER.with(|t| {
             let mut tr = t.borrow_mut();
             let frame = tr.stack.pop()?;
@@ -146,35 +225,38 @@ impl Drop for Span {
     }
 }
 
-/// Folds a finished root span into the metrics registry and the flight
-/// recorder.
+/// Delivers a finished root span: into the open capture slot when this
+/// thread is inside a [`begin_trace`] window, and (with `obs`) into the
+/// metrics registry and the flight recorder.
 fn finalize(root: SpanNode, latency_ns: u64) {
     let total_io = root.io.total_io();
     let wasteful_ios = root.wasteful_ios();
     let search_ios = root.search_ios();
     let items = root.output_items();
-    let m = fixed();
-    m.ops_total.inc();
-    m.wasteful_total.add(wasteful_ios);
-    m.items_total.add(items);
-    m.hist_op_io.record(total_io);
-    m.hist_wasteful.record(wasteful_ios);
-    m.hist_latency.record(latency_ns);
-    recorder::offer(QueryTrace {
-        name: root.name,
-        latency_ns,
-        total_io,
-        search_ios,
-        wasteful_ios,
-        items,
-        root,
-    });
+    #[cfg(feature = "obs")]
+    {
+        let m = crate::metrics::fixed();
+        m.ops_total.inc();
+        m.wasteful_total.add(wasteful_ios);
+        m.items_total.add(items);
+        m.hist_op_io.record(total_io);
+        m.hist_wasteful.record(wasteful_ios);
+        m.hist_latency.record(latency_ns);
+    }
+    let trace = QueryTrace { name: root.name, latency_ns, total_io, search_ios, wasteful_ios, items, root };
+    if CAPTURING.with(Cell::get) {
+        CAPTURED.with(|c| *c.borrow_mut() = Some(trace));
+        return;
+    }
+    #[cfg(feature = "obs")]
+    crate::recorder::offer(trace);
+    #[cfg(not(feature = "obs"))]
+    drop(trace);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{flight_clear, flight_top, snapshot};
 
     /// Simulates the page-store hook: n reads.
     fn reads(n: u64) {
@@ -183,8 +265,101 @@ mod tests {
         }
     }
 
+    /// The capture path works identically in both instrumentation modes —
+    /// this is the contract that lets release servers trace sampled
+    /// requests.
+    #[test]
+    fn begin_trace_captures_the_root_span_tree() {
+        let cap = begin_trace();
+        {
+            let _root = crate::span!("query", 42u64);
+            set_block_capacity(4);
+            reads(2);
+            {
+                let _lvl = crate::span!("level", 1u64);
+                reads(1);
+            }
+            {
+                let _probe = crate::span!(output: "path_cache_probe");
+                reads(3);
+                add_items(9); // 2 full blocks at B=4 + tail → 1 wasteful
+            }
+        }
+        let t = cap.finish().expect("root span finished inside the capture");
+        assert_eq!(t.name, "query");
+        assert_eq!(t.total_io, 6);
+        assert_eq!(t.search_ios, 3);
+        assert_eq!(t.wasteful_ios, 1);
+        assert_eq!(t.items, 9);
+        assert_eq!(t.root.arg, 42);
+        assert_eq!(t.root.children.len(), 2);
+        let probe = &t.root.children[1];
+        assert_eq!(probe.name, "path_cache_probe");
+        assert_eq!(probe.self_reads, 3);
+        assert_eq!(probe.block_capacity, 4, "capacity inherited from root");
+        assert_eq!(probe.wasteful(), 1);
+    }
+
+    #[test]
+    fn capture_without_a_root_span_yields_none() {
+        let cap = begin_trace();
+        reads(1); // I/O outside any span is not a trace
+        assert!(cap.finish().is_none());
+    }
+
+    #[test]
+    fn captures_nest_and_restore_outer_state() {
+        let outer = begin_trace();
+        {
+            let inner = begin_trace();
+            {
+                let _s = crate::span!("inner_op");
+                reads(1);
+            }
+            let t = inner.finish().expect("inner capture sees inner root");
+            assert_eq!(t.name, "inner_op");
+        }
+        // The outer capture is armed again; its own root is still capturable.
+        {
+            let _s = crate::span!("outer_op");
+            reads(2);
+        }
+        let t = outer.finish().expect("outer capture sees outer root");
+        assert_eq!(t.name, "outer_op");
+        assert_eq!(t.total_io, 2);
+    }
+
+    #[test]
+    fn consecutive_captures_do_not_leak_between_requests() {
+        let cap = begin_trace();
+        {
+            let _s = crate::span!("first");
+            reads(1);
+        }
+        assert_eq!(cap.finish().unwrap().name, "first");
+        // A new capture must not see the previous request's tree.
+        let cap = begin_trace();
+        assert!(cap.finish().is_none());
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn spans_are_inert_outside_a_capture_without_obs() {
+        // No capture open: the guard is dead weight and nothing is stacked.
+        {
+            let _s = crate::span!("ghost");
+            reads(5);
+            add_items(3);
+            set_block_capacity(7);
+        }
+        let cap = begin_trace();
+        assert!(cap.finish().is_none(), "nothing was captured retroactively");
+    }
+
+    #[cfg(feature = "obs")]
     #[test]
     fn span_tree_attributes_self_and_child_reads() {
+        use crate::{flight_clear, flight_top};
         let _g = crate::test_guard();
         flight_clear();
         {
@@ -218,8 +393,10 @@ mod tests {
         flight_clear();
     }
 
+    #[cfg(feature = "obs")]
     #[test]
     fn root_finalization_updates_metrics() {
+        use crate::snapshot;
         let _g = crate::test_guard();
         let before = snapshot();
         {
@@ -242,8 +419,10 @@ mod tests {
         assert!(after.counter("pc_io_reads_total") >= before.counter("pc_io_reads_total") + 2);
     }
 
+    #[cfg(feature = "obs")]
     #[test]
     fn io_outside_any_span_only_hits_global_counters() {
+        use crate::snapshot;
         let _g = crate::test_guard();
         let before = snapshot();
         record_io(IoEvent::Write);
@@ -253,5 +432,28 @@ mod tests {
             1
         );
         assert_eq!(after.counter("pc_ops_total"), before.counter("pc_ops_total"));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn captured_roots_bypass_the_flight_recorder_but_not_the_registry() {
+        use crate::{flight_clear, flight_top, snapshot};
+        let _g = crate::test_guard();
+        flight_clear();
+        let before = snapshot();
+        let cap = begin_trace();
+        {
+            let _root = crate::span!("served_request");
+            reads(4);
+        }
+        let t = cap.finish().unwrap();
+        assert_eq!(t.total_io, 4);
+        let after = snapshot();
+        // Aggregates still advance (identical counters whether or not the
+        // request was sampled — the e2e acceptance criterion).
+        assert_eq!(after.counter("pc_ops_total") - before.counter("pc_ops_total"), 1);
+        // But the trace went to the caller, not the global recorder.
+        assert!(flight_top(8).iter().all(|q| q.name != "served_request"));
+        flight_clear();
     }
 }

@@ -68,6 +68,8 @@ pub use pool::{BufferPool, ShardStats, ShardedPool};
 pub use recovery::RecoveryReport;
 pub use repack::{ensure_quiesced, PageGraph, Relocation};
 pub use stats::IoStats;
-pub use store::{PageId, PageStore, RetryPolicy, StoreConfig, WalConfig, NULL_PAGE};
+pub use store::{
+    PageId, PageStore, RetryPolicy, StoreConfig, StoreObserver, WalConfig, NULL_PAGE,
+};
 pub use types::{Interval, Point, Record};
 pub use wal::{AllocSnapshot, FileLog, LogMedium, MemLog, Wal, WalStats};

@@ -13,6 +13,7 @@
 use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use pc_obs::IoEvent;
 use pc_sync::{Mutex, RwLock};
@@ -212,6 +213,20 @@ pub struct PageStore {
     /// `Some` for durable stores: write-ahead log + dirty table. `None`
     /// keeps the classic volatile store with bit-identical I/O accounting.
     wal: Option<WalState>,
+    /// Event hook for distributions the cumulative counters cannot carry
+    /// (e.g. per-commit group sizes). `None` until registered.
+    observer: RwLock<Option<Arc<dyn StoreObserver>>>,
+}
+
+/// Observer of store events whose *distribution* matters, not just the
+/// count ([`IoStats`]/[`WalStats`] carry the cumulative totals). Called
+/// synchronously on the operating thread, so implementations must be cheap
+/// — record into an atomic histogram and return. Registered with
+/// [`PageStore::set_observer`].
+pub trait StoreObserver: Send + Sync {
+    /// A group commit made `records` WAL records durable with one fsync
+    /// (`records >= 1`; empty commits do not fire).
+    fn on_group_commit(&self, records: u64);
 }
 
 impl PageStore {
@@ -239,6 +254,7 @@ impl PageStore {
             quarantine: Mutex::new(HashSet::new()),
             quarantine_len: AtomicU64::new(0),
             wal: None,
+            observer: RwLock::new(None),
         }
     }
 
@@ -303,6 +319,7 @@ impl PageStore {
                 op_lock: Mutex::new(()),
                 checkpoint_bytes: wal_config.checkpoint_bytes,
             }),
+            observer: RwLock::new(None),
         };
         Ok((store, report))
     }
@@ -639,7 +656,17 @@ impl PageStore {
         if ws.wal.log_bytes() >= ws.checkpoint_bytes {
             self.checkpoint_locked(ws)?;
         }
+        if group > 0 {
+            if let Some(obs) = self.observer.read().as_ref() {
+                obs.on_group_commit(group);
+            }
+        }
         Ok(group)
+    }
+
+    /// Registers the store's event observer (replacing any previous one).
+    pub fn set_observer(&self, observer: Arc<dyn StoreObserver>) {
+        *self.observer.write() = Some(observer);
     }
 
     /// Forces a checkpoint on a durable store: commits anything pending,

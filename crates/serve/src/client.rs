@@ -90,9 +90,21 @@ impl Client {
     /// Sends a request without waiting for the response (open-loop /
     /// pipelined use); returns the request id.
     pub fn send(&mut self, target: u16, deadline_ms: u32, op: Op) -> Result<u64, ClientError> {
+        self.send_flags(target, deadline_ms, 0, op)
+    }
+
+    /// Like [`Client::send`] with explicit per-request flag bits (e.g.
+    /// [`crate::wire::FLAG_TRACE`] to force a trace of this request).
+    pub fn send_flags(
+        &mut self,
+        target: u16,
+        deadline_ms: u32,
+        flags: u8,
+        op: Op,
+    ) -> Result<u64, ClientError> {
         self.next_id += 1;
         let id = self.next_id;
-        let frame = request_frame(&Request { id, target, deadline_ms, op });
+        let frame = request_frame(&Request { id, target, deadline_ms, flags, op });
         write_frame(&mut &self.stream, &frame)?;
         Ok(id)
     }
@@ -105,7 +117,18 @@ impl Client {
 
     /// One request, one response (closed-loop use); checks the echoed id.
     pub fn call(&mut self, target: u16, deadline_ms: u32, op: Op) -> Result<Response, ClientError> {
-        let sent = self.send(target, deadline_ms, op)?;
+        self.call_flags(target, deadline_ms, 0, op)
+    }
+
+    /// Like [`Client::call`] with explicit per-request flag bits.
+    pub fn call_flags(
+        &mut self,
+        target: u16,
+        deadline_ms: u32,
+        flags: u8,
+        op: Op,
+    ) -> Result<Response, ClientError> {
+        let sent = self.send_flags(target, deadline_ms, flags, op)?;
         let resp = self.recv()?;
         if resp.id != sent {
             return Err(ClientError::IdMismatch { sent, got: resp.id });
@@ -131,6 +154,17 @@ impl Client {
     /// Admin graceful shutdown.
     pub fn shutdown_server(&mut self) -> Result<Response, ClientError> {
         self.call(0, 0, Op::Shutdown)
+    }
+
+    /// Admin slow-query log: top `k` entries per ranking, optionally
+    /// draining the log.
+    pub fn slow_log(&mut self, k: u32, clear: bool) -> Result<Response, ClientError> {
+        self.call(0, 0, Op::SlowLog { k, clear })
+    }
+
+    /// Admin: retune live trace sampling to 1-in-`every` (0 = off).
+    pub fn set_sampling(&mut self, every: u64) -> Result<Response, ClientError> {
+        self.call(0, 0, Op::SetSampling { every })
     }
 
     /// Convenience: insert a point into a dynamic target.

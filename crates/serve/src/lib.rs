@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod obsplane;
 pub mod queue;
 pub mod server;
 pub mod stats;
@@ -42,10 +43,14 @@ pub mod target;
 pub mod wire;
 
 pub use client::{Client, ClientError};
+pub use obsplane::{GroupCommitObserver, TargetStats, TargetStatsSet};
 pub use server::{Server, ServerConfig, ServerHandle, Service};
 pub use stats::ServeStats;
 pub use target::{
-    BTreeTarget, DynamicPstTarget, DynamicThreeSidedTarget, IntervalTreeTarget, PstTarget,
-    QueryTarget, Registry, SegTreeTarget, TargetError, ThreeSidedTarget, UpdateOp,
+    BTreeTarget, DynamicPstTarget, DynamicThreeSidedTarget, IntervalTreeTarget, NaivePstTarget,
+    PstTarget, QueryTarget, Registry, SegTreeTarget, TargetError, ThreeSidedTarget, UpdateOp,
 };
-pub use wire::{Body, DecodeError, ErrorCode, Op, Request, Response};
+pub use wire::{
+    Body, DecodeError, ErrorCode, Op, Request, Response, SlowEntry, WireSpan, FLAG_TRACE,
+    RANKED_BY_LATENCY, RANKED_BY_WASTE,
+};

@@ -33,15 +33,23 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use pc_obs::sample::Sampler;
+use pc_obs::serve_metrics as names;
+use pc_obs::slowlog::{SlowLog, SlowQuery};
+use pc_obs::QueryTrace;
 use pc_pagestore::{IoStats, Page, PageStore};
 use pc_sync::Mutex;
 
+use crate::obsplane::{
+    install_commit_observer, render_store_metrics, store_stat_pairs, GroupCommitObserver,
+    TargetStatsSet,
+};
 use crate::queue::{Bounded, PushError};
 use crate::stats::ServeStats;
 use crate::target::{Registry, TargetError, UpdateOp};
 use crate::wire::{
-    decode_request, response_frame, Body, ErrorCode, FrameProgress, FrameReader, Op, Request,
-    Response, MAX_FRAME,
+    decode_request, flatten_spans, response_frame, Body, ErrorCode, FrameProgress, FrameReader,
+    Op, Request, Response, SlowEntry, FLAG_TRACE, MAX_FRAME, RANKED_BY_LATENCY, RANKED_BY_WASTE,
 };
 
 /// Everything a server instance serves: one shared page store and the
@@ -75,6 +83,15 @@ pub struct ServerConfig {
     pub poll_tick: Duration,
     /// Frame-size cap (see [`MAX_FRAME`]).
     pub max_frame: usize,
+    /// Trace 1 in N requests (0 = off, 1 = everything). Runtime-retunable
+    /// over the wire via the `SetSampling` ADMIN op; works in every build
+    /// (the span layer is always compiled).
+    pub trace_sample: u64,
+    /// Seed for the deterministic sampler: the sampled set is a pure
+    /// function of `(seed, request id)`, independent of worker scheduling.
+    pub trace_seed: u64,
+    /// Slow-query-log retention per ranking (latency / wasteful I/O).
+    pub slowlog_k: usize,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +106,9 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             poll_tick: Duration::from_millis(20),
             max_frame: MAX_FRAME,
+            trace_sample: 0,
+            trace_seed: 0x7061_7468_6361_6368, // "pathcach"
+            slowlog_k: 16,
         }
     }
 }
@@ -118,6 +138,9 @@ struct Job {
     conn: Arc<Conn>,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// Decided at admission (deterministic sampler or `FLAG_TRACE`): the
+    /// executing stage opens a request-scoped trace capture for this job.
+    sampled: bool,
 }
 
 struct Shared {
@@ -129,6 +152,10 @@ struct Shared {
     updates: Bounded<Job>,
     shutdown: AtomicBool,
     batch_seq: AtomicU64,
+    sampler: Sampler,
+    slowlog: SlowLog,
+    target_stats: TargetStatsSet,
+    commit_obs: Arc<GroupCommitObserver>,
 }
 
 impl Shared {
@@ -143,6 +170,56 @@ impl Shared {
         // A failed write means the peer is gone; the job is complete either
         // way and the reader notices the shutdown socket on its next poll.
         let _ = conn.send(&response_frame(resp));
+    }
+
+    /// Folds a finished request-scoped trace into the observability plane:
+    /// the retained-trace counter, the owning target's §3 aggregates, and
+    /// the slow-query log.
+    fn retain_trace(&self, request_id: u64, op: &'static str, target_id: u16, trace: QueryTrace) {
+        self.stats.traces_retained.fetch_add(1, Relaxed);
+        if let Some(ts) = self.target_stats.get(target_id) {
+            ts.absorb_trace(&trace);
+        }
+        let target = self.target_stats.name(target_id).unwrap_or("?").to_string();
+        self.slowlog.offer(SlowQuery { request_id, op, target, trace });
+    }
+
+    /// Renders the slow-query log for the wire: top `k` per ranking,
+    /// merged by identity so a query ranked both ways appears once with
+    /// both membership bits set.
+    fn slow_entries(&self, k: usize) -> Vec<SlowEntry> {
+        fn entry(q: &SlowQuery, rankings: u8) -> SlowEntry {
+            SlowEntry {
+                request_id: q.request_id,
+                op: q.op.to_string(),
+                target: q.target.clone(),
+                rankings,
+                latency_ns: q.trace.latency_ns,
+                total_io: q.trace.total_io,
+                search_ios: q.trace.search_ios,
+                wasteful_ios: q.trace.wasteful_ios,
+                items: q.trace.items,
+                spans: flatten_spans(&q.trace.root),
+            }
+        }
+        let by_latency = self.slowlog.top_by_latency(k);
+        let by_waste = self.slowlog.top_by_waste(k);
+        let mut seen = Vec::with_capacity(by_latency.len() + by_waste.len());
+        let mut out = Vec::with_capacity(seen.capacity());
+        for q in by_latency {
+            out.push(entry(&q, RANKED_BY_LATENCY));
+            seen.push(q);
+        }
+        for q in by_waste {
+            match seen.iter().position(|s| Arc::ptr_eq(s, &q)) {
+                Some(i) => out[i].rankings |= RANKED_BY_WASTE,
+                None => {
+                    out.push(entry(&q, RANKED_BY_WASTE));
+                    seen.push(q);
+                }
+            }
+        }
+        out
     }
 }
 
@@ -161,32 +238,59 @@ fn target_error_response(stats: &ServeStats, id: u64, err: TargetError) -> Respo
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queries.pop() {
+        shared.stats.queue_wait_ns.record(job.enqueued.elapsed().as_nanos() as u64);
         let resp = if job.deadline.is_some_and(|d| Instant::now() > d) {
             shared.stats.deadline_exceeded.fetch_add(1, Relaxed);
             Response::error(job.req.id, ErrorCode::DeadlineExceeded, "deadline passed in queue")
         } else {
-            let _span = pc_obs::span!("serve_query");
-            match shared.registry.get(job.req.target) {
-                None => {
-                    shared.stats.bad_requests.fetch_add(1, Relaxed);
-                    Response::error(
-                        job.req.id,
-                        ErrorCode::BadRequest,
-                        format!("unknown target {}", job.req.target),
-                    )
-                }
-                Some(target) => match target.query(&shared.store, &job.req.op) {
-                    Ok(body) => {
-                        shared.stats.queries_ok.fetch_add(1, Relaxed);
-                        Response { id: job.req.id, body }
-                    }
-                    Err(e) => target_error_response(&shared.stats, job.req.id, e),
-                },
-            }
+            execute_query(shared, &job)
         };
         shared.stats.query_latency_ns.record(job.enqueued.elapsed().as_nanos() as u64);
         shared.respond(&job.conn, &resp);
     }
+}
+
+/// Runs one admitted query, optionally under a request-scoped trace
+/// capture, and folds the outcome into the per-target families.
+fn execute_query(shared: &Shared, job: &Job) -> Response {
+    // The capture gate is opened *before* the root span so the whole span
+    // tree lands in it; unsampled requests skip the gate and their spans
+    // cost one thread-local load each in default builds.
+    let capture = job.sampled.then(pc_obs::begin_trace);
+    let started = Instant::now();
+    let resp = {
+        let _span = pc_obs::span!("serve_query", job.req.id);
+        match shared.registry.get(job.req.target) {
+            None => {
+                shared.stats.bad_requests.fetch_add(1, Relaxed);
+                Response::error(
+                    job.req.id,
+                    ErrorCode::BadRequest,
+                    format!("unknown target {}", job.req.target),
+                )
+            }
+            Some(target) => match target.query(&shared.store, &job.req.op) {
+                Ok(body) => {
+                    shared.stats.queries_ok.fetch_add(1, Relaxed);
+                    Response { id: job.req.id, body }
+                }
+                Err(e) => target_error_response(&shared.stats, job.req.id, e),
+            },
+        }
+    };
+    if let Some(ts) = shared.target_stats.get(job.req.target) {
+        ts.latency_ns.record(started.elapsed().as_nanos() as u64);
+        match resp.body {
+            Body::Error { .. } => ts.errors.fetch_add(1, Relaxed),
+            _ => ts.queries_ok.fetch_add(1, Relaxed),
+        };
+    }
+    if let Some(capture) = capture {
+        if let Some(trace) = capture.finish() {
+            shared.retain_trace(job.req.id, job.req.op.name(), job.req.target, trace);
+        }
+    }
+    resp
 }
 
 fn batcher_loop(shared: &Shared) {
@@ -200,6 +304,10 @@ fn batcher_loop(shared: &Shared) {
             }
         }
         let seq = shared.batch_seq.fetch_add(1, Relaxed) + 1;
+        shared.stats.batch_coalesce.record(batch.len() as u64);
+        for job in &batch {
+            shared.stats.queue_wait_ns.record(job.enqueued.elapsed().as_nanos() as u64);
+        }
 
         // Expire deadlines now — an expired update must not be applied.
         let mut live = Vec::with_capacity(batch.len());
@@ -241,6 +349,13 @@ fn batcher_loop(shared: &Shared) {
                 })
                 .collect();
             let coalesced = ops.len() as u32;
+            // One trace per target group when any member was sampled; the
+            // capture is attributed to the first sampled job's request id
+            // (the batch is one shared execution — §5 buffering means
+            // there is no per-update I/O to split).
+            let traced_id = jobs.iter().find(|j| j.sampled).map(|j| j.req.id);
+            let capture = traced_id.map(|_| pc_obs::begin_trace());
+            let started = Instant::now();
             let results = {
                 let _span = pc_obs::span!("serve_update_batch", coalesced);
                 match shared.registry.get(tid) {
@@ -253,8 +368,19 @@ fn batcher_loop(shared: &Shared) {
                         .collect(),
                 }
             };
+            let apply_ns = started.elapsed().as_nanos() as u64;
+            if let (Some(capture), Some(rid)) = (capture, traced_id) {
+                if let Some(trace) = capture.finish() {
+                    shared.retain_trace(rid, "update_batch", tid, trace);
+                }
+            }
             shared.stats.batches.fetch_add(1, Relaxed);
             shared.stats.batched_updates.fetch_add(coalesced as u64, Relaxed);
+            if let Some(ts) = shared.target_stats.get(tid) {
+                ts.batches.fetch_add(1, Relaxed);
+                ts.batched_updates.fetch_add(coalesced as u64, Relaxed);
+                ts.latency_ns.record(apply_ns);
+            }
             for (job, res) in jobs.into_iter().zip(results) {
                 applied_any |= res.is_ok();
                 outcomes.push((job, res.map(|()| coalesced)));
@@ -288,12 +414,21 @@ fn batcher_loop(shared: &Shared) {
         }
 
         for (job, res) in outcomes {
+            let ts = shared.target_stats.get(job.req.target);
             let resp = match res {
                 Ok(coalesced) => {
                     shared.stats.updates_ok.fetch_add(1, Relaxed);
+                    if let Some(ts) = ts {
+                        ts.updates_ok.fetch_add(1, Relaxed);
+                    }
                     Response { id: job.req.id, body: Body::Ack { batch: seq, coalesced } }
                 }
-                Err(e) => target_error_response(&shared.stats, job.req.id, e),
+                Err(e) => {
+                    if let Some(ts) = ts {
+                        ts.errors.fetch_add(1, Relaxed);
+                    }
+                    target_error_response(&shared.stats, job.req.id, e)
+                }
             };
             shared.stats.update_latency_ns.record(job.enqueued.elapsed().as_nanos() as u64);
             shared.respond(&job.conn, &resp);
@@ -314,14 +449,48 @@ fn handle_request(shared: &Shared, conn: &Arc<Conn>, req: Request) -> bool {
             return true;
         }
         Op::Stats => {
-            let pairs = shared.stats.stat_pairs(&shared.store.stats());
+            let mut pairs = shared.stats.stat_pairs(&shared.store.stats());
+            pairs.push((names::QUERY_QUEUE_DEPTH.into(), shared.queries.len() as u64));
+            pairs.push((names::UPDATE_QUEUE_DEPTH.into(), shared.updates.len() as u64));
+            pairs.push((names::TRACE_SAMPLE_EVERY.into(), shared.sampler.every()));
+            pairs.push((names::SLOWLOG_OFFERED.into(), shared.slowlog.offered()));
+            pairs.extend(shared.target_stats.stat_pairs());
+            pairs.extend(store_stat_pairs(&shared.store, &shared.commit_obs));
             shared.respond(conn, &Response { id: req.id, body: Body::Stats(pairs) });
             return true;
         }
         Op::Metrics => {
             let mut text = shared.stats.render_text();
+            for (gauge, v) in [
+                (names::QUERY_QUEUE_DEPTH, shared.queries.len() as u64),
+                (names::UPDATE_QUEUE_DEPTH, shared.updates.len() as u64),
+                (names::TRACE_SAMPLE_EVERY, shared.sampler.every()),
+            ] {
+                text.push_str(&format!("# TYPE {gauge} gauge\n{gauge} {v}\n"));
+            }
+            let offered = shared.slowlog.offered();
+            text.push_str(&format!(
+                "# TYPE {n} counter\n{n} {offered}\n",
+                n = names::SLOWLOG_OFFERED
+            ));
+            text.push_str(&shared.target_stats.render_text());
+            text.push_str(&render_store_metrics(&shared.store, &shared.commit_obs));
             text.push_str(&pc_obs::render_text());
             shared.respond(conn, &Response { id: req.id, body: Body::Metrics(text) });
+            return true;
+        }
+        Op::SlowLog { k, clear } => {
+            let entries = shared.slow_entries(*k as usize);
+            shared.respond(conn, &Response { id: req.id, body: Body::SlowLog(entries) });
+            if *clear {
+                shared.slowlog.clear();
+            }
+            return true;
+        }
+        Op::SetSampling { every } => {
+            shared.sampler.set_every(*every);
+            let pairs = vec![(names::TRACE_SAMPLE_EVERY.to_string(), *every)];
+            shared.respond(conn, &Response { id: req.id, body: Body::Stats(pairs) });
             return true;
         }
         Op::Shutdown => {
@@ -362,9 +531,17 @@ fn handle_request(shared: &Shared, conn: &Arc<Conn>, req: Request) -> bool {
         return true;
     }
 
+    if let Some(ts) = shared.target_stats.get(req.target) {
+        ts.requests.fetch_add(1, Relaxed);
+    }
+
     let deadline = (req.deadline_ms > 0).then(|| now + Duration::from_millis(req.deadline_ms as u64));
     let id = req.id;
-    let job = Job { req, conn: Arc::clone(conn), enqueued: now, deadline };
+    // Sampling is decided once, at admission, from the request id alone —
+    // `FLAG_TRACE` forces it per request; otherwise the deterministic
+    // sampler makes the sampled set reproducible across runs.
+    let sampled = req.flags & FLAG_TRACE != 0 || shared.sampler.should_sample(req.id);
+    let job = Job { req, conn: Arc::clone(conn), enqueued: now, deadline, sampled };
     let queue = if is_update { &shared.updates } else { &shared.queries };
     match queue.try_push(job) {
         Ok(()) => {
@@ -465,15 +642,26 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let target_names: Vec<String> = service
+            .registry
+            .describe()
+            .into_iter()
+            .map(|(_, name, _, _)| name.to_string())
+            .collect();
+        let commit_obs = install_commit_observer(&service.store);
         let shared = Arc::new(Shared {
-            store: service.store,
             registry: service.registry,
             queries: Bounded::new(config.queue_depth),
             updates: Bounded::new(config.update_queue_depth),
-            cfg: config,
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
             batch_seq: AtomicU64::new(0),
+            sampler: Sampler::new(config.trace_sample, config.trace_seed),
+            slowlog: SlowLog::new(config.slowlog_k),
+            target_stats: TargetStatsSet::new(target_names),
+            commit_obs,
+            store: service.store,
+            cfg: config,
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -533,6 +721,32 @@ impl ServerHandle {
     /// to inject faults into a running server).
     pub fn store(&self) -> &Arc<PageStore> {
         &self.shared.store
+    }
+
+    /// Per-target metric families (tests and embedding binaries read them
+    /// directly; remote scrapers use the ADMIN `Stats`/`Metrics` ops).
+    pub fn target_stats(&self) -> &TargetStatsSet {
+        &self.shared.target_stats
+    }
+
+    /// The slow-query log (in-process view; `SlowLog` ADMIN op remotely).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.shared.slowlog
+    }
+
+    /// Current trace-sampling rate (1 in N; 0 = off).
+    pub fn trace_sampling(&self) -> u64 {
+        self.shared.sampler.every()
+    }
+
+    /// Retunes the trace-sampling rate live, same as the ADMIN op.
+    pub fn set_trace_sampling(&self, every: u64) {
+        self.shared.sampler.set_every(every);
+    }
+
+    /// The group-commit size distribution observed on the shared store.
+    pub fn commit_observer(&self) -> &GroupCommitObserver {
+        &self.shared.commit_obs
     }
 
     /// True once shutdown has been requested (locally or over the wire).

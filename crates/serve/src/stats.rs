@@ -52,6 +52,15 @@ pub struct ServeStats {
     pub query_latency_ns: Histogram,
     /// Queue-to-ack latency for updates, nanoseconds.
     pub update_latency_ns: Histogram,
+    /// Admission-to-dequeue wait, nanoseconds (queries and updates both):
+    /// the pure queueing component of latency, so overload shows up here
+    /// before it shows up in the end-to-end histograms.
+    pub queue_wait_ns: Histogram,
+    /// Updates coalesced per batcher wake (≥ 1); the distribution behind
+    /// the `batches`/`batched_updates` averages.
+    pub batch_coalesce: Histogram,
+    /// Sampled request traces retained (into the slow log / aggregates).
+    pub traces_retained: AtomicU64,
 }
 
 impl ServeStats {
@@ -78,10 +87,15 @@ impl ServeStats {
             (names::BATCHED_UPDATES.into(), self.batched_updates.load(Relaxed)),
             (names::GROUP_COMMITS.into(), self.group_commits.load(Relaxed)),
             (names::COMMIT_FAILURES.into(), self.commit_failures.load(Relaxed)),
+            (names::TRACES_RETAINED.into(), self.traces_retained.load(Relaxed)),
             ("pc_serve_query_p50_ns".into(), q.quantile(0.50)),
             ("pc_serve_query_p99_ns".into(), q.quantile(0.99)),
             ("pc_serve_update_p50_ns".into(), u.quantile(0.50)),
             ("pc_serve_update_p99_ns".into(), u.quantile(0.99)),
+            ("pc_serve_queue_wait_p50_ns".into(), self.queue_wait_ns.snapshot().quantile(0.50)),
+            ("pc_serve_queue_wait_p99_ns".into(), self.queue_wait_ns.snapshot().quantile(0.99)),
+            ("pc_serve_batch_coalesce_p50".into(), self.batch_coalesce.snapshot().quantile(0.50)),
+            ("pc_serve_batch_coalesce_count".into(), self.batch_coalesce.snapshot().count),
         ];
         out.extend([
             ("io_reads".to_string(), io.reads),
@@ -119,6 +133,7 @@ impl ServeStats {
             (names::BATCHED_UPDATES, self.batched_updates.load(Relaxed)),
             (names::GROUP_COMMITS, self.group_commits.load(Relaxed)),
             (names::COMMIT_FAILURES, self.commit_failures.load(Relaxed)),
+            (names::TRACES_RETAINED, self.traces_retained.load(Relaxed)),
         ];
         for (name, v) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
@@ -126,6 +141,8 @@ impl ServeStats {
         for (name, h) in [
             (names::QUERY_LATENCY, &self.query_latency_ns),
             (names::UPDATE_LATENCY, &self.update_latency_ns),
+            (names::QUEUE_WAIT, &self.queue_wait_ns),
+            (names::BATCH_COALESCE, &self.batch_coalesce),
         ] {
             let s = h.snapshot();
             out.push_str(&format!("# TYPE {name} histogram\n"));

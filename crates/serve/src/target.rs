@@ -20,7 +20,9 @@ use std::fmt;
 use pc_btree::BTree;
 use pc_intervaltree::ExternalIntervalTree;
 use pc_pagestore::{PageStore, Point, StoreError};
-use pc_pst::{DynamicPst, DynamicThreeSidedPst, ThreeSided, ThreeSidedPst, TwoLevelPst, TwoSided};
+use pc_pst::{
+    DynamicPst, DynamicThreeSidedPst, NaivePst, ThreeSided, ThreeSidedPst, TwoLevelPst, TwoSided,
+};
 use pc_segtree::CachedSegmentTree;
 use pc_sync::Mutex;
 
@@ -151,6 +153,27 @@ pub struct PstTarget(pub TwoLevelPst);
 impl QueryTarget for PstTarget {
     fn kind(&self) -> &'static str {
         "pst"
+    }
+
+    fn query(&self, store: &PageStore, op: &Op) -> Result<Body, TargetError> {
+        match op {
+            Op::TwoSided { x0, y0 } => {
+                Ok(Body::Points(self.0.query(store, TwoSided { x0: *x0, y0: *y0 })?))
+            }
+            other => Err(unsupported(other, self.kind())),
+        }
+    }
+}
+
+/// The paper's baseline: a naive externalized PST serving [`Op::TwoSided`]
+/// *without* path caching. It exists in the registry for live A/B
+/// comparison — its deep-corner queries are the Figure-3 pathology the
+/// slow-query log's wasteful-I/O ranking is built to catch.
+pub struct NaivePstTarget(pub NaivePst);
+
+impl QueryTarget for NaivePstTarget {
+    fn kind(&self) -> &'static str {
+        "naive_pst"
     }
 
     fn query(&self, store: &PageStore, op: &Op) -> Result<Body, TargetError> {

@@ -1,17 +1,24 @@
-//! Wire protocol v1: length-prefixed binary frames.
+//! Wire protocol v2: length-prefixed binary frames.
 //!
 //! Every message is one frame: a little-endian `u32` payload length followed
 //! by the payload. Request payloads open with a fixed header — magic
 //! ([`MAGIC`]), version ([`VERSION`]), opcode, request id, target id,
-//! relative deadline — then an opcode-specific body; response payloads are
-//! an opcode byte, the echoed request id, and a typed body. All integers are
-//! little-endian; no padding anywhere.
+//! relative deadline, per-request flags — then an opcode-specific body;
+//! response payloads are an opcode byte, the echoed request id, and a typed
+//! body. All integers are little-endian; no padding anywhere.
 //!
 //! ```text
 //! frame    := len:u32 payload[len]                  (len <= MAX_FRAME)
-//! request  := magic:u16 version:u8 op:u8 id:u64 target:u16 deadline_ms:u32 body
+//! request  := magic:u16 version:u8 op:u8 id:u64 target:u16 deadline_ms:u32 flags:u8 body
 //! response := kind:u8 id:u64 body
 //! ```
+//!
+//! v2 (this revision) added the `flags` byte — [`FLAG_TRACE`] forces a
+//! request-scoped trace regardless of the server's sampling rate — plus
+//! the `SlowLog`/`SetSampling` ADMIN ops and the [`Body::SlowLog`]
+//! response carrying flattened span trees ([`SlowEntry`]/[`WireSpan`]).
+//! Client and server ship from one workspace, so v1 frames are rejected
+//! with a typed `BadVersion` rather than down-negotiated.
 //!
 //! Decoding is total: any byte string — truncated, corrupted, or
 //! adversarial — produces either a value or a typed [`DecodeError`], never a
@@ -33,12 +40,17 @@ use pc_pagestore::{Interval, Page, Point};
 /// First two payload bytes of every request ("PC", little-endian).
 pub const MAGIC: u16 = 0x4350;
 /// Protocol version accepted by this build.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 /// Hard cap on a frame payload; a larger announced length is rejected
 /// before any allocation (protects against corrupt/hostile prefixes).
 pub const MAX_FRAME: usize = 1 << 24;
 /// Conventional `target` value for admin ops (the field is ignored there).
 pub const ADMIN_TARGET: u16 = 0;
+
+/// Request flag: force a request-scoped trace for this request, bypassing
+/// the server's sampling rate (the trace lands in the slow-query log like
+/// any sampled trace). Unknown flag bits are preserved and ignored.
+pub const FLAG_TRACE: u8 = 1;
 
 // Request opcodes. Query/update ops are < 16; admin ops are >= 16.
 const OP_RANGE1D: u8 = 1;
@@ -51,6 +63,8 @@ const OP_PING: u8 = 16;
 const OP_STATS: u8 = 17;
 const OP_METRICS: u8 = 18;
 const OP_SHUTDOWN: u8 = 19;
+const OP_SLOW_LOG: u8 = 20;
+const OP_SET_SAMPLING: u8 = 21;
 
 // Response kinds.
 const RESP_POINTS: u8 = 1;
@@ -62,6 +76,13 @@ const RESP_STATS: u8 = 6;
 const RESP_METRICS: u8 = 7;
 const RESP_SHUTDOWN_ACK: u8 = 8;
 const RESP_ERROR: u8 = 9;
+const RESP_SLOW_LOG: u8 = 10;
+
+/// Minimum encoded size of a [`SlowEntry`] (empty strings, no spans), used
+/// as the per-element floor for count validation.
+const SLOW_ENTRY_MIN: usize = 8 + 2 + 2 + 1 + 5 * 8 + 4;
+/// Minimum encoded size of a [`WireSpan`] (empty name).
+const WIRE_SPAN_MIN: usize = 2 + 1 + 2 + 8 * 8;
 
 /// A typed operation carried by a [`Request`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,13 +129,34 @@ pub enum Op {
     Metrics,
     /// Graceful drain-then-shutdown (admin).
     Shutdown,
+    /// Read (and optionally drain) the slow-query log (admin).
+    SlowLog {
+        /// Max entries wanted per ranking.
+        k: u32,
+        /// Also empty the log after reading (the drain half of the op).
+        clear: bool,
+    },
+    /// Retune the live trace-sampling rate: trace 1 in `every` requests
+    /// (0 = off, 1 = everything). Admin.
+    SetSampling {
+        /// The new rate.
+        every: u64,
+    },
 }
 
 impl Op {
     /// True for admin ops (ping/stats/metrics/shutdown); these bypass the
     /// work queues so they stay responsive under load.
     pub fn is_admin(&self) -> bool {
-        matches!(self, Op::Ping | Op::Stats | Op::Metrics | Op::Shutdown)
+        matches!(
+            self,
+            Op::Ping
+                | Op::Stats
+                | Op::Metrics
+                | Op::Shutdown
+                | Op::SlowLog { .. }
+                | Op::SetSampling { .. }
+        )
     }
 
     /// True for mutating ops, which route through the batching stage.
@@ -135,6 +177,8 @@ impl Op {
             Op::Stats => "stats",
             Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
+            Op::SlowLog { .. } => "slow_log",
+            Op::SetSampling { .. } => "set_sampling",
         }
     }
 
@@ -150,6 +194,8 @@ impl Op {
             Op::Stats => OP_STATS,
             Op::Metrics => OP_METRICS,
             Op::Shutdown => OP_SHUTDOWN,
+            Op::SlowLog { .. } => OP_SLOW_LOG,
+            Op::SetSampling { .. } => OP_SET_SAMPLING,
         }
     }
 }
@@ -163,6 +209,9 @@ pub struct Request {
     pub target: u16,
     /// Relative deadline in milliseconds from server receipt; 0 = none.
     pub deadline_ms: u32,
+    /// Per-request flag bits (see [`FLAG_TRACE`]); unknown bits are
+    /// carried through untouched.
+    pub flags: u8,
     /// The operation.
     pub op: Op,
 }
@@ -234,6 +283,134 @@ impl fmt::Display for ErrorCode {
     }
 }
 
+/// One span of a slow-query trace, flattened preorder for the wire (the
+/// tree shape is recoverable from `depth`). Field semantics match
+/// `pc_obs::SpanNode`; `wasteful` is precomputed server-side so a scraper
+/// needs no knowledge of the §3 formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Preorder depth (root = 0).
+    pub depth: u16,
+    /// True for an output-producing span (its excess reads are wasteful).
+    pub output: bool,
+    /// Static span name (`"level"`, `"path_cache_probe"`, ...).
+    pub name: String,
+    /// Numeric span argument (tree depth, request id, ...; 0 if unused).
+    pub arg: u64,
+    /// Subtree backend reads.
+    pub reads: u64,
+    /// Subtree backend writes.
+    pub writes: u64,
+    /// Subtree buffer-pool hits.
+    pub cache_hits: u64,
+    /// Reads attributed to this span itself.
+    pub self_reads: u64,
+    /// Output items this span reported.
+    pub items: u64,
+    /// Effective output block capacity `B`.
+    pub block_capacity: u64,
+    /// §3 wasteful transfers charged to this span alone.
+    pub wasteful: u64,
+}
+
+/// Ranking-membership bit: the entry is in the top-K by latency.
+pub const RANKED_BY_LATENCY: u8 = 1;
+/// Ranking-membership bit: the entry is in the top-K by wasteful I/O.
+pub const RANKED_BY_WASTE: u8 = 2;
+
+/// One slow-query-log entry as carried by [`Body::SlowLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// Wire id of the offending request.
+    pub request_id: u64,
+    /// Op kind name (`"two_sided"`, `"update_batch"`, ...).
+    pub op: String,
+    /// Name the target was registered under (the tenant namespace).
+    pub target: String,
+    /// Which rankings retained it ([`RANKED_BY_LATENCY`] | [`RANKED_BY_WASTE`]).
+    pub rankings: u8,
+    /// Wall-clock execution time of the traced root span, nanoseconds.
+    pub latency_ns: u64,
+    /// Total transfers in the trace.
+    pub total_io: u64,
+    /// Search (navigation) reads in the trace.
+    pub search_ios: u64,
+    /// §3 wasteful transfers in the trace.
+    pub wasteful_ios: u64,
+    /// Output items the trace reported.
+    pub items: u64,
+    /// The span tree, flattened preorder.
+    pub spans: Vec<WireSpan>,
+}
+
+impl SlowEntry {
+    /// Indented multi-line rendering of the flattened span tree, in the
+    /// same shape as `pc_obs::SpanNode::render`.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{} target={} req={}: io={} (search={}, wasteful={}) items={} latency_ns={}\n",
+            self.op,
+            self.target,
+            self.request_id,
+            self.total_io,
+            self.search_ios,
+            self.wasteful_ios,
+            self.items,
+            self.latency_ns
+        );
+        for sp in &self.spans {
+            for _ in 0..sp.depth {
+                s.push_str("  ");
+            }
+            s.push_str(&sp.name);
+            if sp.arg != 0 {
+                s.push_str(&format!("({})", sp.arg));
+            }
+            s.push_str(&format!(
+                " [{}] r={} w={} hit={} self_reads={}",
+                if sp.output { "out" } else { "nav" },
+                sp.reads,
+                sp.writes,
+                sp.cache_hits,
+                sp.self_reads
+            ));
+            if sp.output {
+                s.push_str(&format!(
+                    " items={} B={} wasteful={}",
+                    sp.items, sp.block_capacity, sp.wasteful
+                ));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Flattens a finished trace into preorder [`WireSpan`]s.
+pub fn flatten_spans(root: &pc_obs::SpanNode) -> Vec<WireSpan> {
+    fn walk(node: &pc_obs::SpanNode, depth: u16, out: &mut Vec<WireSpan>) {
+        out.push(WireSpan {
+            depth,
+            output: matches!(node.kind, pc_obs::SpanKind::Output),
+            name: node.name.to_string(),
+            arg: node.arg,
+            reads: node.io.reads,
+            writes: node.io.writes,
+            cache_hits: node.io.cache_hits,
+            self_reads: node.self_reads,
+            items: node.items,
+            block_capacity: node.block_capacity,
+            wasteful: node.wasteful(),
+        });
+        for c in &node.children {
+            walk(c, depth.saturating_add(1), out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, 0, &mut out);
+    out
+}
+
 /// Typed response body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Body {
@@ -258,6 +435,8 @@ pub enum Body {
     Metrics(String),
     /// Reply to [`Op::Shutdown`]; the server drains and exits after this.
     ShutdownAck,
+    /// Reply to [`Op::SlowLog`]: retained slow queries with full span trees.
+    SlowLog(Vec<SlowEntry>),
     /// Typed failure.
     Error {
         /// Machine-readable code.
@@ -442,6 +621,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     put_u64(&mut out, req.id);
     put_u16(&mut out, req.target);
     put_u32(&mut out, req.deadline_ms);
+    out.push(req.flags);
     match &req.op {
         Op::Range1d { lo, hi } => {
             put_i64(&mut out, *lo);
@@ -459,6 +639,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Op::Insert(p) | Op::Delete(p) => put_point(&mut out, p),
         Op::Ping | Op::Stats | Op::Metrics | Op::Shutdown => {}
+        Op::SlowLog { k, clear } => {
+            put_u32(&mut out, *k);
+            out.push(u8::from(*clear));
+        }
+        Op::SetSampling { every } => put_u64(&mut out, *every),
     }
     out
 }
@@ -487,6 +672,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
     let id = c.u64()?;
     let target = c.u16()?;
     let deadline_ms = c.u32()?;
+    let flags = c.u8()?;
     let op = match opcode {
         OP_RANGE1D => Op::Range1d { lo: c.i64()?, hi: c.i64()? },
         OP_STAB => Op::Stab { q: c.i64()? },
@@ -498,10 +684,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
         OP_STATS => Op::Stats,
         OP_METRICS => Op::Metrics,
         OP_SHUTDOWN => Op::Shutdown,
+        OP_SLOW_LOG => Op::SlowLog { k: c.u32()?, clear: c.u8()? != 0 },
+        OP_SET_SAMPLING => Op::SetSampling { every: c.u64()? },
         other => return Err(DecodeError::UnknownOpcode(other)),
     };
     c.finish()?;
-    Ok(Request { id, target, deadline_ms, op })
+    Ok(Request { id, target, deadline_ms, flags, op })
 }
 
 /// Encodes a response payload (no length prefix).
@@ -516,6 +704,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Body::Stats(_) => RESP_STATS,
         Body::Metrics(_) => RESP_METRICS,
         Body::ShutdownAck => RESP_SHUTDOWN_ACK,
+        Body::SlowLog(_) => RESP_SLOW_LOG,
         Body::Error { .. } => RESP_ERROR,
     };
     out.push(kind);
@@ -561,6 +750,37 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Body::Metrics(text) => {
             put_u32(&mut out, text.len() as u32);
             out.extend_from_slice(text.as_bytes());
+        }
+        Body::SlowLog(entries) => {
+            put_u32(&mut out, entries.len() as u32);
+            for e in entries {
+                put_u64(&mut out, e.request_id);
+                put_u16(&mut out, e.op.len() as u16);
+                out.extend_from_slice(e.op.as_bytes());
+                put_u16(&mut out, e.target.len() as u16);
+                out.extend_from_slice(e.target.as_bytes());
+                out.push(e.rankings);
+                put_u64(&mut out, e.latency_ns);
+                put_u64(&mut out, e.total_io);
+                put_u64(&mut out, e.search_ios);
+                put_u64(&mut out, e.wasteful_ios);
+                put_u64(&mut out, e.items);
+                put_u32(&mut out, e.spans.len() as u32);
+                for sp in &e.spans {
+                    put_u16(&mut out, sp.depth);
+                    out.push(u8::from(sp.output));
+                    put_u16(&mut out, sp.name.len() as u16);
+                    out.extend_from_slice(sp.name.as_bytes());
+                    put_u64(&mut out, sp.arg);
+                    put_u64(&mut out, sp.reads);
+                    put_u64(&mut out, sp.writes);
+                    put_u64(&mut out, sp.cache_hits);
+                    put_u64(&mut out, sp.self_reads);
+                    put_u64(&mut out, sp.items);
+                    put_u64(&mut out, sp.block_capacity);
+                    put_u64(&mut out, sp.wasteful);
+                }
+            }
         }
         Body::Error { code, message } => {
             out.push(code.to_u8());
@@ -630,6 +850,57 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             Body::Metrics(c.text(len)?)
         }
         RESP_SHUTDOWN_ACK => Body::ShutdownAck,
+        RESP_SLOW_LOG => {
+            let n = c.count(SLOW_ENTRY_MIN)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let request_id = c.u64()?;
+                let op_len = c.u16()? as usize;
+                let op = c.text(op_len)?;
+                let target_len = c.u16()? as usize;
+                let target = c.text(target_len)?;
+                let rankings = c.u8()?;
+                let latency_ns = c.u64()?;
+                let total_io = c.u64()?;
+                let search_ios = c.u64()?;
+                let wasteful_ios = c.u64()?;
+                let items = c.u64()?;
+                let nspans = c.count(WIRE_SPAN_MIN)?;
+                let mut spans = Vec::with_capacity(nspans);
+                for _ in 0..nspans {
+                    let depth = c.u16()?;
+                    let output = c.u8()? != 0;
+                    let name_len = c.u16()? as usize;
+                    let name = c.text(name_len)?;
+                    spans.push(WireSpan {
+                        depth,
+                        output,
+                        name,
+                        arg: c.u64()?,
+                        reads: c.u64()?,
+                        writes: c.u64()?,
+                        cache_hits: c.u64()?,
+                        self_reads: c.u64()?,
+                        items: c.u64()?,
+                        block_capacity: c.u64()?,
+                        wasteful: c.u64()?,
+                    });
+                }
+                entries.push(SlowEntry {
+                    request_id,
+                    op,
+                    target,
+                    rankings,
+                    latency_ns,
+                    total_io,
+                    search_ios,
+                    wasteful_ios,
+                    items,
+                    spans,
+                });
+            }
+            Body::SlowLog(entries)
+        }
         RESP_ERROR => {
             let code = ErrorCode::from_u8(c.u8()?)?;
             let len = c.count(1)?;
@@ -806,15 +1077,29 @@ mod tests {
 
     #[test]
     fn request_round_trips() {
-        rt_req(Request { id: 7, target: 3, deadline_ms: 250, op: Op::Range1d { lo: -5, hi: 99 } });
-        rt_req(Request { id: 0, target: 0, deadline_ms: 0, op: Op::Stab { q: i64::MIN } });
-        rt_req(Request { id: u64::MAX, target: u16::MAX, deadline_ms: u32::MAX, op: Op::TwoSided { x0: 1, y0: 2 } });
-        rt_req(Request { id: 1, target: 1, deadline_ms: 1, op: Op::ThreeSided { x1: -1, x2: 1, y0: 0 } });
-        rt_req(Request { id: 2, target: 5, deadline_ms: 0, op: Op::Insert(Point { x: 1, y: 2, id: 3 }) });
-        rt_req(Request { id: 3, target: 5, deadline_ms: 0, op: Op::Delete(Point { x: -1, y: -2, id: 9 }) });
+        rt_req(Request { id: 7, target: 3, deadline_ms: 250, flags: 0, op: Op::Range1d { lo: -5, hi: 99 } });
+        rt_req(Request { id: 0, target: 0, deadline_ms: 0, flags: FLAG_TRACE, op: Op::Stab { q: i64::MIN } });
+        rt_req(Request { id: u64::MAX, target: u16::MAX, deadline_ms: u32::MAX, flags: 0xFF, op: Op::TwoSided { x0: 1, y0: 2 } });
+        rt_req(Request { id: 1, target: 1, deadline_ms: 1, flags: 0, op: Op::ThreeSided { x1: -1, x2: 1, y0: 0 } });
+        rt_req(Request { id: 2, target: 5, deadline_ms: 0, flags: 0, op: Op::Insert(Point { x: 1, y: 2, id: 3 }) });
+        rt_req(Request { id: 3, target: 5, deadline_ms: 0, flags: 0, op: Op::Delete(Point { x: -1, y: -2, id: 9 }) });
         for op in [Op::Ping, Op::Stats, Op::Metrics, Op::Shutdown] {
-            rt_req(Request { id: 4, target: ADMIN_TARGET, deadline_ms: 0, op });
+            rt_req(Request { id: 4, target: ADMIN_TARGET, deadline_ms: 0, flags: 0, op });
         }
+        rt_req(Request {
+            id: 5,
+            target: ADMIN_TARGET,
+            deadline_ms: 0,
+            flags: 0,
+            op: Op::SlowLog { k: 16, clear: true },
+        });
+        rt_req(Request {
+            id: 6,
+            target: ADMIN_TARGET,
+            deadline_ms: 0,
+            flags: 0,
+            op: Op::SetSampling { every: u64::MAX },
+        });
     }
 
     #[test]
@@ -831,21 +1116,139 @@ mod tests {
         for code in ErrorCode::ALL {
             rt_resp(Response::error(10, code, format!("{code} detail")));
         }
+        rt_resp(Response { id: 11, body: Body::SlowLog(Vec::new()) });
+        rt_resp(Response {
+            id: 12,
+            body: Body::SlowLog(vec![SlowEntry {
+                request_id: 99,
+                op: "two_sided".into(),
+                target: "pst/main".into(),
+                rankings: RANKED_BY_LATENCY | RANKED_BY_WASTE,
+                latency_ns: 1_234_567,
+                total_io: 40,
+                search_ios: 12,
+                wasteful_ios: 28,
+                items: 3,
+                spans: vec![
+                    WireSpan {
+                        depth: 0,
+                        output: true,
+                        name: "serve_query".into(),
+                        arg: 99,
+                        reads: 40,
+                        writes: 0,
+                        cache_hits: 5,
+                        self_reads: 2,
+                        items: 3,
+                        block_capacity: 64,
+                        wasteful: 2,
+                    },
+                    WireSpan {
+                        depth: 1,
+                        output: false,
+                        name: "level".into(),
+                        arg: 4,
+                        reads: 38,
+                        writes: 0,
+                        cache_hits: 5,
+                        self_reads: 38,
+                        items: 0,
+                        block_capacity: 0,
+                        wasteful: 0,
+                    },
+                ],
+            }]),
+        });
+    }
+
+    #[test]
+    fn slow_log_decode_validates_span_and_entry_counts() {
+        // An entry count with nothing behind it must be rejected cheaply.
+        let mut p = vec![RESP_SLOW_LOG];
+        p.extend_from_slice(&3u64.to_le_bytes());
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_response(&p), Err(DecodeError::CountTooLarge { .. })));
+
+        // A valid single entry whose span count lies about the bytes present.
+        let resp = Response {
+            id: 1,
+            body: Body::SlowLog(vec![SlowEntry {
+                request_id: 1,
+                op: "stab".into(),
+                target: "t".into(),
+                rankings: RANKED_BY_LATENCY,
+                latency_ns: 5,
+                total_io: 1,
+                search_ios: 1,
+                wasteful_ios: 0,
+                items: 0,
+                spans: Vec::new(),
+            }]),
+        };
+        let mut p = encode_response(&resp);
+        let n = p.len();
+        p[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes()); // span count field
+        assert!(matches!(decode_response(&p), Err(DecodeError::CountTooLarge { .. })));
+    }
+
+    #[test]
+    fn flatten_preserves_preorder_and_section3_waste() {
+        use pc_obs::{IoDelta, SpanKind, SpanNode};
+        let root = SpanNode {
+            name: "q",
+            arg: 7,
+            kind: SpanKind::Output,
+            io: IoDelta { reads: 10, writes: 1, cache_hits: 2, ..IoDelta::default() },
+            self_reads: 6,
+            items: 8,
+            block_capacity: 4,
+            children: vec![SpanNode {
+                name: "level",
+                arg: 1,
+                kind: SpanKind::Nav,
+                io: IoDelta { reads: 4, writes: 0, cache_hits: 1, ..IoDelta::default() },
+                self_reads: 4,
+                items: 0,
+                block_capacity: 0,
+                children: vec![SpanNode {
+                    name: "leaf",
+                    arg: 0,
+                    kind: SpanKind::Output,
+                    io: IoDelta { reads: 3, writes: 0, cache_hits: 0, ..IoDelta::default() },
+                    self_reads: 3,
+                    items: 8,
+                    block_capacity: 4,
+                    children: Vec::new(),
+                }],
+            }],
+        };
+        let flat = flatten_spans(&root);
+        assert_eq!(flat.len(), 3);
+        assert_eq!(
+            flat.iter().map(|s| (s.depth, s.name.as_str())).collect::<Vec<_>>(),
+            [(0, "q"), (1, "level"), (2, "leaf")]
+        );
+        // §3: wasteful = self_reads - items/B on Output spans.
+        assert_eq!(flat[0].wasteful, root.wasteful());
+        assert_eq!(flat[0].wasteful, 6 - 8 / 4);
+        assert_eq!(flat[1].wasteful, 0, "nav spans are never wasteful");
+        assert_eq!(flat[2].wasteful, 3 - 8 / 4);
+        assert!(flat[0].output && !flat[1].output);
     }
 
     #[test]
     fn decode_rejects_malformed_headers() {
         assert!(matches!(decode_request(&[]), Err(DecodeError::Truncated { .. })));
-        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, op: Op::Ping });
+        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, flags: 0, op: Op::Ping });
         p[0] ^= 0xFF;
         assert!(matches!(decode_request(&p), Err(DecodeError::BadMagic(_))));
-        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, op: Op::Ping });
+        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, flags: 0, op: Op::Ping });
         p[2] = 9;
         assert!(matches!(decode_request(&p), Err(DecodeError::BadVersion(9))));
-        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, op: Op::Ping });
+        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, flags: 0, op: Op::Ping });
         p[3] = 200;
         assert!(matches!(decode_request(&p), Err(DecodeError::UnknownOpcode(200))));
-        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, op: Op::Ping });
+        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, flags: 0, op: Op::Ping });
         p.push(0);
         assert!(matches!(decode_request(&p), Err(DecodeError::TrailingBytes(1))));
     }
@@ -872,7 +1275,7 @@ mod tests {
 
     #[test]
     fn frames_round_trip_through_io() {
-        let req = Request { id: 11, target: 2, deadline_ms: 30, op: Op::Stab { q: 5 } };
+        let req = Request { id: 11, target: 2, deadline_ms: 30, flags: 0, op: Op::Stab { q: 5 } };
         let frame = request_frame(&req);
         let mut cursor = io::Cursor::new(frame);
         let payload = read_frame(&mut cursor, MAX_FRAME).unwrap().unwrap();
@@ -894,7 +1297,7 @@ mod tests {
         let err = read_frame(&mut io::Cursor::new(huge), MAX_FRAME).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
 
-        let req = Request { id: 1, target: 0, deadline_ms: 0, op: Op::Ping };
+        let req = Request { id: 1, target: 0, deadline_ms: 0, flags: 0, op: Op::Ping };
         let mut frame = request_frame(&req);
         frame.truncate(frame.len() - 1);
         let err = read_frame(&mut io::Cursor::new(frame), MAX_FRAME).unwrap_err();
@@ -925,7 +1328,7 @@ mod tests {
                 Ok(1)
             }
         }
-        let req = Request { id: 9, target: 1, deadline_ms: 0, op: Op::Range1d { lo: 0, hi: 10 } };
+        let req = Request { id: 9, target: 1, deadline_ms: 0, flags: 0, op: Op::Range1d { lo: 0, hi: 10 } };
         let mut t = Trickle { data: request_frame(&req), pos: 0, ready: false };
         let mut fr = FrameReader::new(MAX_FRAME);
         let mut pendings = 0;

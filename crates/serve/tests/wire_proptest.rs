@@ -12,7 +12,7 @@ use pc_rng::check::{check, shrink_vec, Config};
 use pc_rng::Rng;
 use pc_serve::wire::{
     decode_request, decode_response, encode_request, encode_response, Body, ErrorCode, Op,
-    Request, Response,
+    Request, Response, SlowEntry, WireSpan,
 };
 
 fn arb_point(rng: &mut Rng) -> Point {
@@ -20,7 +20,7 @@ fn arb_point(rng: &mut Rng) -> Point {
 }
 
 fn arb_op(rng: &mut Rng) -> Op {
-    match rng.gen_range(0..10usize) {
+    match rng.gen_range(0..12usize) {
         0 => Op::Range1d { lo: rng.next_u64() as i64, hi: rng.next_u64() as i64 },
         1 => Op::Stab { q: rng.next_u64() as i64 },
         2 => Op::TwoSided { x0: rng.next_u64() as i64, y0: rng.next_u64() as i64 },
@@ -34,7 +34,9 @@ fn arb_op(rng: &mut Rng) -> Op {
         6 => Op::Ping,
         7 => Op::Stats,
         8 => Op::Metrics,
-        _ => Op::Shutdown,
+        9 => Op::Shutdown,
+        10 => Op::SlowLog { k: rng.next_u64() as u32, clear: rng.gen_bool(0.5) },
+        _ => Op::SetSampling { every: rng.next_u64() },
     }
 }
 
@@ -43,6 +45,7 @@ fn arb_request(rng: &mut Rng) -> Request {
         id: rng.next_u64(),
         target: rng.next_u64() as u16,
         deadline_ms: rng.next_u64() as u32,
+        flags: rng.next_u64() as u8,
         op: arb_op(rng),
     }
 }
@@ -52,8 +55,40 @@ fn arb_string(rng: &mut Rng, max: usize) -> String {
     (0..n).map(|_| char::from(rng.gen_range(32u64..127) as u8)).collect()
 }
 
+fn arb_span(rng: &mut Rng) -> WireSpan {
+    WireSpan {
+        depth: rng.next_u64() as u16,
+        output: rng.gen_bool(0.5),
+        name: arb_string(rng, 24),
+        arg: rng.next_u64(),
+        reads: rng.next_u64(),
+        writes: rng.next_u64(),
+        cache_hits: rng.next_u64(),
+        self_reads: rng.next_u64(),
+        items: rng.next_u64(),
+        block_capacity: rng.next_u64(),
+        wasteful: rng.next_u64(),
+    }
+}
+
+fn arb_slow_entry(rng: &mut Rng) -> SlowEntry {
+    let nspans = rng.gen_range(0..6usize);
+    SlowEntry {
+        request_id: rng.next_u64(),
+        op: arb_string(rng, 16),
+        target: arb_string(rng, 24),
+        rankings: rng.next_u64() as u8,
+        latency_ns: rng.next_u64(),
+        total_io: rng.next_u64(),
+        search_ios: rng.next_u64(),
+        wasteful_ios: rng.next_u64(),
+        items: rng.next_u64(),
+        spans: (0..nspans).map(|_| arb_span(rng)).collect(),
+    }
+}
+
 fn arb_body(rng: &mut Rng) -> Body {
-    match rng.gen_range(0..9usize) {
+    match rng.gen_range(0..10usize) {
         0 => {
             let n = rng.gen_range(0..50usize);
             Body::Points((0..n).map(|_| arb_point(rng)).collect())
@@ -82,6 +117,10 @@ fn arb_body(rng: &mut Rng) -> Body {
         }
         6 => Body::Metrics(arb_string(rng, 200)),
         7 => Body::ShutdownAck,
+        8 => {
+            let n = rng.gen_range(0..4usize);
+            Body::SlowLog((0..n).map(|_| arb_slow_entry(rng)).collect())
+        }
         _ => {
             let code = ErrorCode::ALL[rng.gen_range(0..ErrorCode::ALL.len())];
             Body::Error { code, message: arb_string(rng, 60) }
@@ -137,7 +176,7 @@ fn every_truncation_of_a_request_is_a_clean_error() {
             let payload = encode_request(req);
             for cut in 0..payload.len() {
                 // A strict prefix can never decode as the full request (the
-                // header alone pins 18 bytes; shorter bodies under-run their
+                // header alone pins 19 bytes; shorter bodies under-run their
                 // op's fields) — it must produce a typed error, not a panic
                 // and not a bogus success.
                 if decode_request(&payload[..cut]).is_ok() {

@@ -9,7 +9,7 @@
 # Both instrumentation modes are exercised: the default build (pc-obs
 # compiled to no-ops) and `--features obs` (live tracing/metrics).
 #
-# Usage: scripts/verify.sh [--bench] [--chaos] [--crash] [--serve] [--layout]
+# Usage: scripts/verify.sh [--bench] [--chaos] [--crash] [--serve] [--layout] [--obs]
 #   --bench   additionally run the perf-trajectory benchmarks:
 #             * pool_scaling, refreshing BENCH_pool.json;
 #             * obs_overhead in both modes, merging the two reports into
@@ -33,6 +33,16 @@
 #             smoke (self-spawned server, steady + overload-shed phases)
 #             under a hard timeout, and check BENCH_server.json is
 #             well-formed and actually shed load.
+#   --obs     additionally gate the observability plane:
+#             * the off-mode marginal span cost <= 1% (same measurement
+#               as --bench, shared, runs once);
+#             * the runtime 1-in-N sampling knob: a same-binary A/B
+#               loadgen run (--sample 0 vs --sample 8) must show <= 3%
+#               steady-phase p99 overhead;
+#             * the scraped metrics block in BENCH_server.json: the
+#               Prometheus text parses, the structured stats carry the
+#               service and per-target families, and the slow-query log
+#               drained entries with span trees.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,6 +52,7 @@ RUN_CHAOS=0
 RUN_CRASH=0
 RUN_SERVE=0
 RUN_LAYOUT=0
+RUN_OBS=0
 for arg in "$@"; do
     case "$arg" in
         --bench) RUN_BENCH=1 ;;
@@ -49,9 +60,16 @@ for arg in "$@"; do
         --crash) RUN_CRASH=1 ;;
         --serve) RUN_SERVE=1 ;;
         --layout) RUN_LAYOUT=1 ;;
-        *) echo "unknown argument: $arg (supported: --bench, --chaos, --crash, --serve, --layout)" >&2; exit 2 ;;
+        --obs) RUN_OBS=1 ;;
+        *) echo "unknown argument: $arg (supported: --bench, --chaos, --crash, --serve, --layout, --obs)" >&2; exit 2 ;;
     esac
 done
+
+# Temp files registered here are removed on exit (paths come from mktemp,
+# never contain spaces).
+TMPF=""
+# shellcheck disable=SC2064
+trap 'rm -f $TMPF' EXIT
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
@@ -130,8 +148,11 @@ if [ "$RUN_SERVE" = 1 ]; then
     # steady closed-loop phase plus an overload-shed phase against a
     # deliberately undersized queue. The hard timeout turns any hang (the
     # exact bug class the idle/read timeouts exist for) into a failure.
-    echo "==> pc-loadgen --smoke (hard timeout 120s)"
-    timeout 120 target/release/pc-loadgen --smoke --out BENCH_server.json
+    # --scrape --sample 8 exercises the observability plane in passing:
+    # the artifact carries a mid-run and final ADMIN scrape (structured
+    # stats, Prometheus text, slow-query log) next to the latency phases.
+    echo "==> pc-loadgen --smoke --scrape --sample 8 (hard timeout 120s)"
+    timeout 120 target/release/pc-loadgen --smoke --scrape --sample 8 --out BENCH_server.json
 
     python3 - BENCH_server.json <<'PY'
 import json, sys
@@ -151,15 +172,19 @@ PY
     echo "OK: BENCH_server.json refreshed, service smoke passed"
 fi
 
-if [ "$RUN_BENCH" = 1 ]; then
-    echo "==> cargo bench -p pc-bench --bench pool_scaling (perf trajectory)"
-    cargo bench --offline -p pc-bench --bench pool_scaling
-    echo "OK: BENCH_pool.json refreshed"
-
+# Off-mode span-cost gate, shared by --bench and --obs (runs at most once
+# per invocation): obs_overhead in both modes, merged into BENCH_obs.json,
+# gating the disabled-mode marginal cost at <= 1% — the "observability is
+# free when off" contract.
+OBS_OVERHEAD_DONE=0
+obs_overhead_gate() {
+    if [ "$OBS_OVERHEAD_DONE" = 1 ]; then
+        return 0
+    fi
     echo "==> cargo bench -p pc-bench --bench obs_overhead (both modes)"
     OBS_OFF_JSON="$(mktemp)"
     OBS_ON_JSON="$(mktemp)"
-    trap 'rm -f "$OBS_OFF_JSON" "$OBS_ON_JSON"' EXIT
+    TMPF="$TMPF $OBS_OFF_JSON $OBS_ON_JSON"
     PC_BENCH_OUT="$OBS_OFF_JSON" cargo bench --offline -p pc-bench --bench obs_overhead
     PC_BENCH_OUT="$OBS_ON_JSON" cargo bench --offline -p pc-bench --features obs --bench obs_overhead
     # Merge the two runs into one artifact and gate the off-mode cost:
@@ -181,6 +206,15 @@ if pct > 1.0:
     sys.exit(f"GATE FAILED: disabled-mode span overhead {pct:.2f}% > 1%")
 PY
     echo "OK: BENCH_obs.json refreshed, off-mode overhead gate passed"
+    OBS_OVERHEAD_DONE=1
+}
+
+if [ "$RUN_BENCH" = 1 ]; then
+    echo "==> cargo bench -p pc-bench --bench pool_scaling (perf trajectory)"
+    cargo bench --offline -p pc-bench --bench pool_scaling
+    echo "OK: BENCH_pool.json refreshed"
+
+    obs_overhead_gate
 fi
 
 if [ "$RUN_LAYOUT" = 1 ]; then
@@ -208,4 +242,111 @@ if ratio > 1.10:
     sys.exit(f"GATE FAILED: repacked layout is {ratio:.3f}x build order (> 1.10)")
 PY
     echo "OK: BENCH_layout.json refreshed, layout gate passed"
+fi
+
+if [ "$RUN_OBS" = 1 ]; then
+    # (a) instrumentation is free when compiled out.
+    obs_overhead_gate
+
+    echo "==> observability plane: build release pc-serve + pc-loadgen"
+    cargo build --release --offline -p pc-serve -p pc-loadgen
+
+    # (b) the runtime sampling knob is compiled into release binaries, so
+    # its price is gated end to end: the *same* loadgen/server binary runs
+    # the smoke twice, --sample 0 vs --sample 8, and the steady-phase p99
+    # must not degrade by more than 3%. The latency histogram buckets are
+    # powers of two, so identical p99s are the expected outcome; when the
+    # bucket differs the gate falls back to the mean with the same 3%
+    # headroom (a one-bucket p99 jump is a 2x step, pure quantization).
+    # 20k ops per arm — the 2k-op smoke is too short to resolve 3% — and
+    # up to three attempts absorb scheduler noise on busy hosts.
+    echo "==> sampling-overhead A/B (same binary, --sample 0 vs --sample 8)"
+    AB_OFF="$(mktemp)"
+    AB_ON="$(mktemp)"
+    TMPF="$TMPF $AB_OFF $AB_ON"
+    AB_ARGS="--ops 20000 --conns 2 --points 5000"
+    AB_PASS=0
+    for attempt in 1 2 3; do
+        # shellcheck disable=SC2086
+        timeout 120 target/release/pc-loadgen $AB_ARGS --sample 0 --out "$AB_OFF" >/dev/null
+        # shellcheck disable=SC2086
+        timeout 120 target/release/pc-loadgen $AB_ARGS --sample 8 --out "$AB_ON" >/dev/null
+        if python3 - "$AB_OFF" "$AB_ON" <<'PY'
+import json, sys
+off = json.load(open(sys.argv[1]))
+on = json.load(open(sys.argv[2]))
+assert off["trace_sample_every"] == 0 and on["trace_sample_every"] == 8, "arm mixup"
+def steady(doc):
+    return next(p for p in doc["phases"] if p["name"] == "steady")
+s_off, s_on = steady(off), steady(on)
+p99_off, p99_on = s_off["latency_ns"]["p99"], s_on["latency_ns"]["p99"]
+mean_off, mean_on = s_off["latency_ns"]["mean"], s_on["latency_ns"]["mean"]
+print(f"p99 off={p99_off}ns on={p99_on}ns | mean off={mean_off:.0f}ns on={mean_on:.0f}ns")
+if p99_on <= p99_off * 1.03:
+    sys.exit(0)
+if mean_on <= mean_off * 1.03:
+    print("p99 moved a (power-of-two) bucket; mean within 3% — accepting")
+    sys.exit(0)
+sys.exit(1)
+PY
+        then
+            AB_PASS=1
+            break
+        fi
+        echo "attempt $attempt: sampling overhead above gate, retrying"
+    done
+    if [ "$AB_PASS" != 1 ]; then
+        echo "GATE FAILED: 1-in-8 sampling adds > 3% steady-phase latency" >&2
+        exit 1
+    fi
+    echo "OK: sampling-mode overhead gate passed"
+
+    # (c) the scraped metrics block in BENCH_server.json is well-formed.
+    # Always regenerated here with the default (no-features) binary built
+    # above — --serve's feature build overwrites target/release/pc-loadgen
+    # in place, and committed artifacts come from the default build.
+    echo "==> pc-loadgen --smoke --scrape --sample 8 (hard timeout 120s)"
+    timeout 120 target/release/pc-loadgen --smoke --scrape --sample 8 --out BENCH_server.json
+    python3 - BENCH_server.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "server", doc
+assert doc["trace_sample_every"] == 8, doc.get("trace_sample_every")
+scrape = doc["scrape"]
+for when in ("mid", "final"):
+    s = scrape[when]
+    assert s["metrics_families"] > 0, f"{when}: no metric families"
+    stats = s["stats"]
+    assert stats, f"{when}: empty structured stats"
+    # Every Prometheus line is a TYPE declaration, a comment, or a
+    # `name value` sample with a parseable value.
+    typed = set()
+    for line in s["metrics_text"].splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            fam, kind = line[len("# TYPE "):].split()
+            assert kind in ("counter", "gauge", "histogram"), line
+            assert fam not in typed, f"duplicate TYPE {fam}"
+            typed.add(fam)
+            continue
+        if line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        float(value)  # raises on malformed samples
+    assert len(typed) == s["metrics_families"], f"{when}: family count drifted"
+final = scrape["final"]["stats"]
+assert final["pc_serve_requests_total"] > 0, "no requests recorded"
+assert any(k.startswith("pc_target_") for k in final), "per-target families missing"
+assert final["pc_serve_traces_retained_total"] > 0, "sampling retained no traces"
+assert isinstance(scrape["final"]["slowlog"], list) and scrape["final"]["slowlog"], \
+    "slow-query log never populated"
+for e in scrape["final"]["slowlog"]:
+    assert e["spans"] >= 1, f"slowlog entry without a span tree: {e}"
+print(f'scrape ok: {scrape["final"]["metrics_families"]} families, '
+      f'{final["pc_serve_requests_total"]} requests, '
+      f'{final["pc_serve_traces_retained_total"]} traces retained, '
+      f'{len(scrape["final"]["slowlog"])} slowlog entries')
+PY
+    echo "OK: observability gates passed (off-mode cost, sampling A/B, scrape block)"
 fi

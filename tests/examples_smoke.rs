@@ -20,6 +20,9 @@ mod storage_tradeoffs;
 #[path = "../examples/server_quickstart.rs"]
 mod server_quickstart;
 
+#[path = "../examples/slowlog_demo.rs"]
+mod slowlog_demo;
+
 /// Shrinks every example to a size that runs in well under a second even
 /// in debug builds. The returned guard serializes the example runs: every
 /// `set_var` and every env read inside an example `main` happens while the
@@ -84,4 +87,10 @@ fn storage_tradeoffs_core_path_runs() {
 fn server_quickstart_core_path_runs() {
     let _serial = smoke_scale();
     server_quickstart::main().expect("server_quickstart example must complete");
+}
+
+#[test]
+fn slowlog_demo_core_path_runs() {
+    let _serial = smoke_scale();
+    slowlog_demo::main().expect("slowlog_demo example must complete");
 }
