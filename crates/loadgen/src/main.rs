@@ -27,11 +27,14 @@ use std::time::{Duration, Instant};
 use pc_bench::Json;
 use pc_obs::hist::Histogram;
 use pc_pagestore::{PageStore, Point};
-use pc_pst::DynamicPst;
+use pc_pst::{DynamicPst, DynamicThreeSidedPst};
 use pc_rng::Rng;
 use pc_serve::wire::{Body, ErrorCode, Op};
-use pc_serve::{Client, DynamicPstTarget, Registry, Server, ServerConfig, ServerHandle, Service};
-use pc_workloads::{gen_points, gen_two_sided, PointDist};
+use pc_serve::{
+    Client, DynamicPstTarget, DynamicThreeSidedTarget, FrontendConfig, FrontendHandle, Registry,
+    Router, RouterConfig, RouterFrontend, Server, ServerConfig, ServerHandle, Service, ShardMap,
+};
+use pc_workloads::{gen_points, gen_three_sided_hot, gen_two_sided, PointDist, ThreeSidedQ};
 
 const PAGE: usize = 512;
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
@@ -39,6 +42,13 @@ const IO_TIMEOUT: Duration = Duration::from_secs(10);
 #[derive(Debug, Clone)]
 struct Args {
     smoke: bool,
+    /// Cluster mode: self-spawn a shard fabric at shard counts 1/2/4,
+    /// drive the router front-end over sockets, and record tail latency
+    /// vs shard count plus a hot-shard shedding phase into
+    /// `BENCH_cluster.json`.
+    router: bool,
+    /// Replicas per shard group in `--router` mode.
+    replicas: usize,
     addr: Option<SocketAddr>,
     conns: usize,
     ops: usize,
@@ -61,6 +71,8 @@ impl Default for Args {
     fn default() -> Args {
         Args {
             smoke: false,
+            router: false,
+            replicas: 1,
             addr: None,
             conns: 4,
             ops: 20_000,
@@ -75,9 +87,9 @@ impl Default for Args {
     }
 }
 
-const USAGE: &str = "usage: pc-loadgen [--smoke] [--addr HOST:PORT] [--conns N] [--ops N] \
-                     [--mode open|closed] [--rate OPS_PER_S] [--points N] [--seed S] \
-                     [--sample N] [--scrape] [--out PATH]";
+const USAGE: &str = "usage: pc-loadgen [--smoke] [--router] [--replicas N] [--addr HOST:PORT] \
+                     [--conns N] [--ops N] [--mode open|closed] [--rate OPS_PER_S] [--points N] \
+                     [--seed S] [--sample N] [--scrape] [--out PATH]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -86,6 +98,11 @@ fn parse_args() -> Result<Args, String> {
         let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
             "--smoke" => args.smoke = true,
+            "--router" => args.router = true,
+            "--replicas" => {
+                args.replicas =
+                    val("--replicas")?.parse().map_err(|e| format!("bad --replicas: {e}"))?;
+            }
             "--addr" => {
                 args.addr =
                     Some(val("--addr")?.parse().map_err(|e| format!("bad --addr: {e}"))?);
@@ -122,11 +139,15 @@ fn parse_args() -> Result<Args, String> {
     }
     args.conns = args.conns.max(1);
     args.rate = args.rate.max(1);
+    args.replicas = args.replicas.clamp(1, 4);
     if args.smoke {
         // Keep the verify gate fast on a one-core container.
         args.conns = args.conns.min(2);
         args.ops = args.ops.min(2_000);
         args.n_points = args.n_points.min(5_000);
+    }
+    if args.router && args.out == "BENCH_server.json" {
+        args.out = "BENCH_cluster.json".to_string();
     }
     Ok(args)
 }
@@ -371,8 +392,246 @@ fn shutdown(handle: ServerHandle) -> Result<(), String> {
     Ok(())
 }
 
+/// An in-process shard fabric: `shard_count` replica groups of
+/// `args.replicas` servers each over quantile-partitioned uniform points,
+/// fronted by a router on an ephemeral port. Target layout per shard:
+/// 0 = dynamic PST (2-sided + updates), 1 = dynamic 3-sided PST.
+struct Cluster {
+    shards: Vec<ServerHandle>,
+    frontend: FrontendHandle,
+    splits: Vec<i64>,
+}
+
+impl Cluster {
+    fn spawn(
+        args: &Args,
+        shard_count: usize,
+        shard_cfg: &ServerConfig,
+        router_cfg: RouterConfig,
+    ) -> Result<Cluster, String> {
+        let raw = gen_points(args.n_points, PointDist::Uniform, args.seed);
+        let xs: Vec<i64> = raw.iter().map(|p| p.0).collect();
+        let splits = ShardMap::quantile_splits(&xs, shard_count);
+        let map = ShardMap::new(splits.clone());
+        let points: Vec<Point> =
+            raw.iter().map(|&(x, y, id)| Point { x, y, id }).collect();
+        let mut shards = Vec::new();
+        let mut groups: Vec<Vec<SocketAddr>> = Vec::new();
+        for part in map.partition_points(&points) {
+            let mut group = Vec::new();
+            for _ in 0..args.replicas {
+                let store = Arc::new(PageStore::in_memory(PAGE));
+                let pst =
+                    DynamicPst::build(&store, &part).map_err(|e| format!("build pst: {e:?}"))?;
+                let pst3 = DynamicThreeSidedPst::build(&store, &part)
+                    .map_err(|e| format!("build pst3: {e:?}"))?;
+                let mut registry = Registry::new();
+                registry.register("dyn", Box::new(DynamicPstTarget::new(pst)));
+                registry.register("dyn3", Box::new(DynamicThreeSidedTarget::new(pst3)));
+                let handle = Server::spawn(Service { store, registry }, shard_cfg.clone())
+                    .map_err(|e| format!("spawn shard: {e}"))?;
+                group.push(handle.addr());
+                shards.push(handle);
+            }
+            groups.push(group);
+        }
+        let router = Arc::new(
+            Router::connect(&groups, splits.clone(), router_cfg)
+                .map_err(|e| format!("connect router: {e}"))?,
+        );
+        let frontend = RouterFrontend::spawn(router, FrontendConfig::default())
+            .map_err(|e| format!("spawn frontend: {e}"))?;
+        Ok(Cluster { shards, frontend, splits })
+    }
+
+    /// Drains through the wire path: the ADMIN shutdown op to the router
+    /// fans out to every shard replica, then everything joins.
+    fn shutdown(self) -> Result<(), String> {
+        let mut admin = Client::connect(self.frontend.addr(), IO_TIMEOUT)
+            .map_err(|e| format!("cluster admin connect: {e}"))?;
+        admin.shutdown_server().map_err(|e| format!("cluster shutdown: {e}"))?;
+        for handle in self.shards {
+            handle.join();
+        }
+        self.frontend.join();
+        Ok(())
+    }
+}
+
+/// Scrapes the router front-end's ADMIN Stats pairs (the per-shard
+/// `pc_shard_*` families).
+fn scrape_router(addr: SocketAddr) -> Result<Vec<(String, u64)>, String> {
+    let mut admin = Client::connect(addr, IO_TIMEOUT).map_err(|e| format!("scrape: {e}"))?;
+    match admin.stats().map_err(|e| format!("scrape stats: {e}"))?.body {
+        Body::Stats(pairs) => Ok(pairs),
+        other => Err(format!("scrape stats: unexpected body {other:?}")),
+    }
+}
+
+/// Pipelined, unpaced 3-sided queries (target 1) — the hot-shard phase.
+fn run_hot_phase(
+    addr: SocketAddr,
+    conns: usize,
+    queries: &[ThreeSidedQ],
+    stats: &PhaseStats,
+) -> Result<Duration, String> {
+    let t0 = Instant::now();
+    std::thread::scope(|s| -> Result<(), String> {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let stats = &*stats;
+                s.spawn(move || -> Result<(), String> {
+                    let mut client = Client::connect(addr, IO_TIMEOUT)
+                        .map_err(|e| format!("hot conn {c}: connect: {e}"))?;
+                    const PIPELINE: usize = 32;
+                    let mut inflight: Vec<(u64, Instant)> = Vec::new();
+                    let pump = |client: &mut Client,
+                                    inflight: &mut Vec<(u64, Instant)>,
+                                    low: usize|
+                     -> Result<(), String> {
+                        while inflight.len() > low {
+                            let resp = client
+                                .recv()
+                                .map_err(|e| format!("hot conn {c}: recv: {e}"))?;
+                            if let Some(pos) =
+                                inflight.iter().position(|&(id, _)| id == resp.id)
+                            {
+                                let (_, sent) = inflight.swap_remove(pos);
+                                stats.record(&resp.body, sent.elapsed());
+                            }
+                        }
+                        Ok(())
+                    };
+                    for q in queries.iter().skip(c).step_by(conns) {
+                        let op = Op::ThreeSided { x1: q.x1, x2: q.x2, y0: q.y0 };
+                        let id = client
+                            .send(1, 0, op)
+                            .map_err(|e| format!("hot conn {c}: send: {e}"))?;
+                        inflight.push((id, Instant::now()));
+                        pump(&mut client, &mut inflight, PIPELINE - 1)?;
+                    }
+                    pump(&mut client, &mut inflight, 0)
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().map_err(|_| "hot connection thread panicked".to_string())??;
+        }
+        Ok(())
+    })?;
+    Ok(t0.elapsed())
+}
+
+/// `--router`: tail latency vs shard count over the scatter-gather path,
+/// then a skewed phase that pins load onto one shard until it sheds.
+fn run_router_bench(args: &Args) -> Result<(), String> {
+    let shard_counts: [usize; 3] = [1, 2, 4];
+    let mut phases: Vec<Json> = Vec::new();
+    for k in shard_counts {
+        let cluster =
+            Cluster::spawn(args, k, &ServerConfig::default(), RouterConfig::default())?;
+        let stats = PhaseStats::default();
+        let elapsed = run_phase(cluster.frontend.addr(), args, args.open_loop, 0, &stats)?;
+        cluster.shutdown()?;
+        let ok = stats.ok.load(Ordering::Relaxed);
+        let snap = stats.latency_ns.snapshot();
+        eprintln!(
+            "cluster shards={k}×{}: {ok} ok in {:.2}s ({:.0} ops/s), p50={}ns p99={}ns",
+            args.replicas,
+            elapsed.as_secs_f64(),
+            ok as f64 / elapsed.as_secs_f64().max(1e-9),
+            snap.quantile(0.50),
+            snap.quantile(0.99),
+        );
+        if ok == 0 {
+            return Err(format!("cluster phase with {k} shard(s) completed zero requests"));
+        }
+        let mode = if args.open_loop { "open" } else { "closed" };
+        let mut row = stats.to_json(&format!("shards_{k}"), mode, args.conns, elapsed);
+        if let Json::Obj(pairs) = &mut row {
+            pairs.push(("shards".to_string(), Json::Int(k as u64)));
+            pairs.push(("replicas".to_string(), Json::Int(args.replicas as u64)));
+        }
+        phases.push(row);
+    }
+
+    // Hot-shard phase: 4 shards with deliberately tiny queues and one
+    // worker each; 90% of the bounded-x-range queries land in shard 0's
+    // keyrange, so it sheds (`Overloaded`) while the others stay healthy.
+    // The router propagates the typed error immediately (attempts: 1).
+    let shard_cfg = ServerConfig {
+        workers: 1,
+        queue_depth: 2,
+        update_queue_depth: 2,
+        ..ServerConfig::default()
+    };
+    let router_cfg = RouterConfig {
+        retry: pc_serve::RetryPolicy { attempts: 1, ..Default::default() },
+        ..RouterConfig::default()
+    };
+    let cluster = Cluster::spawn(args, 4, &shard_cfg, router_cfg)?;
+    let raw = gen_points(args.n_points, PointDist::Uniform, args.seed);
+    let hot_hi = cluster.splits.first().copied().unwrap_or(pc_workloads::DOMAIN);
+    // Output-heavy queries (t ≈ n/8) so the hot shard's service time is
+    // serialization-dominated and its depth-2 queue actually backs up.
+    let queries = gen_three_sided_hot(
+        &raw,
+        args.ops.min(4_000),
+        (args.n_points / 8).max(256),
+        (0, hot_hi - 1),
+        0.9,
+        args.seed ^ 0x4807,
+    );
+    // The thin front-end serves each connection sequentially, so shard
+    // concurrency == router connections; 8 conns against a depth-2 queue
+    // with one worker is what pushes the hot shard into shedding.
+    let hot_conns = 8;
+    let hot = PhaseStats::default();
+    let hot_elapsed = run_hot_phase(cluster.frontend.addr(), hot_conns, &queries, &hot)?;
+    let pairs = scrape_router(cluster.frontend.addr())?;
+    cluster.shutdown()?;
+    let shed = hot.overloaded.load(Ordering::Relaxed);
+    eprintln!(
+        "hot-shard: {} ok, {shed} overloaded in {:.2}s",
+        hot.ok.load(Ordering::Relaxed),
+        hot_elapsed.as_secs_f64(),
+    );
+    let mut hot_row = hot.to_json("hot_shard", "open", hot_conns, hot_elapsed);
+    if let Json::Obj(fields) = &mut hot_row {
+        fields.push(("shards".to_string(), Json::Int(4)));
+        fields.push((
+            "per_shard".to_string(),
+            Json::Obj(pairs.into_iter().map(|(k, v)| (k, Json::Int(v))).collect()),
+        ));
+    }
+    phases.push(hot_row);
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("cluster".to_string())),
+        ("page_size", Json::Int(PAGE as u64)),
+        (
+            "hardware_threads",
+            Json::Int(std::thread::available_parallelism().map_or(1, |p| p.get()) as u64),
+        ),
+        ("seed", Json::Int(args.seed)),
+        ("n_points", Json::Int(args.n_points as u64)),
+        ("ops", Json::Int(args.ops as u64)),
+        ("smoke", Json::Int(u64::from(args.smoke))),
+        ("replicas", Json::Int(args.replicas as u64)),
+        ("shard_counts", Json::Arr(shard_counts.iter().map(|&k| Json::Int(k as u64)).collect())),
+        ("phases", Json::Arr(phases)),
+    ]);
+    std::fs::write(&args.out, format!("{doc}\n"))
+        .map_err(|e| format!("write {}: {e}", args.out))?;
+    eprintln!("wrote {}", args.out);
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if args.router {
+        return run_router_bench(&args);
+    }
     let mut phases: Vec<Json> = Vec::new();
 
     // Phase 1: steady state. Either against the external --addr, or a

@@ -536,6 +536,37 @@ pub mod target_metrics {
     pub const TRACED_WASTEFUL: &str = "pc_target_traced_wasteful_io_total";
 }
 
+/// Exposition names for the per-shard metric families the `pc-serve`
+/// router renders with a `{shard="i"}` label (one logical shard = one
+/// replica group). Collected here (like [`target_metrics`]) so the
+/// router's exposition, its ADMIN scrape, the cluster load generator, and
+/// the tests never drift apart. All are monotonic totals unless noted;
+/// see DESIGN.md "Shard fabric".
+pub mod shard_metrics {
+    /// Requests (queries + updates) routed at this shard.
+    pub const REQUESTS: &str = "pc_shard_requests_total";
+    /// Reads failed over to another replica after a connection error or
+    /// deadline on the first choice.
+    pub const FAILOVERS: &str = "pc_shard_failovers_total";
+    /// Idempotent-query retry attempts made after backoff.
+    pub const RETRIES: &str = "pc_shard_retries_total";
+    /// Requests answered with a typed error (the shard's own
+    /// `Overloaded`/`DeadlineExceeded`/... propagated through the router).
+    pub const ERRORS: &str = "pc_shard_errors_total";
+    /// Journal entries replayed into replicas catching up after a
+    /// reconnect.
+    pub const REPLAYED: &str = "pc_shard_replayed_updates_total";
+    /// Replica reconnects completed by the background health loop.
+    pub const RECONNECTS: &str = "pc_shard_reconnects_total";
+    /// Gauge: replicas currently marked dead in this shard's group.
+    pub const DEAD_REPLICAS: &str = "pc_shard_dead_replicas";
+    /// Gauge: length of the shard's acked-update journal.
+    pub const JOURNAL_LEN: &str = "pc_shard_journal_len";
+    /// Per-shard request latency histogram (scatter leg, send to
+    /// gathered response), nanoseconds.
+    pub const LATENCY: &str = "pc_shard_latency_ns";
+}
+
 /// Exposition names for the store-level families the server renders from
 /// the shared `PageStore` (its `IoStats` and always-on `WalStats`), plus
 /// the commit-observer histogram. Distinct from the `pc_wal_*` /

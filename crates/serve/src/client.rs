@@ -12,6 +12,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use pc_pagestore::Point;
+use pc_rng::Rng;
 
 use crate::wire::{
     decode_response, read_frame, request_frame, write_frame, Op, Request, Response, MAX_FRAME,
@@ -175,5 +176,143 @@ impl Client {
     /// Convenience: delete a point from a dynamic target.
     pub fn delete(&mut self, target: u16, p: Point) -> Result<Response, ClientError> {
         self.call(target, 0, Op::Delete(p))
+    }
+}
+
+/// Retry tuning for [`RetryClient`] (and the router's per-replica
+/// failover): capped exponential backoff with full jitter. Attempt `k`
+/// sleeps a uniformly random duration in `[0, min(cap, base * 2^k)]` —
+/// the jitter is drawn from a seeded [`pc_rng::Rng`], so a test's retry
+/// schedule is exactly reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// First-retry backoff ceiling.
+    pub base: Duration,
+    /// Upper bound the exponential is capped at.
+    pub cap: Duration,
+    /// Total attempts (the first try included). 1 = no retries.
+    pub attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(500),
+            attempts: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry number `attempt` (1-based: the
+    /// sleep between the first failure and the second try is `delay(1)`).
+    pub fn delay(&self, attempt: u32, rng: &mut Rng) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16).saturating_sub(1));
+        let ceil = exp.min(self.cap).as_nanos() as u64;
+        Duration::from_nanos(if ceil == 0 { 0 } else { rng.gen_range(0..=ceil) })
+    }
+
+    /// True when a transport error on try `attempt` (1-based) should be
+    /// retried under this policy.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.attempts
+    }
+}
+
+/// A [`Client`] that survives a dropped socket: transport errors on
+/// **idempotent** operations (queries and admin reads — never
+/// `Insert`/`Delete`, which could double-apply) are retried under a
+/// [`RetryPolicy`], reconnecting to the same address between attempts.
+///
+/// Usable standalone (a loadgen or an operator tool that should ride out
+/// a server restart); the router builds its per-replica failover on the
+/// same policy.
+pub struct RetryClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    policy: RetryPolicy,
+    rng: Rng,
+    inner: Option<Client>,
+}
+
+impl RetryClient {
+    /// Connects eagerly; the policy covers the initial connect too.
+    pub fn connect(
+        addr: SocketAddr,
+        timeout: Duration,
+        policy: RetryPolicy,
+        seed: u64,
+    ) -> Result<RetryClient, ClientError> {
+        let mut c = RetryClient { addr, timeout, policy, rng: Rng::seed_from_u64(seed), inner: None };
+        c.ensure_connected()?;
+        Ok(c)
+    }
+
+    /// The address every (re)connect targets.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True when a live connection is currently held.
+    pub fn is_connected(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Drops the current connection (the next call reconnects). Used by
+    /// callers that detect staleness out of band.
+    pub fn disconnect(&mut self) {
+        self.inner = None;
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut Client, ClientError> {
+        if self.inner.is_none() {
+            let mut attempt = 1u32;
+            loop {
+                match Client::connect(self.addr, self.timeout) {
+                    Ok(c) => {
+                        self.inner = Some(c);
+                        break;
+                    }
+                    Err(_) if self.policy.should_retry(attempt) => {
+                        std::thread::sleep(self.policy.delay(attempt, &mut self.rng));
+                        attempt += 1;
+                    }
+                    Err(e) => return Err(ClientError::Io(e)),
+                }
+            }
+        }
+        Ok(self.inner.as_mut().expect("just connected"))
+    }
+
+    /// One idempotent request, retried across reconnects. Callers must not
+    /// pass `Insert`/`Delete` (debug-asserted): a connection that dies
+    /// after the send leaves the update's fate unknown, and a blind retry
+    /// could apply it twice.
+    pub fn call_idempotent(
+        &mut self,
+        target: u16,
+        deadline_ms: u32,
+        op: Op,
+    ) -> Result<Response, ClientError> {
+        debug_assert!(!op.is_update(), "call_idempotent must not carry updates");
+        let mut attempt = 1u32;
+        loop {
+            let r = self.ensure_connected().and_then(|c| c.call(target, deadline_ms, op.clone()));
+            match r {
+                Ok(resp) => return Ok(resp),
+                Err(e @ (ClientError::Io(_) | ClientError::Closed)) => {
+                    // Transport failure: the socket is dead either way.
+                    self.inner = None;
+                    if !self.policy.should_retry(attempt) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.policy.delay(attempt, &mut self.rng));
+                    attempt += 1;
+                }
+                // Protocol-level surprises are not transient; surface them.
+                Err(e) => return Err(e),
+            }
+        }
     }
 }

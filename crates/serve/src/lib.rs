@@ -23,7 +23,11 @@
 //!   server without touching it;
 //! * **graceful drain-then-shutdown** and idle-timeout reclamation of dead
 //!   connections, plus always-on service stats ([`stats`]) exposed over
-//!   the ADMIN ops.
+//!   the ADMIN ops;
+//! * a **shard fabric** ([`router`]) — keyspace sharding by split points,
+//!   a scatter-gather router over replica groups with failover, seeded
+//!   retry backoff and journal-replay catch-up, and a thin wire front-end
+//!   so clients talk to a cluster exactly as they would to one node.
 //!
 //! Everything is `std` + workspace crates only (the hermetic-build rule);
 //! the companion binary `pc-loadgen` drives this server over real sockets
@@ -37,14 +41,21 @@
 pub mod client;
 pub mod obsplane;
 pub mod queue;
+pub mod router;
 pub mod server;
 pub mod stats;
 pub mod target;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryClient, RetryPolicy};
 pub use obsplane::{GroupCommitObserver, TargetStats, TargetStatsSet};
-pub use server::{Server, ServerConfig, ServerHandle, Service};
+pub use router::{
+    canonicalize, FrontendConfig, FrontendHandle, Router, RouterConfig, RouterError,
+    RouterFrontend, ShardMap, ShardStats,
+};
+pub use server::{
+    decode_commit_meta, encode_commit_meta, Server, ServerConfig, ServerHandle, Service,
+};
 pub use stats::ServeStats;
 pub use target::{
     BTreeTarget, DynamicPstTarget, DynamicThreeSidedTarget, IntervalTreeTarget, NaivePstTarget,

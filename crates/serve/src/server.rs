@@ -29,7 +29,7 @@
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -156,6 +156,9 @@ struct Shared {
     slowlog: SlowLog,
     target_stats: TargetStatsSet,
     commit_obs: Arc<GroupCommitObserver>,
+    /// Write halves of live connections, so [`ServerHandle::kill`] can cut
+    /// every socket at once. Weak: the reader/worker `Arc`s own them.
+    conn_socks: Mutex<Vec<Weak<Conn>>>,
 }
 
 impl Shared {
@@ -221,6 +224,60 @@ impl Shared {
         }
         out
     }
+}
+
+/// Encodes the batcher's commit metadata: the batch sequence number plus
+/// one optional reopen descriptor per registered target (registry order).
+/// This is what a durable store's `last_commit_meta` carries after
+/// recovery, so a restarting node can reopen its dynamic structures in
+/// exactly the acknowledged state — see [`decode_commit_meta`].
+pub fn encode_commit_meta(seq: u64, descriptors: &[Option<Vec<u8>>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + descriptors.iter().map(|d| 5 + d.as_ref().map_or(0, Vec::len)).sum::<usize>());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(descriptors.len() as u16).to_le_bytes());
+    for d in descriptors {
+        match d {
+            None => out.push(0),
+            Some(bytes) => {
+                out.push(1);
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes [`encode_commit_meta`] output; total (returns `None` on any
+/// malformed input). A bare 8-byte sequence — the pre-descriptor format —
+/// decodes as a commit with no descriptors.
+pub fn decode_commit_meta(meta: &[u8]) -> Option<(u64, Vec<Option<Vec<u8>>>)> {
+    if meta.len() < 8 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(meta[0..8].try_into().ok()?);
+    if meta.len() == 8 {
+        return Some((seq, Vec::new()));
+    }
+    let count = u16::from_le_bytes(meta.get(8..10)?.try_into().ok()?) as usize;
+    let mut at = 10usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        match *meta.get(at)? {
+            0 => {
+                at += 1;
+                out.push(None);
+            }
+            1 => {
+                let len = u32::from_le_bytes(meta.get(at + 1..at + 5)?.try_into().ok()?) as usize;
+                let bytes = meta.get(at + 5..at + 5 + len)?;
+                at += 5 + len;
+                out.push(Some(bytes.to_vec()));
+            }
+            _ => return None,
+        }
+    }
+    (at == meta.len()).then_some((seq, out))
 }
 
 fn target_error_response(stats: &ServeStats, id: u64, err: TargetError) -> Response {
@@ -392,8 +449,14 @@ fn batcher_loop(shared: &Shared) {
         // otherwise a crash (or a plain shutdown) after the Ack silently
         // loses it — the lost-ack bug. One commit covers the whole batch,
         // so the WAL fsync cost amortizes across every coalesced update.
+        // The meta carries each target's reopen descriptor alongside the
+        // sequence, so recovery restores not just the pages but the
+        // structure handles matching the acknowledged state.
         if applied_any && shared.store.is_durable() {
-            match shared.store.commit_with(&seq.to_le_bytes()) {
+            let descriptors: Vec<Option<Vec<u8>>> = (0..shared.registry.len() as u16)
+                .map(|tid| shared.registry.get(tid).and_then(|t| t.descriptor()))
+                .collect();
+            match shared.store.commit_with(&encode_commit_meta(seq, &descriptors)) {
                 Ok(_) => {
                     shared.stats.group_commits.fetch_add(1, Relaxed);
                 }
@@ -615,6 +678,11 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener, conns: &Mutex<Vec<
                 let _ = stream.set_read_timeout(Some(shared.cfg.poll_tick));
                 let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
                 let conn = Arc::new(Conn { stream, wlock: Mutex::new(()) });
+                {
+                    let mut socks = shared.conn_socks.lock();
+                    socks.retain(|w| w.strong_count() > 0);
+                    socks.push(Arc::downgrade(&conn));
+                }
                 let shared = Arc::clone(shared);
                 let handle = std::thread::spawn(move || conn_loop(&shared, conn));
                 let mut g = conns.lock();
@@ -660,6 +728,7 @@ impl Server {
             slowlog: SlowLog::new(config.slowlog_k),
             target_stats: TargetStatsSet::new(target_names),
             commit_obs,
+            conn_socks: Mutex::new(Vec::new()),
             store: service.store,
             cfg: config,
         });
@@ -759,6 +828,23 @@ impl ServerHandle {
         self.shared.begin_shutdown();
     }
 
+    /// Kills the node abruptly: every client socket is cut **now**, before
+    /// any queued response can leave, and no drain happens on the wire.
+    /// From a peer's view this is a process kill — in-flight calls fail
+    /// with a connection error, un-acked updates are in limbo. The chaos
+    /// harness uses this to kill one replica of a shard group mid-workload;
+    /// joining the handle afterwards still reclaims the threads. Acked
+    /// updates survive by construction: on a durable store the ack was
+    /// sent only after its group commit.
+    pub fn kill(&self) {
+        self.shared.begin_shutdown();
+        for weak in self.shared.conn_socks.lock().iter() {
+            if let Some(conn) = weak.upgrade() {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
     /// Shuts down and joins every thread; admitted work is answered first.
     pub fn join(mut self) {
         self.join_inner();
@@ -792,5 +878,31 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.join_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{decode_commit_meta, encode_commit_meta};
+
+    #[test]
+    fn commit_meta_round_trips_and_rejects_garbage() {
+        let descs = vec![None, Some(vec![1u8, 2, 3]), Some(Vec::new()), None];
+        let meta = encode_commit_meta(42, &descs);
+        assert_eq!(decode_commit_meta(&meta), Some((42, descs)));
+
+        // The pre-descriptor format (bare sequence) still decodes.
+        assert_eq!(decode_commit_meta(&7u64.to_le_bytes()), Some((7, Vec::new())));
+
+        // Truncations and trailing garbage are clean rejections.
+        assert_eq!(decode_commit_meta(&[]), None);
+        assert_eq!(decode_commit_meta(&[1, 2, 3]), None);
+        let meta = encode_commit_meta(1, &[Some(vec![9u8; 8])]);
+        for cut in 9..meta.len() {
+            assert_eq!(decode_commit_meta(&meta[..cut]), None, "cut at {cut}");
+        }
+        let mut padded = meta.clone();
+        padded.push(0);
+        assert_eq!(decode_commit_meta(&padded), None);
     }
 }

@@ -93,6 +93,16 @@ pub trait QueryTarget: Send + Sync {
             .map(|_| Err(TargetError::Unsupported { op: "update", target: self.kind() }))
             .collect()
     }
+
+    /// Serialized reopen handle for this target's current state, if the
+    /// structure supports one (e.g. [`pc_pst::DynamicPst::descriptor`]).
+    /// On a durable store the batcher commits these with every group, so
+    /// after a crash the recovered store's `last_commit_meta` carries
+    /// exactly the handles matching the acknowledged state — see
+    /// [`crate::server::decode_commit_meta`].
+    fn descriptor(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 fn unsupported(op: &Op, target: &'static str) -> TargetError {
@@ -215,6 +225,13 @@ impl DynamicPstTarget {
     pub fn new(pst: DynamicPst) -> DynamicPstTarget {
         DynamicPstTarget(Mutex::new(pst))
     }
+
+    /// Reopens from a committed [`DynamicPst::descriptor`] (crash
+    /// recovery: the handle comes out of the recovered store's
+    /// `last_commit_meta`).
+    pub fn open(store: &PageStore, desc: &[u8]) -> Result<DynamicPstTarget, TargetError> {
+        Ok(DynamicPstTarget::new(DynamicPst::open(store, desc)?))
+    }
 }
 
 impl QueryTarget for DynamicPstTarget {
@@ -246,6 +263,10 @@ impl QueryTarget for DynamicPstTarget {
                 .map_err(TargetError::from)
             })
             .collect()
+    }
+
+    fn descriptor(&self) -> Option<Vec<u8>> {
+        Some(self.0.lock().descriptor().to_vec())
     }
 }
 

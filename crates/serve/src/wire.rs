@@ -245,6 +245,19 @@ impl ErrorCode {
         ErrorCode::Unsupported,
     ];
 
+    /// True for load-dependent conditions a caller may reasonably retry
+    /// (elsewhere, or later, with backoff): the answer depends on *when*
+    /// and *where* the request ran, not on the request itself. The router
+    /// fails reads over to another replica on these; `BadRequest` /
+    /// `Unsupported` / `Storage` would fail identically everywhere and are
+    /// surfaced immediately.
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded | ErrorCode::DeadlineExceeded | ErrorCode::ShuttingDown
+        )
+    }
+
     fn to_u8(self) -> u8 {
         match self {
             ErrorCode::Overloaded => 1,

@@ -10,7 +10,10 @@
 //! * **interval sets** with several length distributions, including highly
 //!   nested ones that stress segment/interval-tree cover lists;
 //! * **queries** calibrated to hit a target output size `t`, since every
-//!   bound in the paper is output-sensitive (`O(log_B n + t/B)`).
+//!   bound in the paper is output-sensitive (`O(log_B n + t/B)`);
+//! * **skewed traffic** — Zipfian key popularity and hot-window 3-sided
+//!   queries that drive one shard of a range-partitioned fabric into
+//!   `Overloaded` while the rest stay healthy.
 //!
 //! All generators are deterministic given a seed (`pc_rng::Rng`, the
 //! in-tree xoshiro256** generator), so every experiment in EXPERIMENTS.md
@@ -24,6 +27,7 @@
 mod intervals;
 mod points;
 mod queries;
+mod zipf;
 
 pub use intervals::{gen_intervals, IntervalDist};
 pub use points::{gen_points, PointDist};
@@ -31,6 +35,7 @@ pub use queries::{
     gen_range_1d, gen_stabbing, gen_three_sided, gen_two_sided, Range1d, Stab, ThreeSidedQ,
     TwoSidedQ,
 };
+pub use zipf::{gen_three_sided_hot, gen_zipf_keys, ZipfSampler};
 
 /// Coordinate domain used by all generators: values fall in `[0, DOMAIN]`.
 pub const DOMAIN: i64 = 1_000_000;

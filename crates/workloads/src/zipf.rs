@@ -1,0 +1,192 @@
+//! Skewed (Zipfian) and hot-shard adversarial generators.
+//!
+//! Uniform workloads spread load evenly across a sharded keyspace, which
+//! makes a shard fabric look better than it is: real key popularity is
+//! heavy-tailed, and the interesting failure mode is one *hot shard*
+//! shedding load (`Overloaded`) while the others idle. These generators
+//! produce that traffic deterministically:
+//!
+//! * [`ZipfSampler`] draws ranks with `P(rank i) ∝ 1/(i+1)^θ` via a
+//!   precomputed CDF and binary search — θ = 0 is uniform, θ ≈ 1 is the
+//!   classic web/YCSB skew, larger θ concentrates harder;
+//! * [`gen_zipf_keys`] maps ranks onto a concrete key set, hottest rank =
+//!   smallest key, so skewed traffic concentrates at the low end of the
+//!   keyspace (one end shard of a range-partitioned fabric);
+//! * [`gen_three_sided_hot`] aims a controlled fraction of bounded-x-range
+//!   queries into one narrow hot x-window, leaving the rest uniform — a
+//!   3-sided query's x-range maps to a contiguous run of shards, so the
+//!   hot window pins load onto exactly the shard(s) owning it.
+
+use pc_rng::Rng;
+
+use crate::{RawPoint, ThreeSidedQ};
+
+/// Rank sampler for the (finite) zeta distribution:
+/// `P(rank i) ∝ 1/(i+1)^theta` over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Precomputes the CDF for `n` ranks with skew `theta >= 0`
+    /// (`theta = 0` degenerates to uniform).
+    pub fn new(n: usize, theta: f64) -> ZipfSampler {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `0..n()`; rank 0 is the hottest.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.gen_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Draws `count` keys from `keys` with Zipfian popularity: the smallest
+/// key is the hottest, so a range-partitioned fabric sees its lowest
+/// shard run hot. Deterministic given `seed`.
+pub fn gen_zipf_keys(keys: &[i64], count: usize, theta: f64, seed: u64) -> Vec<i64> {
+    assert!(!keys.is_empty());
+    let mut sorted = keys.to_vec();
+    sorted.sort_unstable();
+    let sampler = ZipfSampler::new(sorted.len(), theta);
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..count).map(|_| sorted[sampler.sample(&mut rng)]).collect()
+}
+
+/// Generates `count` 3-sided queries of which about `hot_fraction` land
+/// entirely inside the hot x-window `hot = (lo, hi)` (inclusive); the rest
+/// are uniform over the whole point set, anchor-based like
+/// [`crate::gen_three_sided`] with output size near `t_target`. If no data
+/// point falls in the hot window, every query is cold.
+pub fn gen_three_sided_hot(
+    points: &[RawPoint],
+    count: usize,
+    t_target: usize,
+    hot: (i64, i64),
+    hot_fraction: f64,
+    seed: u64,
+) -> Vec<ThreeSidedQ> {
+    assert!(!points.is_empty());
+    assert!(hot.0 <= hot.1, "hot window must be a valid range");
+    assert!((0.0..=1.0).contains(&hot_fraction));
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut by_x: Vec<RawPoint> = points.to_vec();
+    by_x.sort_unstable_by_key(|p| (p.0, p.1, p.2));
+    let hot_lo = by_x.partition_point(|p| p.0 < hot.0);
+    let hot_hi = by_x.partition_point(|p| p.0 <= hot.1);
+    let anchor = |rng: &mut Rng, lo: usize, hi: usize| -> ThreeSidedQ {
+        let n = hi - lo;
+        let span = (2 * t_target.max(1)).min(n);
+        let start = lo + rng.gen_range(0..=n - span);
+        let slice = &by_x[start..start + span];
+        let mut ys: Vec<i64> = slice.iter().map(|p| p.1).collect();
+        ys.sort_unstable();
+        ThreeSidedQ { x1: slice[0].0, x2: slice[span - 1].0, y0: ys[ys.len() / 2] }
+    };
+    (0..count)
+        .map(|_| {
+            if hot_hi > hot_lo && rng.gen_f64() < hot_fraction {
+                anchor(&mut rng, hot_lo, hot_hi)
+            } else {
+                anchor(&mut rng, 0, by_x.len())
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen_points, PointDist, DOMAIN};
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        let z = ZipfSampler::new(1000, 0.99);
+        assert!(z.cdf.windows(2).all(|w| w[0] < w[1]));
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = ZipfSampler::new(1000, 0.99);
+        let mut rng = Rng::seed_from_u64(42);
+        let mut head = 0usize;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Under uniform, ranks 0..10 get ~1% of draws; under θ≈1 skew over
+        // 1000 ranks the head takes ~39% (H_10/H_1000). Assert well above
+        // uniform and in the right ballpark.
+        assert!(head * 100 / draws >= 25, "head got only {head}/{draws} draws");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = ZipfSampler::new(100, 0.0);
+        let mut rng = Rng::seed_from_u64(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min < 400, "uniform draw spread too wide: {min}..{max}");
+    }
+
+    #[test]
+    fn zipf_keys_concentrate_on_smallest() {
+        let keys: Vec<i64> = (0..1000).map(|k| k * 10).collect();
+        let draws = gen_zipf_keys(&keys, 10_000, 1.2, 3);
+        assert_eq!(draws, gen_zipf_keys(&keys, 10_000, 1.2, 3));
+        let low = draws.iter().filter(|&&k| k < 100 * 10).count();
+        assert!(low * 2 > draws.len(), "low decile got {low}/10000 draws");
+        assert!(draws.iter().all(|k| keys.contains(k)));
+    }
+
+    #[test]
+    fn hot_three_sided_queries_hit_the_window() {
+        let pts = gen_points(20_000, PointDist::Uniform, 5);
+        let hot = (0, DOMAIN / 8);
+        let qs = gen_three_sided_hot(&pts, 400, 100, hot, 0.8, 9);
+        assert_eq!(qs.len(), 400);
+        assert_eq!(qs, gen_three_sided_hot(&pts, 400, 100, hot, 0.8, 9));
+        let in_hot =
+            qs.iter().filter(|q| q.x1 >= hot.0 && q.x2 <= hot.1).count();
+        assert!(
+            (240..=400).contains(&in_hot),
+            "expected ~80% of 400 queries in the hot window, got {in_hot}"
+        );
+        for q in &qs {
+            assert!(q.x1 <= q.x2);
+            let t = pts.iter().filter(|p| p.0 >= q.x1 && p.0 <= q.x2 && p.1 >= q.y0).count();
+            assert!(t > 0, "query {q:?} selects nothing");
+        }
+    }
+
+    #[test]
+    fn hot_window_without_data_degrades_to_cold() {
+        let pts: Vec<RawPoint> = (0..100).map(|i| (500_000 + i, i, i as u64)).collect();
+        let qs = gen_three_sided_hot(&pts, 50, 10, (0, 10), 1.0, 1);
+        assert_eq!(qs.len(), 50);
+        assert!(qs.iter().all(|q| q.x1 >= 500_000));
+    }
+}

@@ -9,7 +9,7 @@
 # Both instrumentation modes are exercised: the default build (pc-obs
 # compiled to no-ops) and `--features obs` (live tracing/metrics).
 #
-# Usage: scripts/verify.sh [--bench] [--chaos] [--crash] [--serve] [--layout] [--obs]
+# Usage: scripts/verify.sh [--bench] [--chaos] [--cluster] [--crash] [--serve] [--layout] [--obs]
 #   --bench   additionally run the perf-trajectory benchmarks:
 #             * pool_scaling, refreshing BENCH_pool.json;
 #             * obs_overhead in both modes, merging the two reports into
@@ -28,6 +28,13 @@
 #             per-structure acked-survives, store durability, WAL codec
 #             properties) in both instrumentation modes under a hard
 #             timeout — a recovery hang is a failure, not a stall.
+#   --cluster additionally gate the shard fabric: run the scatter-gather
+#             merge property suite and the whole-node-kill chaos suite in
+#             both instrumentation modes under hard timeouts (a hung
+#             failover or replay is a failure, not a stall) and under one
+#             fresh seed, then run the router smoke bench and check
+#             BENCH_cluster.json: tail latency rows for 1/2/4 shards and a
+#             hot-shard phase that actually shed on the hot shard.
 #   --serve   additionally gate the service layer: build pc-serve and
 #             pc-loadgen in both instrumentation modes, run the loadgen
 #             smoke (self-spawned server, steady + overload-shed phases)
@@ -49,6 +56,7 @@ cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
 RUN_CHAOS=0
+RUN_CLUSTER=0
 RUN_CRASH=0
 RUN_SERVE=0
 RUN_LAYOUT=0
@@ -57,11 +65,12 @@ for arg in "$@"; do
     case "$arg" in
         --bench) RUN_BENCH=1 ;;
         --chaos) RUN_CHAOS=1 ;;
+        --cluster) RUN_CLUSTER=1 ;;
         --crash) RUN_CRASH=1 ;;
         --serve) RUN_SERVE=1 ;;
         --layout) RUN_LAYOUT=1 ;;
         --obs) RUN_OBS=1 ;;
-        *) echo "unknown argument: $arg (supported: --bench, --chaos, --crash, --serve, --layout, --obs)" >&2; exit 2 ;;
+        *) echo "unknown argument: $arg (supported: --bench, --chaos, --cluster, --crash, --serve, --layout, --obs)" >&2; exit 2 ;;
     esac
 done
 
@@ -137,6 +146,64 @@ if [ "$RUN_CRASH" = 1 ]; then
     timeout 300 cargo test -q --offline -p pc-pagestore --features obs \
         --test durability --test wal_proptest
     echo "OK: crash-point suite green in both instrumentation modes"
+fi
+
+if [ "$RUN_CLUSTER" = 1 ]; then
+    # The fixed-seed runs of both fabric suites are already part of
+    # `cargo test --workspace` above; this pass re-runs them in both
+    # instrumentation modes under hard timeouts (a wedged failover, health
+    # loop, or journal replay must fail, not stall CI) plus one fresh seed.
+    CLUSTER_SEED="$(python3 -c 'import secrets; print(secrets.randbits(64))')"
+    echo "==> shard-fabric suites, default mode (hard timeout, fresh seed $CLUSTER_SEED)"
+    echo "    (reproduce with: PC_CHAOS_SEED=$CLUSTER_SEED cargo test -q --test cluster_chaos --test router_merge)"
+    PC_CHAOS_SEED="$CLUSTER_SEED" timeout 300 cargo test -q --offline \
+        --test cluster_chaos --test router_merge
+    echo "==> shard-fabric suites, --features obs (hard timeout, fixed seed)"
+    timeout 300 cargo test -q --offline --features obs \
+        --test cluster_chaos --test router_merge
+
+    echo "==> cluster bench: build pc-loadgen + pc-router in both modes"
+    cargo build --release --offline -p pc-loadgen -p pc-router
+    cargo build --release --offline -p pc-router --features obs
+    cargo build --release --offline -p pc-loadgen
+
+    # Router smoke: self-spawns shard fleets of 1/2/4 nodes behind the
+    # scatter-gather front-end for tail-latency rows, then a deliberately
+    # skewed open-loop phase against undersized hot-shard queues — the
+    # per-shard scrape must show the hot shard shedding while the cold
+    # shards stay clean.
+    echo "==> pc-loadgen --router --smoke (hard timeout 120s)"
+    timeout 120 target/release/pc-loadgen --router --smoke --out BENCH_cluster.json
+
+    python3 - BENCH_cluster.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "cluster", doc
+assert doc["page_size"] > 0 and doc["hardware_threads"] > 0, doc
+phases = {p["name"]: p for p in doc["phases"]}
+for k in doc["shard_counts"]:
+    row = phases[f"shards_{k}"]
+    assert row["ok"] > 0, f"shards_{k}: zero completed requests"
+    assert row["other_errors"] == 0, f"shards_{k}: unexpected errors: {row}"
+    assert row["latency_ns"]["p50"] <= row["latency_ns"]["p99"], f"shards_{k}: malformed quantiles"
+hot = phases["hot_shard"]
+assert hot["overloaded"] > 0, "hot-shard phase never shed load"
+per = hot["per_shard"]
+errs = {}
+for key, v in per.items():
+    if key.startswith("pc_shard_errors_total"):
+        errs[key.split('"')[1]] = v
+hot_errs = errs.pop("0")
+assert hot_errs > 0, f"hot shard shed nothing: {per}"
+assert all(hot_errs >= v for v in errs.values()), f"shedding not concentrated on the hot shard: {errs}"
+for k in doc["shard_counts"]:
+    row = phases[f"shards_{k}"]
+    print(f'shards={k}: {row["ok"]} ok @ {row["throughput_ops_s"]:.0f} ops/s, '
+          f'p99={row["latency_ns"]["p99"]}ns')
+print(f'hot-shard: {hot["ok"]} admitted / {hot["overloaded"]} shed; '
+      f'hot errors={hot_errs}, cold max={max(errs.values())}')
+PY
+    echo "OK: shard-fabric suites green, BENCH_cluster.json refreshed"
 fi
 
 if [ "$RUN_SERVE" = 1 ]; then

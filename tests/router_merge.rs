@@ -1,0 +1,240 @@
+//! Scatter-gather merge correctness: the router's answer over a sharded
+//! fabric must be **bit-identical** to a single-node reference over the
+//! same data, for every query kind, across shard counts 1–8 and random
+//! split points, with dynamic updates interleaved throughout.
+//!
+//! Each shard registers the same target layout (0 = B-tree keys,
+//! 1 = cached segment tree, 2 = dynamic PST, 3 = dynamic 3-sided PST)
+//! over its slice of the data: points and entries partitioned by x/key,
+//! intervals replicated onto every shard their span overlaps. The
+//! reference side is the raw structures over one unpartitioned store.
+//! Both answers go through [`pc_serve::canonicalize`] — the router's
+//! merge order contract — before comparison.
+//!
+//! Seed comes from `PC_CHAOS_SEED` when set, so a failing run is
+//! reproducible exactly.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pc_btree::BTree;
+use pc_pagestore::{Interval, PageStore, Point};
+use pc_pst::{DynamicPst, DynamicThreeSidedPst, ThreeSided, TwoSided};
+use pc_rng::Rng;
+use pc_segtree::CachedSegmentTree;
+use pc_serve::wire::{Body, ErrorCode, Op};
+use pc_serve::{
+    canonicalize, BTreeTarget, Client, DynamicPstTarget, DynamicThreeSidedTarget, FrontendConfig,
+    Registry, Router, RouterConfig, RouterFrontend, SegTreeTarget, Server, ServerConfig,
+    ServerHandle, Service, ShardMap,
+};
+use pc_workloads::{
+    gen_intervals, gen_points, gen_range_1d, gen_stabbing, gen_three_sided, gen_two_sided,
+    IntervalDist, PointDist, DOMAIN,
+};
+
+const PAGE: usize = 512;
+
+fn seed() -> u64 {
+    std::env::var("PC_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0x4257_ED6E)
+}
+
+/// `count` distinct random split points — empty shards are legal and part
+/// of what this suite covers.
+fn random_splits(rng: &mut Rng, count: usize) -> Vec<i64> {
+    let mut set = BTreeSet::new();
+    while set.len() < count {
+        set.insert(rng.gen_range(1..DOMAIN));
+    }
+    set.into_iter().collect()
+}
+
+/// One shard node over its slice of the data; target wire ids are the
+/// registration order and identical on every shard.
+fn spawn_shard(
+    entries: &[(i64, u64)],
+    intervals: &[Interval],
+    points: &[Point],
+) -> ServerHandle {
+    let store = Arc::new(PageStore::in_memory(PAGE));
+    let mut registry = Registry::new();
+    registry.register("keys", Box::new(BTreeTarget(BTree::bulk_build(&store, entries).unwrap())));
+    registry.register(
+        "segtree",
+        Box::new(SegTreeTarget(CachedSegmentTree::build(&store, intervals).unwrap())),
+    );
+    registry.register(
+        "dyn",
+        Box::new(DynamicPstTarget::new(DynamicPst::build(&store, points).unwrap())),
+    );
+    registry.register(
+        "dyn3",
+        Box::new(DynamicThreeSidedTarget::new(DynamicThreeSidedPst::build(&store, points).unwrap())),
+    );
+    let cfg = ServerConfig { workers: 2, ..ServerConfig::default() };
+    Server::spawn(Service { store, registry }, cfg).unwrap()
+}
+
+#[test]
+fn router_answers_bit_identical_across_shard_counts() {
+    let seed = seed();
+    let mut rng = Rng::seed_from_u64(seed);
+
+    for shards in 1..=8usize {
+        // Fresh data per shard count (the dynamic reference mutates).
+        let dseed = seed ^ (shards as u64);
+        let points: Vec<Point> = gen_points(1_200, PointDist::Uniform, dseed)
+            .iter()
+            .map(|&(x, y, id)| Point { x, y, id })
+            .collect();
+        let intervals: Vec<Interval> = gen_intervals(400, IntervalDist::LongTail, dseed ^ 1)
+            .iter()
+            .map(|&(lo, hi, id)| Interval { lo, hi, id })
+            .collect();
+        let mut entries: Vec<(i64, u64)> = points.iter().map(|p| (p.x, p.id)).collect();
+        entries.sort_unstable();
+        entries.dedup_by_key(|e| e.0);
+
+        let splits = random_splits(&mut rng, shards - 1);
+        let map = ShardMap::new(splits.clone());
+        let e_parts = map.partition_entries(&entries);
+        let i_parts = map.partition_intervals(&intervals);
+        let p_parts = map.partition_points(&points);
+        let mut handles = Vec::new();
+        let mut groups = Vec::new();
+        for s in 0..map.shards() {
+            let handle = spawn_shard(&e_parts[s], &i_parts[s], &p_parts[s]);
+            groups.push(vec![handle.addr()]);
+            handles.push(handle);
+        }
+        let router = Arc::new(
+            Router::connect(
+                &groups,
+                splits.clone(),
+                RouterConfig {
+                    health_interval: Duration::from_millis(200),
+                    seed: seed ^ 0xF00,
+                    ..RouterConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+
+        // The single-node reference: same data, one store, no service code.
+        let ref_store = PageStore::in_memory(PAGE);
+        let btree = BTree::bulk_build(&ref_store, &entries).unwrap();
+        let segtree = CachedSegmentTree::build(&ref_store, &intervals).unwrap();
+        let mut dynpst = DynamicPst::build(&ref_store, &points).unwrap();
+        let mut dyn3 = DynamicThreeSidedPst::build(&ref_store, &points).unwrap();
+
+        let keys: Vec<i64> = entries.iter().map(|&(k, _)| k).collect();
+        let raw_intervals: Vec<(i64, i64, u64)> =
+            intervals.iter().map(|iv| (iv.lo, iv.hi, iv.id)).collect();
+        let mut live: Vec<Point> = points.clone();
+        let mut next_id = 10_000_000u64;
+
+        for round in 0..4u64 {
+            let rseed = dseed ^ (round << 16);
+
+            for q in gen_range_1d(&keys, 6, 24, rseed ^ 2) {
+                let want = canonicalize(Body::Keys(
+                    btree.range(&ref_store, &q.lo, &q.hi).unwrap(),
+                ));
+                let got = router.query(0, 0, &Op::Range1d { lo: q.lo, hi: q.hi }).unwrap();
+                assert_eq!(got, want, "range {q:?} diverged at {shards} shard(s)");
+            }
+            for q in gen_stabbing(&raw_intervals, 6, rseed ^ 3) {
+                let want =
+                    canonicalize(Body::Intervals(segtree.stab(&ref_store, q.q).unwrap()));
+                let got = router.query(1, 0, &Op::Stab { q: q.q }).unwrap();
+                assert_eq!(got, want, "stab {q:?} diverged at {shards} shard(s)");
+            }
+            let raw_live: Vec<(i64, i64, u64)> =
+                live.iter().map(|p| (p.x, p.y, p.id)).collect();
+            for q in gen_two_sided(&raw_live, 6, 48, rseed ^ 4) {
+                let want = canonicalize(Body::Points(
+                    dynpst.query(&ref_store, TwoSided { x0: q.x0, y0: q.y0 }).unwrap(),
+                ));
+                let got = router.query(2, 0, &Op::TwoSided { x0: q.x0, y0: q.y0 }).unwrap();
+                assert_eq!(got, want, "2-sided {q:?} diverged at {shards} shard(s)");
+            }
+            for q in gen_three_sided(&raw_live, 6, 48, rseed ^ 5) {
+                let want = canonicalize(Body::Points(
+                    dyn3.query(&ref_store, ThreeSided { x1: q.x1, x2: q.x2, y0: q.y0 })
+                        .unwrap(),
+                ));
+                let got = router
+                    .query(3, 0, &Op::ThreeSided { x1: q.x1, x2: q.x2, y0: q.y0 })
+                    .unwrap();
+                assert_eq!(got, want, "3-sided {q:?} diverged at {shards} shard(s)");
+            }
+            // The everything-query scatters across every shard and merges
+            // the full live set — the hardest merge-order case.
+            let want_all = canonicalize(Body::Points(
+                dynpst.query(&ref_store, TwoSided { x0: i64::MIN, y0: i64::MIN }).unwrap(),
+            ));
+            let got_all =
+                router.query(2, 0, &Op::TwoSided { x0: i64::MIN, y0: i64::MIN }).unwrap();
+            assert_eq!(got_all, want_all, "full scan diverged at {shards} shard(s)");
+
+            // Interleaved dynamic updates through the router (routed to the
+            // owning shard) and applied to the reference in lockstep.
+            for _ in 0..12 {
+                next_id += 1;
+                let p = Point {
+                    x: rng.gen_range(0..=DOMAIN),
+                    y: rng.gen_range(0..=DOMAIN),
+                    id: next_id,
+                };
+                for target in [2u16, 3u16] {
+                    match router.update(target, 0, &Op::Insert(p)).unwrap() {
+                        Body::Ack { .. } => {}
+                        other => panic!("insert ack expected, got {other:?}"),
+                    }
+                }
+                dynpst.insert(&ref_store, p).unwrap();
+                dyn3.insert(&ref_store, p).unwrap();
+                live.push(p);
+            }
+            for _ in 0..6 {
+                let victim = live.swap_remove(rng.gen_range(0..live.len()));
+                for target in [2u16, 3u16] {
+                    match router.update(target, 0, &Op::Delete(victim)).unwrap() {
+                        Body::Ack { .. } => {}
+                        other => panic!("delete ack expected, got {other:?}"),
+                    }
+                }
+                dynpst.delete(&ref_store, victim).unwrap();
+                dyn3.delete(&ref_store, victim).unwrap();
+            }
+        }
+
+        // A sample of the same comparisons through the wire front-end, so
+        // the full client → frontend → scatter → merge → frame path is
+        // covered, plus typed-error passthrough.
+        let frontend =
+            RouterFrontend::spawn(Arc::clone(&router), FrontendConfig::default()).unwrap();
+        let mut client = Client::connect(frontend.addr(), Duration::from_secs(10)).unwrap();
+        let raw_live: Vec<(i64, i64, u64)> = live.iter().map(|p| (p.x, p.y, p.id)).collect();
+        for q in gen_two_sided(&raw_live, 5, 48, dseed ^ 7) {
+            let want = canonicalize(Body::Points(
+                dynpst.query(&ref_store, TwoSided { x0: q.x0, y0: q.y0 }).unwrap(),
+            ));
+            let got = client.call(2, 0, Op::TwoSided { x0: q.x0, y0: q.y0 }).unwrap().body;
+            assert_eq!(got, want, "wire 2-sided {q:?} diverged at {shards} shard(s)");
+        }
+        // A stab against the B-tree target is Unsupported on whatever shard
+        // owns it; the code must come back verbatim through the router.
+        match client.call(0, 0, Op::Stab { q: DOMAIN / 2 }).unwrap().body {
+            Body::Error { code, .. } => assert_eq!(code, ErrorCode::Unsupported),
+            other => panic!("expected typed error, got {other:?}"),
+        }
+
+        router.shutdown();
+        for handle in handles {
+            handle.join();
+        }
+        frontend.join();
+    }
+}
