@@ -34,7 +34,10 @@ use pc_serve::{
     Client, DynamicPstTarget, DynamicThreeSidedTarget, FrontendConfig, FrontendHandle, Registry,
     Router, RouterConfig, RouterFrontend, Server, ServerConfig, ServerHandle, Service, ShardMap,
 };
-use pc_workloads::{gen_points, gen_three_sided_hot, gen_two_sided, PointDist, ThreeSidedQ};
+use pc_workloads::{
+    gen_points, gen_temporal, gen_three_sided_hot, gen_two_sided, PointDist, TemporalOp,
+    ThreeSidedQ,
+};
 
 const PAGE: usize = 512;
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
@@ -49,6 +52,13 @@ struct Args {
     router: bool,
     /// Replicas per shard group in `--router` mode.
     replicas: usize,
+    /// MVCC mode: measure snapshot-read latency with writers off vs on.
+    /// Phase 1 is pure closed-loop 2-sided reads; phase 2 repeats the
+    /// identical read traffic while a paced writer replays the
+    /// sliding-window temporal insert/expire stream, installing an epoch
+    /// per acked batch. Records `BENCH_mvcc.json`; `scripts/verify.sh
+    /// --mvcc` gates mixed read p99 within 25% of read-only p99.
+    mvcc: bool,
     addr: Option<SocketAddr>,
     conns: usize,
     ops: usize,
@@ -73,6 +83,7 @@ impl Default for Args {
             smoke: false,
             router: false,
             replicas: 1,
+            mvcc: false,
             addr: None,
             conns: 4,
             ops: 20_000,
@@ -87,9 +98,10 @@ impl Default for Args {
     }
 }
 
-const USAGE: &str = "usage: pc-loadgen [--smoke] [--router] [--replicas N] [--addr HOST:PORT] \
-                     [--conns N] [--ops N] [--mode open|closed] [--rate OPS_PER_S] [--points N] \
-                     [--seed S] [--sample N] [--scrape] [--out PATH]";
+const USAGE: &str = "usage: pc-loadgen [--smoke] [--router] [--mvcc] [--replicas N] \
+                     [--addr HOST:PORT] [--conns N] [--ops N] [--mode open|closed] \
+                     [--rate OPS_PER_S] [--points N] [--seed S] [--sample N] [--scrape] \
+                     [--out PATH]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -99,6 +111,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--smoke" => args.smoke = true,
             "--router" => args.router = true,
+            "--mvcc" => args.mvcc = true,
             "--replicas" => {
                 args.replicas =
                     val("--replicas")?.parse().map_err(|e| format!("bad --replicas: {e}"))?;
@@ -148,6 +161,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.router && args.out == "BENCH_server.json" {
         args.out = "BENCH_cluster.json".to_string();
+    }
+    if args.mvcc && args.out == "BENCH_server.json" {
+        args.out = "BENCH_mvcc.json".to_string();
     }
     Ok(args)
 }
@@ -627,10 +643,196 @@ fn run_router_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Closed-loop, query-only traffic: `args.ops` calibrated 2-sided queries
+/// split across `args.conns` connections. Both MVCC phases run exactly
+/// this, so the only difference between their histograms is the writer.
+fn run_read_phase(addr: SocketAddr, args: &Args, stats: &PhaseStats) -> Result<Duration, String> {
+    let t0 = Instant::now();
+    let per_conn = args.ops.div_ceil(args.conns);
+    std::thread::scope(|s| -> Result<(), String> {
+        let handles: Vec<_> = (0..args.conns)
+            .map(|c| {
+                let stats = &*stats;
+                let args = args.clone();
+                s.spawn(move || -> Result<(), String> {
+                    let points = gen_points(args.n_points, PointDist::Uniform, args.seed);
+                    let queries =
+                        gen_two_sided(&points, per_conn.max(1), 64, args.seed + c as u64);
+                    let mut client = Client::connect(addr, IO_TIMEOUT)
+                        .map_err(|e| format!("read conn {c}: connect: {e}"))?;
+                    for i in 0..per_conn {
+                        let q = queries[i % queries.len()];
+                        let t = Instant::now();
+                        let resp = client
+                            .call(0, 0, Op::TwoSided { x0: q.x0, y0: q.y0 })
+                            .map_err(|e| format!("read conn {c}: call: {e}"))?;
+                        stats.record(&resp.body, t.elapsed());
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().map_err(|_| "read connection thread panicked".to_string())??;
+        }
+        Ok(())
+    })?;
+    Ok(t0.elapsed())
+}
+
+/// `--mvcc`: the readers-never-block measurement. One server, two
+/// identical read phases; the second runs under a concurrent paced writer
+/// replaying the sliding-window temporal insert/expire stream (an epoch
+/// installs per acked batch, so readers continuously cross installs).
+/// The writer is *paced*, not saturating: on small hosts an unthrottled
+/// writer would contend for the CPU itself and the comparison would
+/// measure scheduling, not snapshot isolation.
+fn run_mvcc_bench(args: &Args) -> Result<(), String> {
+    let handle = spawn_server(args, ServerConfig::default())?;
+    let addr = handle.addr();
+
+    let read_only = PhaseStats::default();
+    let ro_elapsed = run_read_phase(addr, args, &read_only)?;
+    let ro_ok = read_only.ok.load(Ordering::Relaxed);
+    let ro_p99 = read_only.latency_ns.snapshot().quantile(0.99);
+    eprintln!(
+        "read_only: {ro_ok} ok in {:.2}s ({:.0} ops/s), p99={ro_p99}ns",
+        ro_elapsed.as_secs_f64(),
+        ro_ok as f64 / ro_elapsed.as_secs_f64().max(1e-9),
+    );
+    if ro_ok == 0 {
+        return Err("read-only phase completed zero requests".to_string());
+    }
+
+    // Mixed phase: same read traffic, plus the temporal writer.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let writes = AtomicU64::new(0);
+    let write_errors = AtomicU64::new(0);
+    let write_rate = (args.rate / 10).clamp(200, 2_000);
+    let window = (args.n_points / 4).max(64);
+    let mixed = PhaseStats::default();
+    let mixed_elapsed = std::thread::scope(|s| -> Result<Duration, String> {
+        let writer = s.spawn(|| -> Result<(), String> {
+            let mut client =
+                Client::connect(addr, IO_TIMEOUT).map_err(|e| format!("writer connect: {e}"))?;
+            let gap = Duration::from_secs_f64(1.0 / write_rate as f64);
+            let steps = (window * 4).max(256);
+            let mut pass = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Fresh id range per pass: the tail of a pass stays live,
+                // so replaying the same ids would insert duplicates.
+                let ops = gen_temporal(
+                    steps,
+                    window,
+                    PointDist::Uniform,
+                    10_000_000 + pass * steps as u64,
+                    args.seed ^ pass,
+                );
+                for op in ops {
+                    if stop.load(Ordering::Relaxed) {
+                        return Ok(());
+                    }
+                    let wire = match op {
+                        TemporalOp::Insert((x, y, id)) => Op::Insert(Point { x, y, id }),
+                        TemporalOp::Expire((x, y, id)) => Op::Delete(Point { x, y, id }),
+                    };
+                    let resp =
+                        client.call(0, 0, wire).map_err(|e| format!("writer call: {e}"))?;
+                    match resp.body {
+                        Body::Ack { .. } => {
+                            writes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            write_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(gap);
+                }
+                pass += 1;
+            }
+            Ok(())
+        });
+        let elapsed = run_read_phase(addr, args, &mixed);
+        stop.store(true, Ordering::Relaxed);
+        writer.join().map_err(|_| "writer thread panicked".to_string())??;
+        elapsed
+    })?;
+    let mixed_ok = mixed.ok.load(Ordering::Relaxed);
+    let mixed_p99 = mixed.latency_ns.snapshot().quantile(0.99);
+    let total_writes = writes.load(Ordering::Relaxed);
+    eprintln!(
+        "mixed_read: {mixed_ok} ok in {:.2}s ({:.0} ops/s), p99={mixed_p99}ns, \
+         {total_writes} concurrent writes at ~{write_rate}/s",
+        mixed_elapsed.as_secs_f64(),
+        mixed_ok as f64 / mixed_elapsed.as_secs_f64().max(1e-9),
+    );
+    if mixed_ok == 0 {
+        return Err("mixed phase completed zero reads".to_string());
+    }
+    if total_writes == 0 {
+        return Err("mixed phase completed zero writes — nothing installed epochs".to_string());
+    }
+
+    // The server's own version-GC view: epochs must actually have been
+    // installed and the retention window bounded while readers ran.
+    let mut admin =
+        Client::connect(addr, IO_TIMEOUT).map_err(|e| format!("admin connect: {e}"))?;
+    let versions = match admin.versions().map_err(|e| format!("versions: {e}"))?.body {
+        Body::Versions { current, oldest, installed, reclaimed_pages, pinned } => Json::obj(vec![
+            ("current", Json::Int(current)),
+            ("oldest", Json::Int(oldest)),
+            ("installed", Json::Int(installed)),
+            ("reclaimed_pages", Json::Int(reclaimed_pages)),
+            ("pinned", Json::Int(pinned)),
+        ]),
+        other => return Err(format!("versions: unexpected body {other:?}")),
+    };
+    shutdown(handle)?;
+
+    let mut mixed_row = mixed.to_json("mixed_read", "closed", args.conns, mixed_elapsed);
+    if let Json::Obj(fields) = &mut mixed_row {
+        fields.push(("writes".to_string(), Json::Int(total_writes)));
+        fields.push((
+            "write_errors".to_string(),
+            Json::Int(write_errors.load(Ordering::Relaxed)),
+        ));
+        fields.push(("write_rate_target".to_string(), Json::Int(write_rate)));
+    }
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("mvcc".to_string())),
+        ("page_size", Json::Int(PAGE as u64)),
+        (
+            "hardware_threads",
+            Json::Int(std::thread::available_parallelism().map_or(1, |p| p.get()) as u64),
+        ),
+        ("seed", Json::Int(args.seed)),
+        ("n_points", Json::Int(args.n_points as u64)),
+        ("ops", Json::Int(args.ops as u64)),
+        ("smoke", Json::Int(u64::from(args.smoke))),
+        ("temporal_window", Json::Int(window as u64)),
+        (
+            "phases",
+            Json::Arr(vec![
+                read_only.to_json("read_only", "closed", args.conns, ro_elapsed),
+                mixed_row,
+            ]),
+        ),
+        ("versions", versions),
+        ("p99_ratio", Json::Num(mixed_p99 as f64 / ro_p99.max(1) as f64)),
+    ]);
+    std::fs::write(&args.out, format!("{doc}\n"))
+        .map_err(|e| format!("write {}: {e}", args.out))?;
+    eprintln!("wrote {}", args.out);
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     if args.router {
         return run_router_bench(&args);
+    }
+    if args.mvcc {
+        return run_mvcc_bench(&args);
     }
     let mut phases: Vec<Json> = Vec::new();
 

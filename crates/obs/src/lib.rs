@@ -560,8 +560,13 @@ pub mod shard_metrics {
     pub const RECONNECTS: &str = "pc_shard_reconnects_total";
     /// Gauge: replicas currently marked dead in this shard's group.
     pub const DEAD_REPLICAS: &str = "pc_shard_dead_replicas";
-    /// Gauge: length of the shard's acked-update journal.
+    /// Gauge: entries currently retained in the shard's acked-update
+    /// journal (the suffix above the truncation base).
     pub const JOURNAL_LEN: &str = "pc_shard_journal_len";
+    /// Journal entries dropped after every replica in the group caught up
+    /// past them (the truncation that keeps a long-running fleet's journal
+    /// bounded).
+    pub const JOURNAL_TRUNCATED: &str = "pc_shard_journal_truncated";
     /// Per-shard request latency histogram (scatter leg, send to
     /// gathered response), nanoseconds.
     pub const LATENCY: &str = "pc_shard_latency_ns";
@@ -593,6 +598,27 @@ pub mod store_metrics {
     pub const WAL_GROUP_COMMIT_RECORDS: &str = "pc_store_wal_group_commit_records";
     /// Gauge (scaled ×10⁶): buffer-pool hit ratio `hits / (hits + reads)`.
     pub const POOL_HIT_RATIO_PPM: &str = "pc_store_pool_hit_ratio_ppm";
+}
+
+/// Exposition names for the partial-persistence (versioning / snapshot
+/// isolation) subsystem in `pc-pagestore`'s `version` module. Collected
+/// here (like [`wal_metrics`]) so the emitting code, the serve layer's
+/// exposition, and the snapshot test suites never drift apart. All are
+/// monotonic totals unless noted; see DESIGN.md "Versioning & snapshot
+/// isolation".
+pub mod version_metrics {
+    /// Epochs installed (one per applied update batch on a versioned store).
+    pub const EPOCHS_INSTALLED: &str = "pc_version_epochs_installed_total";
+    /// Gauge: epochs currently retained (pinned or within the retention
+    /// window) and therefore addressable by `as_of`.
+    pub const EPOCHS_RETAINED: &str = "pc_version_epochs_retained";
+    /// Superseded copy-on-write pages reclaimed by epoch GC.
+    pub const PAGES_RECLAIMED: &str = "pc_version_reclaimed_pages_total";
+    /// Gauge: snapshots currently pinning an epoch.
+    pub const SNAPSHOTS_PINNED: &str = "pc_version_pinned_snapshots";
+    /// Gauge: age of the oldest pinned epoch, in epochs behind current
+    /// (0 when nothing is pinned or only the current epoch is).
+    pub const OLDEST_PIN_AGE: &str = "pc_version_oldest_pin_age_epochs";
 }
 
 pub mod hist;

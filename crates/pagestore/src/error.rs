@@ -55,6 +55,17 @@ pub enum StoreError {
         /// Pages currently held in the no-steal dirty table.
         dirty_pages: u64,
     },
+    /// An `as_of` request named an epoch outside the retained window of a
+    /// [`crate::VersionedStore`] (either never installed or already
+    /// trimmed by the retention policy).
+    VersionNotRetained {
+        /// The epoch seq the caller asked for.
+        requested: u64,
+        /// Oldest retained epoch seq.
+        oldest: u64,
+        /// Current (newest) epoch seq.
+        current: u64,
+    },
 }
 
 impl StoreError {
@@ -102,6 +113,10 @@ impl fmt::Display for StoreError {
                 f,
                 "store has {dirty_pages} uncheckpointed dirty pages; quiesce \
                  (commit + checkpoint) before physical reorganization"
+            ),
+            StoreError::VersionNotRetained { requested, oldest, current } => write!(
+                f,
+                "version {requested} is not retained (retained range {oldest}..={current})"
             ),
         }
     }
@@ -152,6 +167,16 @@ mod tests {
         assert!(!StoreError::TornWrite { complete: 3, trailing_bytes: 17 }.is_transient());
         assert!(!StoreError::Crashed.is_transient());
         assert!(!StoreError::DirtyStore { dirty_pages: 2 }.is_transient());
+        assert!(!StoreError::VersionNotRetained { requested: 9, oldest: 3, current: 7 }
+            .is_transient());
+    }
+
+    #[test]
+    fn version_not_retained_display_carries_the_window() {
+        let e = StoreError::VersionNotRetained { requested: 2, oldest: 5, current: 9 };
+        for needle in ["2", "5", "9"] {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
     }
 
     #[test]

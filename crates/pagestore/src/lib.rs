@@ -56,6 +56,7 @@ pub mod search;
 pub mod stats;
 pub mod store;
 pub mod types;
+pub mod version;
 pub mod wal;
 
 pub use backend::{ResilienceStats, ScrubReport};
@@ -72,4 +73,8 @@ pub use store::{
     PageId, PageStore, RetryPolicy, StoreConfig, StoreObserver, WalConfig, NULL_PAGE,
 };
 pub use types::{Interval, Point, Record};
+pub use version::{
+    decode_version_meta, encode_version_meta, ApplyGuard, Snapshot, SnapshotGuard, VersionConfig,
+    VersionMeta, VersionMetrics, VersionedStore,
+};
 pub use wal::{AllocSnapshot, FileLog, LogMedium, MemLog, Wal, WalStats};

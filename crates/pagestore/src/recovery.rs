@@ -98,7 +98,17 @@ pub fn replay(
         .rposition(|r| matches!(r, WalRecord::Checkpoint { .. }));
     let mut snap = match ckpt {
         Some(i) => match &outcome.records[i] {
-            WalRecord::Checkpoint { alloc, .. } => alloc.clone(),
+            WalRecord::Checkpoint { alloc, meta, .. } => {
+                // The checkpoint re-embeds the commit metadata that was
+                // current when it was installed; without it, a crash after
+                // a checkpoint (with no later commit) would forget which
+                // acknowledged batch the store sits on. A later commit in
+                // the replay range overrides this.
+                if !meta.is_empty() {
+                    report.last_commit_meta = Some(meta.clone());
+                }
+                alloc.clone()
+            }
             _ => unreachable!(),
         },
         None => AllocSnapshot::default(),
@@ -215,6 +225,7 @@ mod tests {
             WalRecord::Checkpoint {
                 lsn: 3,
                 alloc: AllocSnapshot { next_id: 3, free_list: vec![2] },
+                meta: b"ckpt-era".to_vec(),
             },
             WalRecord::Alloc { lsn: 4, page: PageId(2) },
             WalRecord::PageWrite { lsn: 5, page: PageId(2), data: b"fresh".to_vec() },
@@ -223,6 +234,11 @@ mod tests {
         let (report, snap) = replay(&backend, 64, &scan_of(&recs, 64)).unwrap();
         assert_eq!(report.replayed_writes, 1, "only the post-checkpoint write");
         assert_eq!(report.commits, 1, "only the post-checkpoint commit");
+        assert_eq!(
+            report.last_commit_meta.as_deref(),
+            Some(&[9u8][..]),
+            "a commit after the checkpoint overrides the checkpoint's re-embedded metadata"
+        );
         assert_eq!(snap, AllocSnapshot { next_id: 3, free_list: vec![] });
         // Page 7 untouched: still reads as never-written zeroes.
         let mut frame = vec![0u8; 64 + CHECKSUM_LEN];
@@ -257,6 +273,7 @@ mod tests {
             WalRecord::Checkpoint {
                 lsn: 1,
                 alloc: AllocSnapshot { next_id: 6, free_list: vec![5, 3] },
+                meta: vec![],
             },
             WalRecord::Alloc { lsn: 2, page: PageId(3) },
             WalRecord::Free { lsn: 3, page: PageId(0) },
@@ -276,9 +293,15 @@ mod tests {
         let recs = vec![WalRecord::Checkpoint {
             lsn: 1,
             alloc: AllocSnapshot { next_id: 2, free_list: vec![] },
+            meta: b"sticky".to_vec(),
         }];
         let (report, snap) = replay(&backend, 64, &scan_of(&recs, 64)).unwrap();
         assert!(report.clean(), "{report:?}");
+        assert_eq!(
+            report.last_commit_meta.as_deref(),
+            Some(&b"sticky"[..]),
+            "a clean checkpoint-only log still restores the commit metadata"
+        );
         assert_eq!(snap.next_id, 2);
         // An empty log is clean too.
         let (report, snap) = replay(&backend, 64, &ScanOutcome::default()).unwrap();

@@ -145,6 +145,13 @@ struct WalState {
     /// its data-file flush. Always taken before the allocation lock.
     op_lock: Mutex<()>,
     checkpoint_bytes: u64,
+    /// Most recent **non-empty** commit metadata. Commit metadata is
+    /// *sticky*: an empty-meta commit (`sync`) re-stamps this payload
+    /// instead of clobbering it, and checkpoints re-embed it in their
+    /// checkpoint record — so recovery always reports the latest tagged
+    /// consistency point (the versioning layer's epoch map lives here;
+    /// losing it to a `sync` or a checkpoint would roll reads back).
+    last_meta: Mutex<Vec<u8>>,
 }
 
 /// Store-global counters. Pool hits and evictions live in per-shard
@@ -230,6 +237,13 @@ pub trait StoreObserver: Send + Sync {
 }
 
 impl PageStore {
+    /// Identity of this store for the thread-local version-session hooks
+    /// (see [`crate::version`]): sessions tag themselves with the store
+    /// address so a session on one store never translates another's ids.
+    fn addr(&self) -> usize {
+        self as *const PageStore as usize
+    }
+
     /// Creates a store over an arbitrary backend.
     ///
     /// The backend's frame size must equal `config.page_size + 8` (payload
@@ -291,8 +305,11 @@ impl PageStore {
         let (report, snap) = crate::recovery::replay(backend.as_ref(), config.page_size, &outcome)?;
         // Make the replayed state durable, then retire the old log: after
         // install_checkpoint the replayed records are never needed again.
+        // The recovered commit metadata rides into the fresh generation so
+        // another crash before the next commit still reports it.
         backend.sync()?;
-        wal.install_checkpoint(&snap)?;
+        let recovered_meta = report.last_commit_meta.clone().unwrap_or_default();
+        wal.install_checkpoint(&snap, &recovered_meta)?;
         wal.note_replayed(report.replayed_records());
         let mut allocated = vec![true; snap.next_id as usize];
         for &f in &snap.free_list {
@@ -318,6 +335,7 @@ impl PageStore {
                 dirty: Mutex::new(BTreeMap::new()),
                 op_lock: Mutex::new(()),
                 checkpoint_bytes: wal_config.checkpoint_bytes,
+                last_meta: Mutex::new(recovered_meta),
             }),
             observer: RwLock::new(None),
         };
@@ -436,11 +454,21 @@ impl PageStore {
         }
         self.stats.allocs.fetch_add(1, Ordering::Relaxed);
         pc_obs::record_io(IoEvent::Alloc);
+        crate::version::note_alloc(self.addr(), PageId(id));
         Ok(PageId(id))
     }
 
     /// Releases a page for reuse. Its contents become undefined.
+    ///
+    /// Inside a version apply session (see [`crate::version`]) a free of
+    /// *frozen* content is deferred: the page is retired for epoch GC and
+    /// nothing is returned to the allocator yet, so pinned snapshots keep
+    /// reading it.
     pub fn free(&self, id: PageId) -> Result<()> {
+        let id = match crate::version::free_route(self.addr(), id) {
+            crate::version::FreeRoute::Direct(phys) => phys,
+            crate::version::FreeRoute::Deferred => return Ok(()),
+        };
         let _op = self.wal.as_ref().map(|ws| ws.op_lock.lock());
         {
             let mut a = self.alloc.write();
@@ -536,6 +564,10 @@ impl PageStore {
     /// returned [`Page`] is an immutable snapshot: a later write to the
     /// same page replaces the pool's handle without touching it.
     pub fn read(&self, id: PageId) -> Result<Page> {
+        // Snapshot / apply-session translation (identity outside one): all
+        // allocation, quarantine, dirty-table and pool state below is keyed
+        // by the *physical* id.
+        let id = crate::version::translate(self.addr(), id);
         self.check_allocated(id)?;
         self.check_quarantine(id)?;
         if let Some(ws) = &self.wal {
@@ -570,6 +602,18 @@ impl PageStore {
                 page_size: self.page_size,
             });
         }
+        // Inside a version apply session, a write to a frozen page is
+        // redirected copy-on-write to a freshly allocated physical page;
+        // the logical id keeps naming the page, the session records the
+        // remap, and the superseded page is retired for epoch GC.
+        let id = match crate::version::write_route(self.addr(), id) {
+            crate::version::WriteRoute::Direct(phys) => phys,
+            crate::version::WriteRoute::Cow => {
+                let fresh = self.alloc()?;
+                crate::version::note_cow(self.addr(), id, fresh);
+                fresh
+            }
+        };
         self.check_allocated(id)?;
         self.check_quarantine(id)?;
         if let Some(ws) = &self.wal {
@@ -652,7 +696,7 @@ impl PageStore {
     pub fn commit_with(&self, meta: &[u8]) -> Result<u64> {
         let Some(ws) = &self.wal else { return Ok(0) };
         let _op = ws.op_lock.lock();
-        let group = ws.wal.commit(meta)?;
+        let group = Self::sticky_commit(ws, meta)?;
         if ws.wal.log_bytes() >= ws.checkpoint_bytes {
             self.checkpoint_locked(ws)?;
         }
@@ -679,13 +723,35 @@ impl PageStore {
         // A checkpoint must sit at a consistency point: anything pending
         // gets committed first so the flushed data file never contains an
         // unacknowledged half-update.
-        ws.wal.commit(&[])?;
+        Self::sticky_commit(ws, &[])?;
         self.checkpoint_locked(ws)
+    }
+
+    /// Commit with sticky metadata (caller holds `op_lock`): an empty
+    /// `meta` re-stamps the last non-empty payload rather than erasing it;
+    /// a non-empty one becomes the new sticky payload once durable.
+    fn sticky_commit(ws: &WalState, meta: &[u8]) -> Result<u64> {
+        let mut last = ws.last_meta.lock();
+        let effective = if meta.is_empty() { &last[..] } else { meta };
+        let group = ws.wal.commit(effective)?;
+        if !meta.is_empty() {
+            *last = meta.to_vec();
+        }
+        Ok(group)
     }
 
     /// True when this store has a write-ahead log.
     pub fn is_durable(&self) -> bool {
         self.wal.is_some()
+    }
+
+    /// The sticky commit metadata: the payload of the last non-empty
+    /// durable commit (recovered across reopen). `None` on a volatile
+    /// store or before the first tagged commit.
+    pub fn last_commit_meta(&self) -> Option<Vec<u8>> {
+        let ws = self.wal.as_ref()?;
+        let last = ws.last_meta.lock();
+        if last.is_empty() { None } else { Some(last.clone()) }
     }
 
     /// WAL activity counters, or `None` on a volatile store.
@@ -717,7 +783,7 @@ impl PageStore {
             let a = self.alloc.read();
             AllocSnapshot { next_id: a.next_id, free_list: a.free_list.clone() }
         };
-        ws.wal.install_checkpoint(&snap)
+        ws.wal.install_checkpoint(&snap, &ws.last_meta.lock())
     }
 
     /// Snapshot of cumulative I/O counters. Per-shard pool counters are
@@ -1253,6 +1319,43 @@ mod tests {
         store.write(id, b"payload").unwrap();
         store.inject_corruption(id, 2).unwrap();
         assert!(matches!(store.read(id), Err(StoreError::ChecksumMismatch(_))));
+    }
+
+    #[test]
+    fn commit_meta_sticks_across_sync_checkpoint_and_reopen() {
+        use crate::crash::{CrashBackend, CrashController, CrashLog, CrashPlan};
+        let ctrl = CrashController::new(CrashPlan::count_only(11));
+        let backend = Arc::new(CrashBackend::new(64 + CHECKSUM_LEN, ctrl.clone()));
+        let log = Arc::new(CrashLog::new(ctrl));
+        let (store, _) = PageStore::new_durable(
+            StoreConfig::strict(64),
+            Box::new(backend.clone()),
+            Box::new(log.clone()),
+            WalConfig::default(),
+        )
+        .unwrap();
+        let id = store.alloc().unwrap();
+        store.write(id, b"v1").unwrap();
+        store.commit_with(b"tagged-epoch").unwrap();
+        // An empty-meta group commit (sync) must re-stamp, not clobber.
+        store.write(id, b"v2").unwrap();
+        store.sync().unwrap();
+        // A checkpoint resets the log; the metadata rides the checkpoint.
+        store.checkpoint().unwrap();
+        drop(store);
+        let (reopened, report) = PageStore::new_durable(
+            StoreConfig::strict(64),
+            Box::new(backend.surviving_backend()),
+            Box::new(log.surviving_log()),
+            WalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            report.last_commit_meta.as_deref(),
+            Some(&b"tagged-epoch"[..]),
+            "metadata must survive sync + checkpoint + reopen: {report:?}"
+        );
+        assert_eq!(&reopened.read(id).unwrap()[..2], b"v2");
     }
 
     #[test]

@@ -219,20 +219,23 @@ impl AllocSnapshot {
         }
     }
 
-    fn decode(buf: &[u8]) -> Option<AllocSnapshot> {
+    /// Decodes a snapshot from the front of `buf`, returning it and any
+    /// trailing bytes (a checkpoint record's re-embedded commit metadata).
+    fn decode_prefix(buf: &[u8]) -> Option<(AllocSnapshot, &[u8])> {
         if buf.len() < 16 {
             return None;
         }
         let next_id = u64::from_le_bytes(buf[..8].try_into().unwrap());
         let n = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
-        if buf.len() != 16 + n * 8 {
+        let end = 16usize.checked_add(n.checked_mul(8)?)?;
+        if buf.len() < end {
             return None;
         }
-        let free_list = buf[16..]
+        let free_list = buf[16..end]
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        Some(AllocSnapshot { next_id, free_list })
+        Some((AllocSnapshot { next_id, free_list }, &buf[end..]))
     }
 }
 
@@ -279,6 +282,14 @@ pub enum WalRecord {
         lsn: u64,
         /// Allocation state at the checkpoint.
         alloc: AllocSnapshot,
+        /// The most recent *committed* caller metadata at checkpoint time
+        /// (empty = none yet). A checkpoint discards every earlier record,
+        /// including the commit that carried this payload — re-embedding it
+        /// here keeps [`crate::RecoveryReport::last_commit_meta`] exact
+        /// after a crash that follows a checkpoint with no further commit
+        /// (the versioning layer stores its epoch map in this payload, so
+        /// losing it would silently roll the visible version back).
+        meta: Vec<u8>,
     },
 }
 
@@ -302,9 +313,10 @@ impl WalRecord {
             WalRecord::Alloc { page, .. } => (K_ALLOC, page.0, Vec::new()),
             WalRecord::Free { page, .. } => (K_FREE, page.0, Vec::new()),
             WalRecord::Commit { meta, .. } => (K_COMMIT, 0, meta.clone()),
-            WalRecord::Checkpoint { alloc, .. } => {
+            WalRecord::Checkpoint { alloc, meta, .. } => {
                 let mut p = Vec::new();
                 alloc.encode_into(&mut p);
+                p.extend_from_slice(meta);
                 (K_CHECKPOINT, 0, p)
             }
         };
@@ -324,7 +336,9 @@ impl WalRecord {
             WalRecord::PageWrite { data, .. } => data.len(),
             WalRecord::Alloc { .. } | WalRecord::Free { .. } => 0,
             WalRecord::Commit { meta, .. } => meta.len(),
-            WalRecord::Checkpoint { alloc, .. } => 16 + alloc.free_list.len() * 8,
+            WalRecord::Checkpoint { alloc, meta, .. } => {
+                16 + alloc.free_list.len() * 8 + meta.len()
+            }
         };
         REC_FIXED + payload + REC_CRC
     }
@@ -360,7 +374,8 @@ pub fn decode_record(buf: &[u8]) -> Option<(WalRecord, usize)> {
         K_FREE if len == 0 => WalRecord::Free { lsn, page: PageId(page) },
         K_COMMIT => WalRecord::Commit { lsn, meta: payload.to_vec() },
         K_CHECKPOINT => {
-            WalRecord::Checkpoint { lsn, alloc: AllocSnapshot::decode(payload)? }
+            let (alloc, meta) = AllocSnapshot::decode_prefix(payload)?;
+            WalRecord::Checkpoint { lsn, alloc, meta: meta.to_vec() }
         }
         _ => return None,
     };
@@ -583,11 +598,13 @@ impl Wal {
 
     /// Atomically replaces the log with a fresh generation holding only a
     /// checkpoint of `alloc`. All earlier records must already be applied
-    /// to a durably synced data file — the caller's job.
-    pub fn install_checkpoint(&self, alloc: &AllocSnapshot) -> Result<()> {
+    /// to a durably synced data file — the caller's job. `meta` is the
+    /// last committed caller metadata, re-embedded in the checkpoint so it
+    /// survives the log swap (pass `&[]` when there has been none).
+    pub fn install_checkpoint(&self, alloc: &AllocSnapshot, meta: &[u8]) -> Result<()> {
         let mut inner = self.inner.lock();
         let lsn = inner.next_lsn;
-        let rec = WalRecord::Checkpoint { lsn, alloc: alloc.clone() };
+        let rec = WalRecord::Checkpoint { lsn, alloc: alloc.clone(), meta: meta.to_vec() };
         let mut contents = encode_header(self.page_size);
         rec.encode_into(&mut contents);
         self.medium.reset(&contents)?;
@@ -650,6 +667,7 @@ mod tests {
             WalRecord::Checkpoint {
                 lsn: 1,
                 alloc: AllocSnapshot { next_id: 4, free_list: vec![2, 0] },
+                meta: b"carried".to_vec(),
             },
             WalRecord::Alloc { lsn: 2, page: PageId(0) },
             WalRecord::PageWrite { lsn: 3, page: PageId(0), data: b"hello".to_vec() },
@@ -758,9 +776,21 @@ mod tests {
         wal.commit(&[]).unwrap();
         let before = wal.log_bytes();
         let snap = AllocSnapshot { next_id: 1, free_list: vec![] };
-        wal.install_checkpoint(&snap).unwrap();
+        wal.install_checkpoint(&snap, b"last-meta").unwrap();
         assert!(wal.log_bytes() < before);
         assert_eq!(wal.stats().checkpoints, 1);
+        // The fresh generation's single record carries the re-embedded
+        // commit metadata.
+        let bytes = wal.medium.read_all().unwrap();
+        let out = scan(&bytes, 64).unwrap();
+        assert_eq!(out.records.len(), 1);
+        match &out.records[0] {
+            WalRecord::Checkpoint { alloc, meta, .. } => {
+                assert_eq!(alloc, &snap);
+                assert_eq!(meta, b"last-meta");
+            }
+            other => panic!("expected checkpoint, got {other:?}"),
+        }
     }
 
     #[test]

@@ -41,9 +41,13 @@ fn gen_record(rng: &mut Rng, lsn: u64) -> WalRecord {
         _ => {
             let frees = rng.gen_range(0..6usize);
             let free_list = (0..frees).map(|_| rng.gen_range(0..64u64)).collect();
+            let meta_len = rng.gen_range(0..12usize);
+            let mut meta = vec![0u8; meta_len];
+            rng.fill_bytes(&mut meta);
             WalRecord::Checkpoint {
                 lsn,
                 alloc: AllocSnapshot { next_id: rng.gen_range(0..128u64), free_list },
+                meta,
             }
         }
     }

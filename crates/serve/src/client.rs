@@ -103,9 +103,24 @@ impl Client {
         flags: u8,
         op: Op,
     ) -> Result<u64, ClientError> {
+        self.send_with(target, deadline_ms, flags, 0, op)
+    }
+
+    /// Fully general send: explicit flags *and* snapshot selector.
+    /// `as_of` 0 means "the latest epoch at admission"; any other value
+    /// addresses that installed epoch (time travel), and updates must
+    /// carry 0.
+    pub fn send_with(
+        &mut self,
+        target: u16,
+        deadline_ms: u32,
+        flags: u8,
+        as_of: u64,
+        op: Op,
+    ) -> Result<u64, ClientError> {
         self.next_id += 1;
         let id = self.next_id;
-        let frame = request_frame(&Request { id, target, deadline_ms, flags, op });
+        let frame = request_frame(&Request { id, target, deadline_ms, flags, as_of, op });
         write_frame(&mut &self.stream, &frame)?;
         Ok(id)
     }
@@ -130,6 +145,23 @@ impl Client {
         op: Op,
     ) -> Result<Response, ClientError> {
         let sent = self.send_flags(target, deadline_ms, flags, op)?;
+        let resp = self.recv()?;
+        if resp.id != sent {
+            return Err(ClientError::IdMismatch { sent, got: resp.id });
+        }
+        Ok(resp)
+    }
+
+    /// Closed-loop query against a pinned historical epoch: `as_of` names
+    /// the installed epoch sequence to read (see [`Client::send_with`]).
+    pub fn call_as_of(
+        &mut self,
+        target: u16,
+        deadline_ms: u32,
+        as_of: u64,
+        op: Op,
+    ) -> Result<Response, ClientError> {
+        let sent = self.send_with(target, deadline_ms, 0, as_of, op)?;
         let resp = self.recv()?;
         if resp.id != sent {
             return Err(ClientError::IdMismatch { sent, got: resp.id });
@@ -166,6 +198,12 @@ impl Client {
     /// Admin: retune live trace sampling to 1-in-`every` (0 = off).
     pub fn set_sampling(&mut self, every: u64) -> Result<Response, ClientError> {
         self.call(0, 0, Op::SetSampling { every })
+    }
+
+    /// Admin: the server's retained snapshot window (current/oldest epoch,
+    /// install + reclaim counters, live pins).
+    pub fn versions(&mut self) -> Result<Response, ClientError> {
+        self.call(0, 0, Op::Versions)
     }
 
     /// Convenience: insert a point into a dynamic target.

@@ -21,6 +21,11 @@
 //! * a **structure-agnostic router** ([`target`]) — structures register as
 //!   [`QueryTarget`] trait objects, so new external structures join the
 //!   server without touching it;
+//! * **snapshot reads with time travel** ([`server`] over
+//!   `pc_pagestore::version`) — each applied batch installs an immutable
+//!   epoch; queries pin a snapshot at admission and answer lock-free from
+//!   frozen per-epoch views, so reads never block on updates, and the
+//!   wire's `as_of` header addresses any retained historical epoch;
 //! * **graceful drain-then-shutdown** and idle-timeout reclamation of dead
 //!   connections, plus always-on service stats ([`stats`]) exposed over
 //!   the ADMIN ops;
@@ -58,8 +63,9 @@ pub use server::{
 };
 pub use stats::ServeStats;
 pub use target::{
-    BTreeTarget, DynamicPstTarget, DynamicThreeSidedTarget, IntervalTreeTarget, NaivePstTarget,
-    PstTarget, QueryTarget, Registry, SegTreeTarget, TargetError, ThreeSidedTarget, UpdateOp,
+    BTreeTarget, DynamicPstTarget, DynamicThreeSidedTarget, FrozenView, IntervalTreeTarget,
+    NaivePstTarget, PstTarget, QueryTarget, Registry, SegTreeTarget, TargetError,
+    ThreeSidedTarget, UpdateOp,
 };
 pub use wire::{
     Body, DecodeError, ErrorCode, Op, Request, Response, SlowEntry, WireSpan, FLAG_TRACE,

@@ -15,8 +15,8 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use pc_obs::hist::Histogram;
-use pc_obs::{store_metrics, target_metrics, QueryTrace};
-use pc_pagestore::{PageStore, StoreObserver};
+use pc_obs::{store_metrics, target_metrics, version_metrics, QueryTrace};
+use pc_pagestore::{PageStore, StoreObserver, VersionMetrics};
 
 /// Always-on counters and latency distribution for one registered target.
 #[derive(Default)]
@@ -230,6 +230,37 @@ pub fn render_store_metrics(store: &PageStore, commits: &GroupCommitObserver) ->
         }
         out.push_str(&format!("{family}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
         out.push_str(&format!("{family}_sum {}\n{family}_count {}\n", snap.sum, snap.count));
+    }
+    out
+}
+
+/// `(name, value)` pairs for the `pc_version_*` families (structured
+/// form), rendered from a [`VersionMetrics`] point-in-time snapshot.
+pub fn version_stat_pairs(m: &VersionMetrics) -> Vec<(String, u64)> {
+    vec![
+        (version_metrics::EPOCHS_INSTALLED.to_string(), m.installed),
+        (version_metrics::EPOCHS_RETAINED.to_string(), m.retained),
+        (version_metrics::PAGES_RECLAIMED.to_string(), m.reclaimed_pages),
+        (version_metrics::SNAPSHOTS_PINNED.to_string(), m.pinned),
+        (version_metrics::OLDEST_PIN_AGE.to_string(), m.oldest_pin_age),
+    ]
+}
+
+/// Prometheus text exposition of the `pc_version_*` families.
+pub fn render_version_metrics(m: &VersionMetrics) -> String {
+    let mut out = String::new();
+    for (family, v) in [
+        (version_metrics::EPOCHS_INSTALLED, m.installed),
+        (version_metrics::PAGES_RECLAIMED, m.reclaimed_pages),
+    ] {
+        out.push_str(&format!("# TYPE {family} counter\n{family} {v}\n"));
+    }
+    for (family, v) in [
+        (version_metrics::EPOCHS_RETAINED, m.retained),
+        (version_metrics::SNAPSHOTS_PINNED, m.pinned),
+        (version_metrics::OLDEST_PIN_AGE, m.oldest_pin_age),
+    ] {
+        out.push_str(&format!("# TYPE {family} gauge\n{family} {v}\n"));
     }
     out
 }

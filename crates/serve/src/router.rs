@@ -29,6 +29,9 @@
 //!   is marked dead until the background health loop replays it back in
 //!   sync from the shard's **journal** of acked updates (replay is
 //!   idempotent: dynamic-PST updates resolve by point id and sequence);
+//!   the journal is truncated below the slowest replica's cursor, so its
+//!   memory footprint tracks replica lag, not uptime
+//!   (`pc_shard_journal_truncated` counts reclaimed entries);
 //! * a background **health loop** pings replicas (ADMIN ping), marks the
 //!   unresponsive dead, reconnects dead ones, and replays their journal
 //!   tail before readmitting them to the read path;
@@ -296,6 +299,8 @@ pub struct ShardStats {
     pub replayed: AtomicU64,
     /// Replica reconnects completed by the health loop.
     pub reconnects: AtomicU64,
+    /// Journal entries truncated after every replica caught up past them.
+    pub truncated: AtomicU64,
     /// Scatter-leg latency, nanoseconds.
     pub latency_ns: Histogram,
 }
@@ -360,13 +365,60 @@ impl Replica {
     }
 }
 
+/// The acked-update journal of one shard, with a base offset so entries
+/// every replica has applied can be reclaimed. Replica `caught_up` cursors
+/// stay *absolute* (counted from the first ack ever), so truncation is
+/// invisible to the replay protocol: only entries strictly below
+/// `min(caught_up)` across the whole group are dropped, and by that point
+/// no replica can ever ask for them again.
+#[derive(Default)]
+struct Journal {
+    /// Absolute index of `entries[0]`; everything below was truncated.
+    base: u64,
+    /// Retained suffix of the acked updates, in ack order, as `(target, op)`.
+    entries: Vec<(u16, Op)>,
+}
+
+impl Journal {
+    /// Absolute journal length: total acks ever recorded.
+    fn len(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    /// Retained (in-memory) entry count.
+    fn retained(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    fn push(&mut self, entry: (u16, Op)) {
+        self.entries.push(entry);
+    }
+
+    /// The tail from absolute cursor `from` (callers guarantee
+    /// `from >= base`: truncation never passes any replica's cursor).
+    fn tail_from(&self, from: u64) -> Vec<(u16, Op)> {
+        debug_assert!(from >= self.base, "replay cursor {from} below journal base {}", self.base);
+        let skip = (from.saturating_sub(self.base)).min(self.entries.len() as u64) as usize;
+        self.entries[skip..].to_vec()
+    }
+
+    /// Drops entries with absolute index `< upto`; returns how many went.
+    fn truncate_below(&mut self, upto: u64) -> u64 {
+        let drop = upto.saturating_sub(self.base).min(self.entries.len() as u64);
+        self.entries.drain(..drop as usize);
+        self.base += drop;
+        drop
+    }
+}
+
 /// One logical shard: a replica group plus the acked-update journal.
 struct Shard {
     replicas: Vec<Replica>,
-    /// Every acknowledged update in ack order, as `(target, op)`. Grows for
-    /// the router's lifetime (test/bench scale); a production fabric would
-    /// truncate below `min(caught_up)` — noted in DESIGN.md.
-    journal: Mutex<Vec<(u16, Op)>>,
+    /// Every acknowledged update in ack order. Truncated below
+    /// `min(caught_up)` across the group after each fan-out and each
+    /// completed replay, so a long-running fleet holds only the suffix some
+    /// lagging replica may still need.
+    journal: Mutex<Journal>,
     /// Round-robin read cursor.
     rr: AtomicU64,
     stats: ShardStats,
@@ -377,6 +429,17 @@ struct Shard {
 impl Shard {
     fn dead_replicas(&self) -> u64 {
         self.replicas.iter().filter(|r| !r.healthy.load(Relaxed)).count() as u64
+    }
+
+    /// Reclaims the journal prefix every replica (healthy or not — a dead
+    /// one still replays from its cursor) has applied. Caller holds the
+    /// journal lock.
+    fn truncate_caught_up(&self, journal: &mut Journal) {
+        let min = self.replicas.iter().map(|r| r.caught_up.load(Relaxed)).min().unwrap_or(0);
+        let dropped = journal.truncate_below(min);
+        if dropped > 0 {
+            self.stats.truncated.fetch_add(dropped, Relaxed);
+        }
     }
 }
 
@@ -440,7 +503,7 @@ impl Router {
             }
             shards.push(Shard {
                 replicas,
-                journal: Mutex::new(Vec::new()),
+                journal: Mutex::new(Journal::default()),
                 rr: AtomicU64::new(si as u64),
                 stats: ShardStats::default(),
                 rng: Mutex::new(Rng::seed_from_u64(cfg.seed ^ (si as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))),
@@ -488,7 +551,11 @@ impl Router {
     pub fn set_replica_caught_up(&self, shard: usize, replica: usize, records: u64) {
         let s = &self.inner.shards[shard];
         let journal = s.journal.lock();
-        s.replicas[replica].caught_up.store(records.min(journal.len() as u64), Relaxed);
+        // Clamp into the journal's live window: a cursor above the journal
+        // is meaningless, and one below `base` addresses truncated entries
+        // (impossible for a node that was ever in this group — truncation
+        // never passes any replica's cursor — but clamp defensively).
+        s.replicas[replica].caught_up.store(records.clamp(journal.base, journal.len()), Relaxed);
         drop(journal);
     }
 
@@ -584,7 +651,7 @@ impl Router {
         }
         let result = if let Some(body) = ack_body {
             journal.push((target, op.clone()));
-            let len = journal.len() as u64;
+            let len = journal.len();
             for (ri, replica) in shard.replicas.iter().enumerate() {
                 if acked.contains(&ri) {
                     replica.caught_up.store(len, Relaxed);
@@ -594,6 +661,9 @@ impl Router {
                     replica.mark_dead();
                 }
             }
+            // With every cursor settled, drop the prefix nobody needs; when
+            // the whole group acked, that is the entry just pushed.
+            shard.truncate_caught_up(&mut journal);
             Ok(body)
         } else if let Some((code, message)) = typed {
             Err(RouterError::Shard { shard: si, code, message })
@@ -696,8 +766,9 @@ impl Router {
             out.push((lbl(names::ERRORS), s.errors.load(Relaxed)));
             out.push((lbl(names::REPLAYED), s.replayed.load(Relaxed)));
             out.push((lbl(names::RECONNECTS), s.reconnects.load(Relaxed)));
+            out.push((lbl(names::JOURNAL_TRUNCATED), s.truncated.load(Relaxed)));
             out.push((lbl(names::DEAD_REPLICAS), shard.dead_replicas()));
-            out.push((lbl(names::JOURNAL_LEN), shard.journal.lock().len() as u64));
+            out.push((lbl(names::JOURNAL_LEN), shard.journal.lock().retained()));
             let q = s.latency_ns.snapshot();
             out.push((format!("{}_p50{{shard=\"{si}\"}}", names::LATENCY), q.quantile(0.50)));
             out.push((format!("{}_p99{{shard=\"{si}\"}}", names::LATENCY), q.quantile(0.99)));
@@ -709,17 +780,18 @@ impl Router {
     /// Prometheus text exposition of the per-shard families.
     pub fn render_metrics(&self) -> String {
         type Read = fn(&Shard) -> u64;
-        let counters: [(&str, Read); 6] = [
+        let counters: [(&str, Read); 7] = [
             (names::REQUESTS, |s| s.stats.requests.load(Relaxed)),
             (names::FAILOVERS, |s| s.stats.failovers.load(Relaxed)),
             (names::RETRIES, |s| s.stats.retries.load(Relaxed)),
             (names::ERRORS, |s| s.stats.errors.load(Relaxed)),
             (names::REPLAYED, |s| s.stats.replayed.load(Relaxed)),
             (names::RECONNECTS, |s| s.stats.reconnects.load(Relaxed)),
+            (names::JOURNAL_TRUNCATED, |s| s.stats.truncated.load(Relaxed)),
         ];
         let gauges: [(&str, Read); 2] = [
             (names::DEAD_REPLICAS, Shard::dead_replicas),
-            (names::JOURNAL_LEN, |s| s.journal.lock().len() as u64),
+            (names::JOURNAL_LEN, |s| s.journal.lock().retained()),
         ];
         let mut out = String::new();
         for (family, read) in counters {
@@ -833,15 +905,18 @@ fn revive_replica(inner: &Inner, shard: &Shard, replica: &Replica) {
     }
     loop {
         let tail: Vec<(u16, Op)> = {
-            let journal = shard.journal.lock();
-            let from = replica.caught_up.load(Relaxed) as usize;
+            let mut journal = shard.journal.lock();
+            let from = replica.caught_up.load(Relaxed);
             if from >= journal.len() {
                 replica.healthy.store(true, Relaxed);
                 replica.idle.lock().push(client);
                 shard.stats.reconnects.fetch_add(1, Relaxed);
+                // This replica may have been the laggard pinning the
+                // journal's base; reclaim whatever its catch-up freed.
+                shard.truncate_caught_up(&mut journal);
                 return;
             }
-            journal[from..].to_vec()
+            journal.tail_from(from)
         };
         for (target, op) in &tail {
             match client.call(*target, 0, op.clone()) {

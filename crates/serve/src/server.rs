@@ -37,16 +37,18 @@ use pc_obs::sample::Sampler;
 use pc_obs::serve_metrics as names;
 use pc_obs::slowlog::{SlowLog, SlowQuery};
 use pc_obs::QueryTrace;
-use pc_pagestore::{IoStats, Page, PageStore};
+use pc_pagestore::{
+    decode_version_meta, IoStats, Page, PageStore, Snapshot, VersionConfig, VersionedStore,
+};
 use pc_sync::Mutex;
 
 use crate::obsplane::{
-    install_commit_observer, render_store_metrics, store_stat_pairs, GroupCommitObserver,
-    TargetStatsSet,
+    install_commit_observer, render_store_metrics, render_version_metrics, store_stat_pairs,
+    version_stat_pairs, GroupCommitObserver, TargetStatsSet,
 };
 use crate::queue::{Bounded, PushError};
 use crate::stats::ServeStats;
-use crate::target::{Registry, TargetError, UpdateOp};
+use crate::target::{FrozenView, QueryTarget, Registry, TargetError, UpdateOp};
 use crate::wire::{
     decode_request, flatten_spans, response_frame, Body, ErrorCode, FrameProgress, FrameReader,
     Op, Request, Response, SlowEntry, FLAG_TRACE, MAX_FRAME, RANKED_BY_LATENCY, RANKED_BY_WASTE,
@@ -92,6 +94,10 @@ pub struct ServerConfig {
     pub trace_seed: u64,
     /// Slow-query-log retention per ranking (latency / wasteful I/O).
     pub slowlog_k: usize,
+    /// How many unpinned epochs stay addressable by `as_of` (the
+    /// time-travel window; see [`VersionConfig::retain`]). Pinned epochs
+    /// are always retained regardless.
+    pub version_retain: usize,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +115,7 @@ impl Default for ServerConfig {
             trace_sample: 0,
             trace_seed: 0x7061_7468_6361_6368, // "pathcach"
             slowlog_k: 16,
+            version_retain: 8,
         }
     }
 }
@@ -141,10 +148,16 @@ struct Job {
     /// Decided at admission (deterministic sampler or `FLAG_TRACE`): the
     /// executing stage opens a request-scoped trace capture for this job.
     sampled: bool,
+    /// The epoch this query reads, pinned at admission on the reader
+    /// thread: the latest epoch for `as_of == 0`, the addressed historical
+    /// epoch otherwise. `None` for updates and for targets whose state the
+    /// versioning layer does not cover (they query live structures).
+    snapshot: Option<Snapshot>,
 }
 
 struct Shared {
     store: Arc<PageStore>,
+    versions: Arc<VersionedStore>,
     registry: Registry,
     cfg: ServerConfig,
     stats: ServeStats,
@@ -250,8 +263,14 @@ pub fn encode_commit_meta(seq: u64, descriptors: &[Option<Vec<u8>>]) -> Vec<u8> 
 
 /// Decodes [`encode_commit_meta`] output; total (returns `None` on any
 /// malformed input). A bare 8-byte sequence — the pre-descriptor format —
-/// decodes as a commit with no descriptors.
+/// decodes as a commit with no descriptors. On a versioned server every
+/// durable commit is version-framed (the epoch map wraps the batch meta);
+/// a frame is transparently unwrapped so recovery callers see the inner
+/// batch payload either way.
 pub fn decode_commit_meta(meta: &[u8]) -> Option<(u64, Vec<Option<Vec<u8>>>)> {
+    if let Some(vm) = decode_version_meta(meta) {
+        return decode_commit_meta(&vm.user);
+    }
     if meta.len() < 8 {
         return None;
     }
@@ -326,13 +345,25 @@ fn execute_query(shared: &Shared, job: &Job) -> Response {
                     format!("unknown target {}", job.req.target),
                 )
             }
-            Some(target) => match target.query(&shared.store, &job.req.op) {
-                Ok(body) => {
-                    shared.stats.queries_ok.fetch_add(1, Relaxed);
-                    Response { id: job.req.id, body }
+            Some(target) => {
+                let result = match &job.snapshot {
+                    // Versioned read: answer from the pinned epoch's frozen
+                    // view — lock-free and bit-identical no matter how many
+                    // epochs install while this query runs.
+                    Some(snap) => query_at_snapshot(shared, target, job.req.target, snap, &job.req.op),
+                    // Unversioned path (static targets, the dynamic
+                    // 3-sided PST, updates): byte-for-byte the pre-MVCC
+                    // behavior.
+                    None => target.query(&shared.store, &job.req.op),
+                };
+                match result {
+                    Ok(body) => {
+                        shared.stats.queries_ok.fetch_add(1, Relaxed);
+                        Response { id: job.req.id, body }
+                    }
+                    Err(e) => target_error_response(&shared.stats, job.req.id, e),
                 }
-                Err(e) => target_error_response(&shared.stats, job.req.id, e),
-            },
+            }
         }
     };
     if let Some(ts) = shared.target_stats.get(job.req.target) {
@@ -348,6 +379,99 @@ fn execute_query(shared: &Shared, job: &Job) -> Response {
         }
     }
     resp
+}
+
+/// The reopen descriptor for `tid` as committed with the snapshot's epoch.
+fn snapshot_descriptor(snap: &Snapshot, tid: u16) -> Result<Vec<u8>, TargetError> {
+    decode_commit_meta(snap.user_meta())
+        .and_then(|(_, descs)| descs.into_iter().nth(tid as usize).flatten())
+        .ok_or(TargetError::Unsupported { op: "as_of", target: "epoch without a descriptor" })
+}
+
+/// Serves one read against the epoch pinned in `snap`, through a frozen
+/// per-epoch view of the target.
+///
+/// The view is built once per `(epoch, target)` — from the descriptor the
+/// batcher committed with that epoch, with the build's own page reads
+/// resolving through the epoch map — then parked in the epoch's artifact
+/// cache, so steady-state queries take only the thread-local snapshot
+/// guard and a shared-read cache probe: zero exclusive locks on the query
+/// path (pinned by the snapshot-semantics suite).
+fn query_at_snapshot(
+    shared: &Shared,
+    target: &dyn QueryTarget,
+    tid: u16,
+    snap: &Snapshot,
+    op: &Op,
+) -> Result<Body, TargetError> {
+    let view: Arc<FrozenView> = match snap.cached(tid as u64) {
+        Some(v) => v.downcast().expect("epoch cache holds one FrozenView per target id"),
+        None => {
+            let desc = snapshot_descriptor(snap, tid)?;
+            let boxed = {
+                let _g = snap.enter();
+                target.open_frozen(&shared.store, &desc)?
+            };
+            snap.cache_put(tid as u64, Arc::new(FrozenView(boxed)))
+                .downcast()
+                .expect("epoch cache holds one FrozenView per target id")
+        }
+    };
+    let _g = snap.enter();
+    view.query(&shared.store, op)
+}
+
+/// Applies one per-target group of coalesced updates with a single
+/// `apply_updates` call (one lock hold, one root-path traversal), folding
+/// per-job results into `outcomes`.
+fn apply_group(
+    shared: &Shared,
+    tid: u16,
+    jobs: Vec<Job>,
+    outcomes: &mut Vec<(Job, std::result::Result<u32, TargetError>)>,
+) {
+    let ops: Vec<UpdateOp> = jobs
+        .iter()
+        .filter_map(|j| match &j.req.op {
+            Op::Insert(p) => Some(UpdateOp::Insert(*p)),
+            Op::Delete(p) => Some(UpdateOp::Delete(*p)),
+            _ => None, // admission only routes updates here
+        })
+        .collect();
+    let coalesced = ops.len() as u32;
+    // One trace per target group when any member was sampled; the
+    // capture is attributed to the first sampled job's request id
+    // (the batch is one shared execution — §5 buffering means
+    // there is no per-update I/O to split).
+    let traced_id = jobs.iter().find(|j| j.sampled).map(|j| j.req.id);
+    let capture = traced_id.map(|_| pc_obs::begin_trace());
+    let started = Instant::now();
+    let results = {
+        let _span = pc_obs::span!("serve_update_batch", coalesced);
+        match shared.registry.get(tid) {
+            Some(target) => target.apply_updates(&shared.store, &ops),
+            None => ops
+                .iter()
+                .map(|_| Err(TargetError::Unsupported { op: "update", target: "missing" }))
+                .collect(),
+        }
+    };
+    let apply_ns = started.elapsed().as_nanos() as u64;
+    if let (Some(capture), Some(rid)) = (capture, traced_id) {
+        if let Some(trace) = capture.finish() {
+            shared.retain_trace(rid, "update_batch", tid, trace);
+        }
+    }
+    shared.stats.batches.fetch_add(1, Relaxed);
+    shared.stats.batched_updates.fetch_add(coalesced as u64, Relaxed);
+    if let Some(ts) = shared.target_stats.get(tid) {
+        ts.batches.fetch_add(1, Relaxed);
+        ts.batched_updates.fetch_add(coalesced as u64, Relaxed);
+        ts.latency_ns.record(apply_ns);
+    }
+    for (job, res) in jobs.into_iter().zip(results) {
+        outcomes.push((job, res.map(|()| coalesced)));
+    }
 }
 
 fn batcher_loop(shared: &Shared) {
@@ -394,71 +518,46 @@ fn batcher_loop(shared: &Shared) {
                 None => groups.push((job.req.target, vec![job])),
             }
         }
-        let mut outcomes: Vec<(Job, std::result::Result<u32, TargetError>, )> = Vec::new();
-        let mut applied_any = false;
-        for (tid, jobs) in groups {
-            let ops: Vec<UpdateOp> = jobs
-                .iter()
-                .filter_map(|j| match &j.req.op {
-                    Op::Insert(p) => Some(UpdateOp::Insert(*p)),
-                    Op::Delete(p) => Some(UpdateOp::Delete(*p)),
-                    _ => None, // admission only routes updates here
-                })
-                .collect();
-            let coalesced = ops.len() as u32;
-            // One trace per target group when any member was sampled; the
-            // capture is attributed to the first sampled job's request id
-            // (the batch is one shared execution — §5 buffering means
-            // there is no per-update I/O to split).
-            let traced_id = jobs.iter().find(|j| j.sampled).map(|j| j.req.id);
-            let capture = traced_id.map(|_| pc_obs::begin_trace());
-            let started = Instant::now();
-            let results = {
-                let _span = pc_obs::span!("serve_update_batch", coalesced);
-                match shared.registry.get(tid) {
-                    Some(target) => target.apply_updates(&shared.store, &ops),
-                    None => ops
-                        .iter()
-                        .map(|_| {
-                            Err(TargetError::Unsupported { op: "update", target: "missing" })
-                        })
-                        .collect(),
-                }
-            };
-            let apply_ns = started.elapsed().as_nanos() as u64;
-            if let (Some(capture), Some(rid)) = (capture, traced_id) {
-                if let Some(trace) = capture.finish() {
-                    shared.retain_trace(rid, "update_batch", tid, trace);
-                }
+        let mut outcomes: Vec<(Job, std::result::Result<u32, TargetError>)> = Vec::new();
+        if !groups.is_empty() {
+            // Targets without a reopen descriptor (the dynamic 3-sided
+            // PST) cannot be frozen per epoch, so their queries read live
+            // pages under their own lock. Their updates apply *outside*
+            // the CoW session — direct writes — so their pages never enter
+            // an epoch map where an un-guarded read would miss them.
+            let (versioned, direct): (Vec<_>, Vec<_>) = groups.into_iter().partition(|(tid, _)| {
+                shared.registry.get(*tid).is_some_and(|t| t.versioned_updates())
+            });
+            for (tid, jobs) in direct {
+                apply_group(shared, tid, jobs, &mut outcomes);
             }
-            shared.stats.batches.fetch_add(1, Relaxed);
-            shared.stats.batched_updates.fetch_add(coalesced as u64, Relaxed);
-            if let Some(ts) = shared.target_stats.get(tid) {
-                ts.batches.fetch_add(1, Relaxed);
-                ts.batched_updates.fetch_add(coalesced as u64, Relaxed);
-                ts.latency_ns.record(apply_ns);
-            }
-            for (job, res) in jobs.into_iter().zip(results) {
-                applied_any |= res.is_ok();
-                outcomes.push((job, res.map(|()| coalesced)));
-            }
-        }
 
-        // Group commit before any Ack leaves the server: on a durable
-        // store an acknowledged update must already be in the synced WAL,
-        // otherwise a crash (or a plain shutdown) after the Ack silently
-        // loses it — the lost-ack bug. One commit covers the whole batch,
-        // so the WAL fsync cost amortizes across every coalesced update.
-        // The meta carries each target's reopen descriptor alongside the
-        // sequence, so recovery restores not just the pages but the
-        // structure handles matching the acknowledged state.
-        if applied_any && shared.store.is_durable() {
+            // Copy-on-write apply session for versioned targets: every
+            // write to a frozen page is redirected to a fresh one, so
+            // concurrent snapshot readers observe nothing until install.
+            let session = shared.versions.begin_apply();
+            for (tid, jobs) in versioned {
+                apply_group(shared, tid, jobs, &mut outcomes);
+            }
+
+            // Install the batch as the next epoch — for EVERY batch, even
+            // one with no versioned updates. On a durable store the
+            // install is also the group commit (the lost-ack rule: no Ack
+            // leaves before its batch is in the synced WAL), and it keeps
+            // the durability invariant that every commit's metadata is
+            // version-framed — recovery would silently drop the epoch map
+            // if a plain commit ever landed on top of it. The framed
+            // payload carries each target's reopen descriptor, so both
+            // recovery and historical `as_of` reads resolve structure
+            // handles matching exactly this acknowledged state.
             let descriptors: Vec<Option<Vec<u8>>> = (0..shared.registry.len() as u16)
                 .map(|tid| shared.registry.get(tid).and_then(|t| t.descriptor()))
                 .collect();
-            match shared.store.commit_with(&encode_commit_meta(seq, &descriptors)) {
+            match session.install_as(seq, &encode_commit_meta(seq, &descriptors)) {
                 Ok(_) => {
-                    shared.stats.group_commits.fetch_add(1, Relaxed);
+                    if shared.store.is_durable() {
+                        shared.stats.group_commits.fetch_add(1, Relaxed);
+                    }
                 }
                 Err(e) => {
                     // Nothing in this batch is durable: acking any of it
@@ -519,6 +618,7 @@ fn handle_request(shared: &Shared, conn: &Arc<Conn>, req: Request) -> bool {
             pairs.push((names::SLOWLOG_OFFERED.into(), shared.slowlog.offered()));
             pairs.extend(shared.target_stats.stat_pairs());
             pairs.extend(store_stat_pairs(&shared.store, &shared.commit_obs));
+            pairs.extend(version_stat_pairs(&shared.versions.metrics()));
             shared.respond(conn, &Response { id: req.id, body: Body::Stats(pairs) });
             return true;
         }
@@ -538,6 +638,7 @@ fn handle_request(shared: &Shared, conn: &Arc<Conn>, req: Request) -> bool {
             ));
             text.push_str(&shared.target_stats.render_text());
             text.push_str(&render_store_metrics(&shared.store, &shared.commit_obs));
+            text.push_str(&render_version_metrics(&shared.versions.metrics()));
             text.push_str(&pc_obs::render_text());
             shared.respond(conn, &Response { id: req.id, body: Body::Metrics(text) });
             return true;
@@ -554,6 +655,23 @@ fn handle_request(shared: &Shared, conn: &Arc<Conn>, req: Request) -> bool {
             shared.sampler.set_every(*every);
             let pairs = vec![(names::TRACE_SAMPLE_EVERY.to_string(), *every)];
             shared.respond(conn, &Response { id: req.id, body: Body::Stats(pairs) });
+            return true;
+        }
+        Op::Versions => {
+            let m = shared.versions.metrics();
+            shared.respond(
+                conn,
+                &Response {
+                    id: req.id,
+                    body: Body::Versions {
+                        current: m.current_seq,
+                        oldest: m.oldest_seq,
+                        installed: m.installed,
+                        reclaimed_pages: m.reclaimed_pages,
+                        pinned: m.pinned,
+                    },
+                },
+            );
             return true;
         }
         Op::Shutdown => {
@@ -598,13 +716,70 @@ fn handle_request(shared: &Shared, conn: &Arc<Conn>, req: Request) -> bool {
         ts.requests.fetch_add(1, Relaxed);
     }
 
+    // Snapshot-at-admission: a query against a versioned target pins its
+    // epoch here, on the reader thread, before it touches a queue — the
+    // answer is then bit-identical to the admitted state no matter how
+    // many batches install while the job waits or runs. This pin is the
+    // only versioning-state lock on the whole read path; the worker
+    // executes lock-free against the pinned epoch.
+    let snapshot = if is_update {
+        if req.as_of != 0 {
+            shared.stats.bad_requests.fetch_add(1, Relaxed);
+            shared.respond(
+                conn,
+                &Response::error(
+                    req.id,
+                    ErrorCode::BadRequest,
+                    "updates must address the current epoch (as_of must be 0)",
+                ),
+            );
+            return true;
+        }
+        None
+    } else if target.versioned_updates() {
+        if req.as_of == 0 {
+            Some(shared.versions.snapshot())
+        } else {
+            match shared.versions.snapshot_at(req.as_of) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    // Outside the retained window (or never installed):
+                    // the typed error carries the addressable range.
+                    shared.stats.bad_requests.fetch_add(1, Relaxed);
+                    shared.respond(
+                        conn,
+                        &Response::error(req.id, ErrorCode::BadRequest, e.to_string()),
+                    );
+                    return true;
+                }
+            }
+        }
+    } else if req.as_of != 0 {
+        shared.stats.bad_requests.fetch_add(1, Relaxed);
+        shared.respond(
+            conn,
+            &Response::error(
+                req.id,
+                ErrorCode::Unsupported,
+                format!(
+                    "target {} ({}) has no version history (as_of must be 0)",
+                    req.target,
+                    target.kind()
+                ),
+            ),
+        );
+        return true;
+    } else {
+        None
+    };
+
     let deadline = (req.deadline_ms > 0).then(|| now + Duration::from_millis(req.deadline_ms as u64));
     let id = req.id;
     // Sampling is decided once, at admission, from the request id alone —
     // `FLAG_TRACE` forces it per request; otherwise the deterministic
     // sampler makes the sampled set reproducible across runs.
     let sampled = req.flags & FLAG_TRACE != 0 || shared.sampler.should_sample(req.id);
-    let job = Job { req, conn: Arc::clone(conn), enqueued: now, deadline, sampled };
+    let job = Job { req, conn: Arc::clone(conn), enqueued: now, deadline, sampled, snapshot };
     let queue = if is_update { &shared.updates } else { &shared.queries };
     match queue.try_push(job) {
         Ok(()) => {
@@ -717,13 +892,38 @@ impl Server {
             .map(|(_, name, _, _)| name.to_string())
             .collect();
         let commit_obs = install_commit_observer(&service.store);
+        // The epoch manager. On a recovered durable store the last commit
+        // metadata restores the exact committed epoch (seq + page map +
+        // descriptors); a fresh store starts at epoch 0, whose user
+        // metadata already carries the registered descriptors so epoch-0
+        // snapshots can resolve frozen views.
+        let vcfg = VersionConfig { retain: config.version_retain };
+        let versions = match service.store.last_commit_meta() {
+            Some(meta) => {
+                Arc::new(VersionedStore::open(Arc::clone(&service.store), Some(&meta), vcfg))
+            }
+            None => {
+                let descriptors: Vec<Option<Vec<u8>>> = (0..service.registry.len() as u16)
+                    .map(|tid| service.registry.get(tid).and_then(|t| t.descriptor()))
+                    .collect();
+                Arc::new(VersionedStore::new(
+                    Arc::clone(&service.store),
+                    vcfg,
+                    &encode_commit_meta(0, &descriptors),
+                ))
+            }
+        };
         let shared = Arc::new(Shared {
             registry: service.registry,
             queries: Bounded::new(config.queue_depth),
             updates: Bounded::new(config.update_queue_depth),
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
-            batch_seq: AtomicU64::new(0),
+            // Batch seqs are epoch seqs; `install_as` requires them to be
+            // strictly increasing, so a recovered server resumes from the
+            // recovered epoch rather than restarting at 0.
+            batch_seq: AtomicU64::new(versions.current_seq()),
+            versions,
             sampler: Sampler::new(config.trace_sample, config.trace_seed),
             slowlog: SlowLog::new(config.slowlog_k),
             target_stats: TargetStatsSet::new(target_names),
@@ -790,6 +990,12 @@ impl ServerHandle {
     /// to inject faults into a running server).
     pub fn store(&self) -> &Arc<PageStore> {
         &self.shared.store
+    }
+
+    /// The epoch manager (tests pin snapshots and read version metrics
+    /// directly; remote clients use `as_of` and the ADMIN `Versions` op).
+    pub fn versions(&self) -> &Arc<VersionedStore> {
+        &self.shared.versions
     }
 
     /// Per-target metric families (tests and embedding binaries read them

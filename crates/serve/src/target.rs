@@ -103,6 +103,42 @@ pub trait QueryTarget: Send + Sync {
     fn descriptor(&self) -> Option<Vec<u8>> {
         None
     }
+
+    /// True when this target's updates run inside the versioning layer's
+    /// copy-on-write apply session, which requires a reopen handle: an
+    /// epoch snapshot answers queries from a [`QueryTarget::open_frozen`]
+    /// view built from the descriptor committed with that epoch. Targets
+    /// without a descriptor (e.g. the dynamic 3-sided PST) update the
+    /// live pages directly and are not time-travelable.
+    fn versioned_updates(&self) -> bool {
+        self.descriptor().is_some()
+    }
+
+    /// Reopens a read-only view of this target's state as captured by a
+    /// committed descriptor (see [`QueryTarget::descriptor`]). Callers
+    /// resolve page reads through a pinned epoch, so the view is immutable
+    /// and safely shared across query workers without locks. The default
+    /// refuses (no descriptor, nothing to reopen).
+    fn open_frozen(
+        &self,
+        store: &PageStore,
+        desc: &[u8],
+    ) -> Result<Box<dyn QueryTarget>, TargetError> {
+        let _ = (store, desc);
+        Err(TargetError::Unsupported { op: "open_frozen", target: self.kind() })
+    }
+}
+
+/// A frozen per-epoch view, wrapped in a concrete type so snapshots can
+/// cache it as `Arc<FrozenView>` inside their `Any`-keyed epoch cache
+/// (an `Arc<dyn QueryTarget>` itself cannot live in an `Arc<dyn Any>`).
+pub struct FrozenView(pub Box<dyn QueryTarget>);
+
+impl FrozenView {
+    /// Serves a read op against the frozen state.
+    pub fn query(&self, store: &PageStore, op: &Op) -> Result<Body, TargetError> {
+        self.0.query(store, op)
+    }
 }
 
 fn unsupported(op: &Op, target: &'static str) -> TargetError {
@@ -267,6 +303,35 @@ impl QueryTarget for DynamicPstTarget {
 
     fn descriptor(&self) -> Option<Vec<u8>> {
         Some(self.0.lock().descriptor().to_vec())
+    }
+
+    fn open_frozen(
+        &self,
+        store: &PageStore,
+        desc: &[u8],
+    ) -> Result<Box<dyn QueryTarget>, TargetError> {
+        Ok(Box::new(FrozenDynamicPst(DynamicPst::open(store, desc)?)))
+    }
+}
+
+/// Read-only reopen of a [`DynamicPst`] at a committed descriptor.
+/// `DynamicPst::query` is `&self`, so no mutex is needed: the state is
+/// immutable by construction (page reads resolve through the pinned
+/// epoch that produced the descriptor).
+struct FrozenDynamicPst(DynamicPst);
+
+impl QueryTarget for FrozenDynamicPst {
+    fn kind(&self) -> &'static str {
+        "dynamic_pst@epoch"
+    }
+
+    fn query(&self, store: &PageStore, op: &Op) -> Result<Body, TargetError> {
+        match op {
+            Op::TwoSided { x0, y0 } => {
+                Ok(Body::Points(self.0.query(store, TwoSided { x0: *x0, y0: *y0 })?))
+            }
+            other => Err(unsupported(other, self.kind())),
+        }
     }
 }
 

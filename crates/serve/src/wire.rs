@@ -1,23 +1,30 @@
-//! Wire protocol v2: length-prefixed binary frames.
+//! Wire protocol v3: length-prefixed binary frames.
 //!
 //! Every message is one frame: a little-endian `u32` payload length followed
 //! by the payload. Request payloads open with a fixed header — magic
 //! ([`MAGIC`]), version ([`VERSION`]), opcode, request id, target id,
-//! relative deadline, per-request flags — then an opcode-specific body;
-//! response payloads are an opcode byte, the echoed request id, and a typed
-//! body. All integers are little-endian; no padding anywhere.
+//! relative deadline, per-request flags, snapshot selector — then an
+//! opcode-specific body; response payloads are an opcode byte, the echoed
+//! request id, and a typed body. All integers are little-endian; no padding
+//! anywhere.
 //!
 //! ```text
 //! frame    := len:u32 payload[len]                  (len <= MAX_FRAME)
-//! request  := magic:u16 version:u8 op:u8 id:u64 target:u16 deadline_ms:u32 flags:u8 body
+//! request  := magic:u16 version:u8 op:u8 id:u64 target:u16 deadline_ms:u32 flags:u8 as_of:u64 body
 //! response := kind:u8 id:u64 body
 //! ```
 //!
-//! v2 (this revision) added the `flags` byte — [`FLAG_TRACE`] forces a
-//! request-scoped trace regardless of the server's sampling rate — plus
-//! the `SlowLog`/`SetSampling` ADMIN ops and the [`Body::SlowLog`]
-//! response carrying flattened span trees ([`SlowEntry`]/[`WireSpan`]).
-//! Client and server ship from one workspace, so v1 frames are rejected
+//! v2 added the `flags` byte — [`FLAG_TRACE`] forces a request-scoped
+//! trace regardless of the server's sampling rate — plus the
+//! `SlowLog`/`SetSampling` ADMIN ops and the [`Body::SlowLog`] response
+//! carrying flattened span trees ([`SlowEntry`]/[`WireSpan`]).
+//!
+//! v3 (this revision) added the `as_of` header word — 0 requests the
+//! latest snapshot, any other value addresses the installed epoch with
+//! that sequence number (time travel; an epoch outside the server's
+//! retained window is a `BadRequest`) — plus the `Versions` ADMIN op and
+//! the [`Body::Versions`] response describing the retained epoch window.
+//! Client and server ship from one workspace, so older frames are rejected
 //! with a typed `BadVersion` rather than down-negotiated.
 //!
 //! Decoding is total: any byte string — truncated, corrupted, or
@@ -40,7 +47,7 @@ use pc_pagestore::{Interval, Page, Point};
 /// First two payload bytes of every request ("PC", little-endian).
 pub const MAGIC: u16 = 0x4350;
 /// Protocol version accepted by this build.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 /// Hard cap on a frame payload; a larger announced length is rejected
 /// before any allocation (protects against corrupt/hostile prefixes).
 pub const MAX_FRAME: usize = 1 << 24;
@@ -65,6 +72,7 @@ const OP_METRICS: u8 = 18;
 const OP_SHUTDOWN: u8 = 19;
 const OP_SLOW_LOG: u8 = 20;
 const OP_SET_SAMPLING: u8 = 21;
+const OP_VERSIONS: u8 = 22;
 
 // Response kinds.
 const RESP_POINTS: u8 = 1;
@@ -77,6 +85,7 @@ const RESP_METRICS: u8 = 7;
 const RESP_SHUTDOWN_ACK: u8 = 8;
 const RESP_ERROR: u8 = 9;
 const RESP_SLOW_LOG: u8 = 10;
+const RESP_VERSIONS: u8 = 11;
 
 /// Minimum encoded size of a [`SlowEntry`] (empty strings, no spans), used
 /// as the per-element floor for count validation.
@@ -142,6 +151,10 @@ pub enum Op {
         /// The new rate.
         every: u64,
     },
+    /// Describe the server's retained snapshot window (admin): the current
+    /// and oldest addressable epoch, install/reclaim counters, and how many
+    /// snapshots are pinned right now.
+    Versions,
 }
 
 impl Op {
@@ -156,6 +169,7 @@ impl Op {
                 | Op::Shutdown
                 | Op::SlowLog { .. }
                 | Op::SetSampling { .. }
+                | Op::Versions
         )
     }
 
@@ -179,6 +193,7 @@ impl Op {
             Op::Shutdown => "shutdown",
             Op::SlowLog { .. } => "slow_log",
             Op::SetSampling { .. } => "set_sampling",
+            Op::Versions => "versions",
         }
     }
 
@@ -196,6 +211,7 @@ impl Op {
             Op::Shutdown => OP_SHUTDOWN,
             Op::SlowLog { .. } => OP_SLOW_LOG,
             Op::SetSampling { .. } => OP_SET_SAMPLING,
+            Op::Versions => OP_VERSIONS,
         }
     }
 }
@@ -212,6 +228,11 @@ pub struct Request {
     /// Per-request flag bits (see [`FLAG_TRACE`]); unknown bits are
     /// carried through untouched.
     pub flags: u8,
+    /// Snapshot selector: 0 pins the latest installed epoch at admission;
+    /// any other value addresses that installed epoch (time travel). An
+    /// epoch outside the retained window is answered `BadRequest`; updates
+    /// and admin ops must carry 0.
+    pub as_of: u64,
     /// The operation.
     pub op: Op,
 }
@@ -450,6 +471,19 @@ pub enum Body {
     ShutdownAck,
     /// Reply to [`Op::SlowLog`]: retained slow queries with full span trees.
     SlowLog(Vec<SlowEntry>),
+    /// Reply to [`Op::Versions`]: the retained snapshot window.
+    Versions {
+        /// Newest installed epoch (what `as_of = 0` resolves to).
+        current: u64,
+        /// Oldest epoch still addressable via `as_of`.
+        oldest: u64,
+        /// Epochs installed over the server's lifetime.
+        installed: u64,
+        /// Copy-on-write pages reclaimed by epoch GC so far.
+        reclaimed_pages: u64,
+        /// Snapshots pinned by in-flight or held readers right now.
+        pinned: u64,
+    },
     /// Typed failure.
     Error {
         /// Machine-readable code.
@@ -635,6 +669,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     put_u16(&mut out, req.target);
     put_u32(&mut out, req.deadline_ms);
     out.push(req.flags);
+    put_u64(&mut out, req.as_of);
     match &req.op {
         Op::Range1d { lo, hi } => {
             put_i64(&mut out, *lo);
@@ -657,6 +692,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(u8::from(*clear));
         }
         Op::SetSampling { every } => put_u64(&mut out, *every),
+        Op::Versions => {}
     }
     out
 }
@@ -686,6 +722,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
     let target = c.u16()?;
     let deadline_ms = c.u32()?;
     let flags = c.u8()?;
+    let as_of = c.u64()?;
     let op = match opcode {
         OP_RANGE1D => Op::Range1d { lo: c.i64()?, hi: c.i64()? },
         OP_STAB => Op::Stab { q: c.i64()? },
@@ -699,10 +736,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
         OP_SHUTDOWN => Op::Shutdown,
         OP_SLOW_LOG => Op::SlowLog { k: c.u32()?, clear: c.u8()? != 0 },
         OP_SET_SAMPLING => Op::SetSampling { every: c.u64()? },
+        OP_VERSIONS => Op::Versions,
         other => return Err(DecodeError::UnknownOpcode(other)),
     };
     c.finish()?;
-    Ok(Request { id, target, deadline_ms, flags, op })
+    Ok(Request { id, target, deadline_ms, flags, as_of, op })
 }
 
 /// Encodes a response payload (no length prefix).
@@ -718,6 +756,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Body::Metrics(_) => RESP_METRICS,
         Body::ShutdownAck => RESP_SHUTDOWN_ACK,
         Body::SlowLog(_) => RESP_SLOW_LOG,
+        Body::Versions { .. } => RESP_VERSIONS,
         Body::Error { .. } => RESP_ERROR,
     };
     out.push(kind);
@@ -794,6 +833,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     put_u64(&mut out, sp.wasteful);
                 }
             }
+        }
+        Body::Versions { current, oldest, installed, reclaimed_pages, pinned } => {
+            put_u64(&mut out, *current);
+            put_u64(&mut out, *oldest);
+            put_u64(&mut out, *installed);
+            put_u64(&mut out, *reclaimed_pages);
+            put_u64(&mut out, *pinned);
         }
         Body::Error { code, message } => {
             out.push(code.to_u8());
@@ -914,6 +960,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             }
             Body::SlowLog(entries)
         }
+        RESP_VERSIONS => Body::Versions {
+            current: c.u64()?,
+            oldest: c.u64()?,
+            installed: c.u64()?,
+            reclaimed_pages: c.u64()?,
+            pinned: c.u64()?,
+        },
         RESP_ERROR => {
             let code = ErrorCode::from_u8(c.u8()?)?;
             let len = c.count(1)?;
@@ -1090,20 +1143,21 @@ mod tests {
 
     #[test]
     fn request_round_trips() {
-        rt_req(Request { id: 7, target: 3, deadline_ms: 250, flags: 0, op: Op::Range1d { lo: -5, hi: 99 } });
-        rt_req(Request { id: 0, target: 0, deadline_ms: 0, flags: FLAG_TRACE, op: Op::Stab { q: i64::MIN } });
-        rt_req(Request { id: u64::MAX, target: u16::MAX, deadline_ms: u32::MAX, flags: 0xFF, op: Op::TwoSided { x0: 1, y0: 2 } });
-        rt_req(Request { id: 1, target: 1, deadline_ms: 1, flags: 0, op: Op::ThreeSided { x1: -1, x2: 1, y0: 0 } });
-        rt_req(Request { id: 2, target: 5, deadline_ms: 0, flags: 0, op: Op::Insert(Point { x: 1, y: 2, id: 3 }) });
-        rt_req(Request { id: 3, target: 5, deadline_ms: 0, flags: 0, op: Op::Delete(Point { x: -1, y: -2, id: 9 }) });
-        for op in [Op::Ping, Op::Stats, Op::Metrics, Op::Shutdown] {
-            rt_req(Request { id: 4, target: ADMIN_TARGET, deadline_ms: 0, flags: 0, op });
+        rt_req(Request { id: 7, target: 3, deadline_ms: 250, flags: 0, as_of: 0, op: Op::Range1d { lo: -5, hi: 99 } });
+        rt_req(Request { id: 0, target: 0, deadline_ms: 0, flags: FLAG_TRACE, as_of: 0, op: Op::Stab { q: i64::MIN } });
+        rt_req(Request { id: u64::MAX, target: u16::MAX, deadline_ms: u32::MAX, flags: 0xFF, as_of: 0, op: Op::TwoSided { x0: 1, y0: 2 } });
+        rt_req(Request { id: 1, target: 1, deadline_ms: 1, flags: 0, as_of: 0, op: Op::ThreeSided { x1: -1, x2: 1, y0: 0 } });
+        rt_req(Request { id: 2, target: 5, deadline_ms: 0, flags: 0, as_of: 0, op: Op::Insert(Point { x: 1, y: 2, id: 3 }) });
+        rt_req(Request { id: 3, target: 5, deadline_ms: 0, flags: 0, as_of: 0, op: Op::Delete(Point { x: -1, y: -2, id: 9 }) });
+        for op in [Op::Ping, Op::Stats, Op::Metrics, Op::Shutdown, Op::Versions] {
+            rt_req(Request { id: 4, target: ADMIN_TARGET, deadline_ms: 0, flags: 0, as_of: 0, op });
         }
         rt_req(Request {
             id: 5,
             target: ADMIN_TARGET,
             deadline_ms: 0,
             flags: 0,
+            as_of: 0,
             op: Op::SlowLog { k: 16, clear: true },
         });
         rt_req(Request {
@@ -1111,7 +1165,18 @@ mod tests {
             target: ADMIN_TARGET,
             deadline_ms: 0,
             flags: 0,
+            as_of: 0,
             op: Op::SetSampling { every: u64::MAX },
+        });
+        // Nonzero snapshot selectors survive the trip on every op shape.
+        rt_req(Request { id: 8, target: 2, deadline_ms: 50, flags: 0, as_of: 7, op: Op::Stab { q: 0 } });
+        rt_req(Request {
+            id: 9,
+            target: 1,
+            deadline_ms: 0,
+            flags: FLAG_TRACE,
+            as_of: u64::MAX,
+            op: Op::Range1d { lo: 0, hi: 1 },
         });
     }
 
@@ -1130,6 +1195,26 @@ mod tests {
             rt_resp(Response::error(10, code, format!("{code} detail")));
         }
         rt_resp(Response { id: 11, body: Body::SlowLog(Vec::new()) });
+        rt_resp(Response {
+            id: 13,
+            body: Body::Versions {
+                current: 42,
+                oldest: 11,
+                installed: 43,
+                reclaimed_pages: 999,
+                pinned: 3,
+            },
+        });
+        rt_resp(Response {
+            id: 14,
+            body: Body::Versions {
+                current: 0,
+                oldest: 0,
+                installed: u64::MAX,
+                reclaimed_pages: 0,
+                pinned: u64::MAX,
+            },
+        });
         rt_resp(Response {
             id: 12,
             body: Body::SlowLog(vec![SlowEntry {
@@ -1252,16 +1337,16 @@ mod tests {
     #[test]
     fn decode_rejects_malformed_headers() {
         assert!(matches!(decode_request(&[]), Err(DecodeError::Truncated { .. })));
-        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, flags: 0, op: Op::Ping });
+        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, flags: 0, as_of: 0, op: Op::Ping });
         p[0] ^= 0xFF;
         assert!(matches!(decode_request(&p), Err(DecodeError::BadMagic(_))));
-        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, flags: 0, op: Op::Ping });
+        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, flags: 0, as_of: 0, op: Op::Ping });
         p[2] = 9;
         assert!(matches!(decode_request(&p), Err(DecodeError::BadVersion(9))));
-        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, flags: 0, op: Op::Ping });
+        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, flags: 0, as_of: 0, op: Op::Ping });
         p[3] = 200;
         assert!(matches!(decode_request(&p), Err(DecodeError::UnknownOpcode(200))));
-        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, flags: 0, op: Op::Ping });
+        let mut p = encode_request(&Request { id: 1, target: 0, deadline_ms: 0, flags: 0, as_of: 0, op: Op::Ping });
         p.push(0);
         assert!(matches!(decode_request(&p), Err(DecodeError::TrailingBytes(1))));
     }
@@ -1288,7 +1373,7 @@ mod tests {
 
     #[test]
     fn frames_round_trip_through_io() {
-        let req = Request { id: 11, target: 2, deadline_ms: 30, flags: 0, op: Op::Stab { q: 5 } };
+        let req = Request { id: 11, target: 2, deadline_ms: 30, flags: 0, as_of: 0, op: Op::Stab { q: 5 } };
         let frame = request_frame(&req);
         let mut cursor = io::Cursor::new(frame);
         let payload = read_frame(&mut cursor, MAX_FRAME).unwrap().unwrap();
@@ -1310,7 +1395,7 @@ mod tests {
         let err = read_frame(&mut io::Cursor::new(huge), MAX_FRAME).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
 
-        let req = Request { id: 1, target: 0, deadline_ms: 0, flags: 0, op: Op::Ping };
+        let req = Request { id: 1, target: 0, deadline_ms: 0, flags: 0, as_of: 0, op: Op::Ping };
         let mut frame = request_frame(&req);
         frame.truncate(frame.len() - 1);
         let err = read_frame(&mut io::Cursor::new(frame), MAX_FRAME).unwrap_err();
@@ -1341,7 +1426,7 @@ mod tests {
                 Ok(1)
             }
         }
-        let req = Request { id: 9, target: 1, deadline_ms: 0, flags: 0, op: Op::Range1d { lo: 0, hi: 10 } };
+        let req = Request { id: 9, target: 1, deadline_ms: 0, flags: 0, as_of: 0, op: Op::Range1d { lo: 0, hi: 10 } };
         let mut t = Trickle { data: request_frame(&req), pos: 0, ready: false };
         let mut fr = FrameReader::new(MAX_FRAME);
         let mut pendings = 0;

@@ -20,7 +20,7 @@ fn arb_point(rng: &mut Rng) -> Point {
 }
 
 fn arb_op(rng: &mut Rng) -> Op {
-    match rng.gen_range(0..12usize) {
+    match rng.gen_range(0..13usize) {
         0 => Op::Range1d { lo: rng.next_u64() as i64, hi: rng.next_u64() as i64 },
         1 => Op::Stab { q: rng.next_u64() as i64 },
         2 => Op::TwoSided { x0: rng.next_u64() as i64, y0: rng.next_u64() as i64 },
@@ -36,6 +36,7 @@ fn arb_op(rng: &mut Rng) -> Op {
         8 => Op::Metrics,
         9 => Op::Shutdown,
         10 => Op::SlowLog { k: rng.next_u64() as u32, clear: rng.gen_bool(0.5) },
+        11 => Op::Versions,
         _ => Op::SetSampling { every: rng.next_u64() },
     }
 }
@@ -46,6 +47,7 @@ fn arb_request(rng: &mut Rng) -> Request {
         target: rng.next_u64() as u16,
         deadline_ms: rng.next_u64() as u32,
         flags: rng.next_u64() as u8,
+        as_of: if rng.gen_bool(0.5) { 0 } else { rng.next_u64() },
         op: arb_op(rng),
     }
 }
@@ -88,7 +90,7 @@ fn arb_slow_entry(rng: &mut Rng) -> SlowEntry {
 }
 
 fn arb_body(rng: &mut Rng) -> Body {
-    match rng.gen_range(0..10usize) {
+    match rng.gen_range(0..11usize) {
         0 => {
             let n = rng.gen_range(0..50usize);
             Body::Points((0..n).map(|_| arb_point(rng)).collect())
@@ -121,6 +123,13 @@ fn arb_body(rng: &mut Rng) -> Body {
             let n = rng.gen_range(0..4usize);
             Body::SlowLog((0..n).map(|_| arb_slow_entry(rng)).collect())
         }
+        9 => Body::Versions {
+            current: rng.next_u64(),
+            oldest: rng.next_u64(),
+            installed: rng.next_u64(),
+            reclaimed_pages: rng.next_u64(),
+            pinned: rng.next_u64(),
+        },
         _ => {
             let code = ErrorCode::ALL[rng.gen_range(0..ErrorCode::ALL.len())];
             Body::Error { code, message: arb_string(rng, 60) }
@@ -176,7 +185,7 @@ fn every_truncation_of_a_request_is_a_clean_error() {
             let payload = encode_request(req);
             for cut in 0..payload.len() {
                 // A strict prefix can never decode as the full request (the
-                // header alone pins 19 bytes; shorter bodies under-run their
+                // header alone pins 27 bytes; shorter bodies under-run their
                 // op's fields) — it must produce a typed error, not a panic
                 // and not a bogus success.
                 if decode_request(&payload[..cut]).is_ok() {

@@ -13,10 +13,35 @@
 //! frames and allocation tables whose invariants are re-checked by
 //! checksums and allocation bitmaps above them.
 
+use std::cell::Cell;
 use std::fmt;
 use std::sync::PoisonError;
 
 pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+thread_local! {
+    static EXCLUSIVE_ACQUISITIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn note_exclusive() {
+    EXCLUSIVE_ACQUISITIONS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Number of *exclusive* lock acquisitions ([`Mutex::lock`]/`try_lock` and
+/// [`RwLock::write`]/`try_write` that succeeded) made by the calling thread
+/// since it started. Shared [`RwLock::read`] acquisitions are not counted.
+///
+/// This is the lock-freedom analogue of the counting allocator in
+/// `pc-obs`'s `zero_alloc` test: a test records the value, runs the code
+/// under scrutiny, and asserts the delta is zero to *pin* that a path takes
+/// no exclusive lock. The counter is thread-local (no cross-thread noise)
+/// and always on — a relaxed `Cell` bump costs nothing measurable next to
+/// the lock acquisition itself.
+#[inline]
+pub fn exclusive_acquisitions() -> u64 {
+    EXCLUSIVE_ACQUISITIONS.with(Cell::get)
+}
 
 /// A mutual-exclusion lock. `lock()` never fails; a poisoned inner lock is
 /// recovered transparently.
@@ -38,14 +63,21 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        note_exclusive();
         self.0.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Attempts to acquire the mutex without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Ok(g) => {
+                note_exclusive();
+                Some(g)
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                note_exclusive();
+                Some(p.into_inner())
+            }
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -87,6 +119,7 @@ impl<T: ?Sized> RwLock<T> {
 
     /// Acquires exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        note_exclusive();
         self.0.write().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -102,8 +135,14 @@ impl<T: ?Sized> RwLock<T> {
     /// Attempts to acquire exclusive write access without blocking.
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
         match self.0.try_write() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Ok(g) => {
+                note_exclusive();
+                Some(g)
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                note_exclusive();
+                Some(p.into_inner())
+            }
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -248,6 +287,33 @@ mod tests {
         let (m, cv) = &*pair;
         let (_g, timed_out) = cv.wait_timeout(m.lock(), std::time::Duration::from_millis(10));
         assert!(timed_out);
+    }
+
+    #[test]
+    fn exclusive_acquisition_counter_tracks_locks() {
+        let m = Mutex::new(0u8);
+        let l = RwLock::new(0u8);
+        let before = exclusive_acquisitions();
+        drop(m.lock());
+        drop(l.write());
+        assert!(m.try_lock().is_some());
+        assert!(l.try_write().is_some());
+        assert_eq!(exclusive_acquisitions() - before, 4);
+        // Shared reads are not exclusive and must not move the counter.
+        let before = exclusive_acquisitions();
+        drop(l.read());
+        assert!(l.try_read().is_some());
+        assert_eq!(exclusive_acquisitions(), before);
+        // The counter is thread-local: another thread's locks are invisible.
+        let before = exclusive_acquisitions();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..100 {
+                    drop(m.lock());
+                }
+            });
+        });
+        assert_eq!(exclusive_acquisitions(), before);
     }
 
     #[test]

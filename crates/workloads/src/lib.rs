@@ -13,7 +13,10 @@
 //!   bound in the paper is output-sensitive (`O(log_B n + t/B)`);
 //! * **skewed traffic** — Zipfian key popularity and hot-window 3-sided
 //!   queries that drive one shard of a range-partitioned fabric into
-//!   `Overloaded` while the rest stay healthy.
+//!   `Overloaded` while the rest stay healthy;
+//! * **temporal streams** — sliding-window insert/expire churn (FIFO
+//!   tenure) that keeps retiring the exact pages older snapshot epochs
+//!   may still pin, the stress case for MVCC garbage collection.
 //!
 //! All generators are deterministic given a seed (`pc_rng::Rng`, the
 //! in-tree xoshiro256** generator), so every experiment in EXPERIMENTS.md
@@ -27,10 +30,12 @@
 mod intervals;
 mod points;
 mod queries;
+mod temporal;
 mod zipf;
 
 pub use intervals::{gen_intervals, IntervalDist};
 pub use points::{gen_points, PointDist};
+pub use temporal::{gen_temporal, TemporalOp};
 pub use queries::{
     gen_range_1d, gen_stabbing, gen_three_sided, gen_two_sided, Range1d, Stab, ThreeSidedQ,
     TwoSidedQ,

@@ -1,0 +1,122 @@
+//! Sliding-window temporal insert/expire workload.
+//!
+//! Models retention-bounded temporal data (session stores, metrics with a
+//! TTL, the contract-validity demo of `examples/temporal_db.rs`): a
+//! deterministic stream where every step admits a fresh point and, once
+//! the live set exceeds the window, retires the *oldest* — so the live
+//! set slides over the id axis while churning at a constant rate. This is
+//! the adversarial pattern for snapshot GC: every expiry retires pages
+//! that older epochs may still pin.
+
+use std::collections::VecDeque;
+
+use crate::{gen_points, PointDist, RawPoint};
+
+/// One step of a temporal stream: admit a fresh point or retire the
+/// oldest live one. An [`TemporalOp::Expire`] carries the exact point
+/// that was inserted, so drivers can issue a wire `Delete` verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalOp {
+    /// Admit this point into the live set.
+    Insert(RawPoint),
+    /// Retire this point (always the oldest live one — FIFO tenure).
+    Expire(RawPoint),
+}
+
+/// Generates a sliding-window insert/expire stream: `steps` fresh points
+/// (coordinates drawn from `dist`, ids `first_id..first_id + steps`),
+/// each insert followed by an expiry of the oldest live point whenever
+/// the live set would exceed `window`. Deterministic in `seed`: the
+/// coordinate stream is exactly [`gen_points`]`(steps, dist, seed)`.
+///
+/// The returned stream has `steps` inserts and
+/// `steps.saturating_sub(window)` expiries; replaying it leaves the last
+/// `min(steps, window)` points live.
+pub fn gen_temporal(
+    steps: usize,
+    window: usize,
+    dist: PointDist,
+    first_id: u64,
+    seed: u64,
+) -> Vec<TemporalOp> {
+    let window = window.max(1);
+    let mut live: VecDeque<RawPoint> = VecDeque::with_capacity(window + 1);
+    let mut out = Vec::with_capacity(steps * 2);
+    for (x, y, id) in gen_points(steps, dist, seed) {
+        let p = (x, y, first_id + id);
+        live.push_back(p);
+        out.push(TemporalOp::Insert(p));
+        if live.len() > window {
+            let oldest = live.pop_front().expect("window overflow implies a live point");
+            out.push(TemporalOp::Expire(oldest));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gen_temporal(200, 16, PointDist::Uniform, 7_000, 3);
+        let b = gen_temporal(200, 16, PointDist::Uniform, 7_000, 3);
+        let c = gen_temporal(200, 16, PointDist::Uniform, 7_000, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn live_set_is_bounded_and_expiry_is_fifo() {
+        let window = 8;
+        let ops = gen_temporal(100, window, PointDist::Uniform, 0, 11);
+        let mut live: Vec<RawPoint> = Vec::new();
+        for op in &ops {
+            match op {
+                TemporalOp::Insert(p) => live.push(*p),
+                TemporalOp::Expire(p) => {
+                    assert_eq!(live.remove(0), *p, "expiry must retire the oldest live point");
+                }
+            }
+            // An insert may transiently overfill by one; the paired expiry
+            // lands as the very next op.
+            assert!(live.len() <= window + 1, "live set exceeded the window");
+            if let TemporalOp::Expire(_) = op {
+                assert!(live.len() <= window);
+            }
+        }
+        assert_eq!(live.len(), window, "replay must leave exactly one window live");
+        assert_eq!(
+            ops.iter().filter(|o| matches!(o, TemporalOp::Expire(_))).count(),
+            100 - window
+        );
+    }
+
+    #[test]
+    fn ids_offset_from_first_id() {
+        let ops = gen_temporal(10, 4, PointDist::Uniform, 500, 9);
+        let inserted: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| match o {
+                TemporalOp::Insert((_, _, id)) => Some(*id),
+                TemporalOp::Expire(_) => None,
+            })
+            .collect();
+        assert_eq!(inserted, (500..510).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn coordinates_match_the_point_generator() {
+        let pts = gen_points(6, PointDist::Diagonal { width: 50 }, 21);
+        let ops = gen_temporal(6, 3, PointDist::Diagonal { width: 50 }, 0, 21);
+        let inserted: Vec<RawPoint> = ops
+            .iter()
+            .filter_map(|o| match o {
+                TemporalOp::Insert(p) => Some(*p),
+                TemporalOp::Expire(_) => None,
+            })
+            .collect();
+        assert_eq!(inserted, pts);
+    }
+}

@@ -1,13 +1,27 @@
 //! Dynamic interval management for a temporal database — the paper's §1
-//! motivating application ([KRV] reduction: stabbing → 2-sided queries).
+//! motivating application ([KRV] reduction: stabbing → 2-sided queries) —
+//! served over a real socket with **time-travel**.
 //!
 //! We model employee contracts as validity intervals `[start_day,
-//! end_day]` and answer "who was employed on day D?" time-travel queries
-//! while contracts are created and terminated online.
+//! end_day]` and answer "who was employed on day D?" while contracts are
+//! created and terminated online. The server installs every applied
+//! update batch as a new immutable epoch, so the second time axis is
+//! literal: `as_of(version)` re-asks any historical question against the
+//! exact state the organisation was in at that version, bit-identically,
+//! while new updates keep landing.
 //!
 //! Run with: `cargo run --example temporal_db`
+//!
+//! The [KRV] reduction over the wire: interval `[lo, hi]` is the point
+//! `(-lo, hi)` (x negated so the canonical north-east PST answers the
+//! north-west query), and "stab day D" is `TwoSided { x0: -D, y0: D }`.
 
-use path_caching::{Interval, IntervalStore, PageStore};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pc_serve::wire::{Body, Op};
+use pc_serve::{Client, DynamicPstTarget, Registry, Server, ServerConfig, Service};
+use path_caching::{PageStore, Point};
 
 /// Problem size, overridable via `PC_EXAMPLE_N` so the workspace smoke
 /// test (`tests/examples_smoke.rs`) can exercise this example quickly.
@@ -15,11 +29,26 @@ fn scaled(default_n: usize) -> usize {
     std::env::var("PC_EXAMPLE_N").ok().and_then(|v| v.parse().ok()).unwrap_or(default_n)
 }
 
-pub fn main() -> path_caching::Result<()> {
-    let store = PageStore::in_memory(4096);
-    let mut contracts = IntervalStore::new(&store)?;
+/// Contract `[start, end]` under the [KRV] reduction.
+fn contract(start: i64, end: i64, id: u64) -> Point {
+    Point { x: -start, y: end, id }
+}
 
-    // Seed: 50k historical contracts with varied durations.
+/// Wire op for "which contracts were active on day `d`?".
+fn stab(d: i64) -> Op {
+    Op::TwoSided { x0: -d, y0: d }
+}
+
+fn active_on(client: &mut Client, as_of: u64, day: i64) -> Result<u64, Box<dyn std::error::Error>> {
+    match client.call_as_of(0, 0, as_of, stab(day))?.body {
+        Body::Points(ps) => Ok(ps.len() as u64),
+        other => Err(format!("unexpected response: {other:?}").into()),
+    }
+}
+
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Seed: historical contracts with varied durations.
+    let n = scaled(20_000) as u64;
     let mut seed = 0x5eed_1234_u64;
     let mut rand = move |bound: i64| {
         seed ^= seed << 13;
@@ -28,45 +57,109 @@ pub fn main() -> path_caching::Result<()> {
         (seed % bound as u64) as i64
     };
     let horizon = 20_000; // days ~ 55 years
-    for id in 0..scaled(50_000) as u64 {
-        let start = rand(horizon);
-        let len = 1 + rand(3000);
-        contracts.insert(&store, Interval::new(start, (start + len).min(horizon), id))?;
-    }
-    println!("loaded {} contracts in {} pages", contracts.len(), store.live_pages());
+    let contracts: Vec<Point> = (0..n)
+        .map(|id| {
+            let start = rand(horizon);
+            let len = 1 + rand(3000);
+            contract(start, (start + len).min(horizon), id)
+        })
+        .collect();
 
-    // Time-travel query: who was employed on day 10_000?
-    store.reset_stats();
-    let active = contracts.stab(&store, 10_000)?;
-    println!(
-        "day 10000: {} active contracts found in {} page reads",
-        active.len(),
-        store.stats().reads
+    let store = Arc::new(PageStore::in_memory(4096));
+    let mut registry = Registry::new();
+    let pst = pc_pst::DynamicPst::build(&store, &contracts)?;
+    registry.register("contracts", Box::new(DynamicPstTarget::new(pst)));
+
+    // Every acked update batch becomes an addressable epoch; retain enough
+    // of them that the whole demo's history stays inside the window.
+    let cfg = ServerConfig { version_retain: 4096, ..ServerConfig::default() };
+    let handle = Server::spawn(Service { store, registry }, cfg)?;
+    println!("serving {n} contracts on {}", handle.addr());
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(10))?;
+
+    // Epoch 0 (`as_of` the current head before any update): who was
+    // employed on day 10 000?
+    let day = 10_000;
+    let v0_active = active_on(&mut client, 0, day)?;
+    println!("day {day}: {v0_active} active contracts at version 0");
+
+    // Online updates in waves: each wave terminates contracts active on
+    // `day` early and signs replacement hires, all over the socket. After
+    // each wave we note the server's current version — a bookmark into
+    // the second time axis.
+    let waves = 3usize;
+    let per_wave = (n / 40).clamp(4, 200);
+    let mut bookmarks = vec![(0u64, v0_active)];
+    let mut next_id = n;
+    for w in 0..waves {
+        let victims = match client.call(0, 0, stab(day))?.body {
+            Body::Points(ps) => ps,
+            other => return Err(format!("unexpected response: {other:?}").into()),
+        };
+        let terminated = victims.len().min(per_wave as usize);
+        for p in victims.iter().take(terminated) {
+            match client.call(0, 0, Op::Delete(*p))?.body {
+                Body::Ack { .. } => {}
+                other => return Err(format!("termination not acked: {other:?}").into()),
+            }
+        }
+        // Replacement hires start *after* `day`, so each wave visibly
+        // shrinks the historical headcount the audit below replays.
+        for _ in 0..per_wave {
+            let p = contract(day + 500 + w as i64, day + 3_500, next_id);
+            next_id += 1;
+            match client.call(0, 0, Op::Insert(p))?.body {
+                Body::Ack { .. } => {}
+                other => return Err(format!("hire not acked: {other:?}").into()),
+            }
+        }
+        let current = match client.versions()?.body {
+            Body::Versions { current, .. } => current,
+            other => return Err(format!("unexpected response: {other:?}").into()),
+        };
+        let now_active = active_on(&mut client, 0, day)?;
+        bookmarks.push((current, now_active));
+        println!(
+            "wave {w}: {terminated} terminations + {per_wave} hires -> version {current}, \
+             {now_active} active on day {day}"
+        );
+    }
+
+    // Time-travel audit: every bookmarked version still answers exactly
+    // what it answered live — history is immutable even though the head
+    // kept moving.
+    println!("\n{:>10} {:>10}", "version", "active");
+    for &(version, expected) in &bookmarks {
+        // Version 0 pre-dates the first install and is only addressable
+        // while it *is* the head, so the pre-wave bookmark is reported
+        // as recorded rather than re-queried.
+        if version != 0 {
+            let got = active_on(&mut client, version, day)?;
+            assert_eq!(got, expected, "as_of({version}) must replay the bookmarked answer");
+        }
+        println!("{version:>10} {expected:>10}");
+    }
+    let head = bookmarks.last().unwrap();
+    assert_eq!(
+        active_on(&mut client, 0, day)?,
+        head.1,
+        "head query must match the last bookmark"
     );
 
-    // Online updates: terminate some contracts early, sign new ones, and
-    // keep querying — all against the same structure (Theorem 5.1).
-    let mut terminated = 0;
-    for iv in active.iter().take(500) {
-        contracts.remove(&store, *iv)?;
-        terminated += 1;
+    // The retained window, from the server's own mouth.
+    match client.versions()?.body {
+        Body::Versions { current, oldest, installed, reclaimed_pages, pinned } => {
+            println!(
+                "\nversions: current={current} oldest={oldest} installed={installed} \
+                 reclaimed_pages={reclaimed_pages} pinned={pinned}"
+            );
+            assert_eq!(current, installed, "one epoch per applied batch");
+        }
+        other => return Err(format!("unexpected response: {other:?}").into()),
     }
-    for id in 0..500u64 {
-        contracts.insert(&store, Interval::new(9_500, 12_000, 1_000_000 + id))?;
-    }
-    let after = contracts.stab(&store, 10_000)?;
-    println!(
-        "after {terminated} terminations and 500 new hires: {} active on day 10000",
-        after.len()
-    );
-    assert_eq!(after.len(), active.len() - terminated + 500);
 
-    // Point-in-time audit across the timeline.
-    println!("\n{:>8} {:>10} {:>12}", "day", "active", "page reads");
-    for day in [0, 2_500, 5_000, 10_000, 15_000, 19_999] {
-        store.reset_stats();
-        let active = contracts.stab(&store, day)?;
-        println!("{:>8} {:>10} {:>12}", day, active.len(), store.stats().reads);
-    }
+    client.shutdown_server()?;
+    handle.join();
+    println!("server drained and shut down");
     Ok(())
 }

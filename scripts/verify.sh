@@ -9,7 +9,7 @@
 # Both instrumentation modes are exercised: the default build (pc-obs
 # compiled to no-ops) and `--features obs` (live tracing/metrics).
 #
-# Usage: scripts/verify.sh [--bench] [--chaos] [--cluster] [--crash] [--serve] [--layout] [--obs]
+# Usage: scripts/verify.sh [--bench] [--chaos] [--cluster] [--crash] [--mvcc] [--serve] [--layout] [--obs]
 #   --bench   additionally run the perf-trajectory benchmarks:
 #             * pool_scaling, refreshing BENCH_pool.json;
 #             * obs_overhead in both modes, merging the two reports into
@@ -35,6 +35,15 @@
 #             fresh seed, then run the router smoke bench and check
 #             BENCH_cluster.json: tail latency rows for 1/2/4 shards and a
 #             hot-shard phase that actually shed on the hot shard.
+#   --mvcc    additionally gate the versioning/MVCC subsystem: run the
+#             snapshot-semantics property suite in both instrumentation
+#             modes under hard timeouts, then the loadgen MVCC smoke
+#             (identical read traffic with writers off vs on, an epoch
+#             installed per acked write batch) and check BENCH_mvcc.json:
+#             both phases completed, the writer actually installed epochs,
+#             GC kept the retained window bounded, and the mixed-load read
+#             p99 is within 25% of the read-only p99 — the "readers never
+#             block on updates" contract, measured end to end.
 #   --serve   additionally gate the service layer: build pc-serve and
 #             pc-loadgen in both instrumentation modes, run the loadgen
 #             smoke (self-spawned server, steady + overload-shed phases)
@@ -58,6 +67,7 @@ RUN_BENCH=0
 RUN_CHAOS=0
 RUN_CLUSTER=0
 RUN_CRASH=0
+RUN_MVCC=0
 RUN_SERVE=0
 RUN_LAYOUT=0
 RUN_OBS=0
@@ -67,10 +77,11 @@ for arg in "$@"; do
         --chaos) RUN_CHAOS=1 ;;
         --cluster) RUN_CLUSTER=1 ;;
         --crash) RUN_CRASH=1 ;;
+        --mvcc) RUN_MVCC=1 ;;
         --serve) RUN_SERVE=1 ;;
         --layout) RUN_LAYOUT=1 ;;
         --obs) RUN_OBS=1 ;;
-        *) echo "unknown argument: $arg (supported: --bench, --chaos, --cluster, --crash, --serve, --layout, --obs)" >&2; exit 2 ;;
+        *) echo "unknown argument: $arg (supported: --bench, --chaos, --cluster, --crash, --mvcc, --serve, --layout, --obs)" >&2; exit 2 ;;
     esac
 done
 
@@ -204,6 +215,70 @@ print(f'hot-shard: {hot["ok"]} admitted / {hot["overloaded"]} shed; '
       f'hot errors={hot_errs}, cold max={max(errs.values())}')
 PY
     echo "OK: shard-fabric suites green, BENCH_cluster.json refreshed"
+fi
+
+if [ "$RUN_MVCC" = 1 ]; then
+    # The snapshot-semantics property suite (pinned snapshots are immutable
+    # across installs, as_of replays are bit-identical, readers take zero
+    # exclusive locks while batches install) in both instrumentation modes.
+    # Hard timeouts: a reader blocked on an install is the exact bug class
+    # this subsystem exists to rule out, and it must fail, not stall CI.
+    echo "==> snapshot-semantics suite (hard timeout, default mode)"
+    timeout 300 cargo test -q --offline --test snapshot_semantics
+    echo "==> snapshot-semantics suite (hard timeout, --features obs)"
+    timeout 300 cargo test -q --offline --test snapshot_semantics --features obs
+
+    echo "==> mvcc bench: build pc-serve + pc-loadgen in both modes"
+    cargo build --release --offline -p pc-serve -p pc-loadgen --features pc-serve/obs,pc-loadgen/obs
+    cargo build --release --offline -p pc-serve -p pc-loadgen
+
+    # MVCC smoke: the same closed-loop read traffic twice, writers off vs
+    # on (a paced temporal insert/expire stream, one epoch per acked
+    # batch). Readers pin snapshots and never block, so the mixed-phase
+    # read p99 must stay within 25% of the read-only p99. The histogram
+    # buckets are powers of two, so an equal-bucket ratio of 1.0 is the
+    # expected outcome and the 1.25 gate tolerates exactly zero bucket
+    # steps; up to three attempts absorb scheduler noise on busy hosts.
+    echo "==> pc-loadgen --mvcc --smoke (hard timeout 120s)"
+    MVCC_PASS=0
+    for attempt in 1 2 3; do
+        timeout 120 target/release/pc-loadgen --mvcc --smoke --out BENCH_mvcc.json
+        if python3 - BENCH_mvcc.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "mvcc", doc
+assert doc["page_size"] > 0 and doc["hardware_threads"] > 0, doc
+phases = {p["name"]: p for p in doc["phases"]}
+assert "read_only" in phases and "mixed_read" in phases, list(phases)
+for name, p in phases.items():
+    assert p["ok"] > 0, f"{name}: zero completed reads"
+    assert p["other_errors"] == 0, f"{name}: unexpected errors: {p}"
+    assert p["latency_ns"]["p50"] <= p["latency_ns"]["p99"], f"{name}: malformed quantiles"
+mixed = phases["mixed_read"]
+assert mixed["writes"] > 0, "mixed phase: writer installed nothing"
+assert mixed["write_errors"] == 0, f"mixed phase: write errors: {mixed}"
+v = doc["versions"]
+assert v["installed"] > 0, f"no epochs installed: {v}"
+assert v["current"] == v["installed"], f"one epoch per applied batch: {v}"
+assert v["oldest"] <= v["current"], f"malformed retained window: {v}"
+ratio = doc["p99_ratio"]
+print(f'read_only p99={phases["read_only"]["latency_ns"]["p99"]}ns, '
+      f'mixed p99={mixed["latency_ns"]["p99"]}ns under {mixed["writes"]} writes '
+      f'({v["installed"]} epochs, {v["reclaimed_pages"]} pages reclaimed); '
+      f'ratio {ratio:.3f} (gate: <= 1.25)')
+sys.exit(0 if ratio <= 1.25 else 1)
+PY
+        then
+            MVCC_PASS=1
+            break
+        fi
+        echo "attempt $attempt: mvcc gate not met, retrying"
+    done
+    if [ "$MVCC_PASS" != 1 ]; then
+        echo "GATE FAILED: mixed-load read p99 > 1.25x read-only p99" >&2
+        exit 1
+    fi
+    echo "OK: snapshot suites green in both modes, BENCH_mvcc.json refreshed, p99 gate passed"
 fi
 
 if [ "$RUN_SERVE" = 1 ]; then

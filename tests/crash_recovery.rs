@@ -29,7 +29,7 @@ use std::sync::Arc;
 use pc_btree::BTree;
 use pc_pagestore::{
     CrashBackend, CrashController, CrashLog, CrashPlan, PageId, PageStore, StoreConfig,
-    WalConfig,
+    VersionConfig, VersionedStore, WalConfig,
 };
 use pc_pst::{DynamicPst, DynamicThreeSidedPst, ThreeSidedPst, TwoLevelPst};
 use path_caching::intervaltree::ExternalIntervalTree;
@@ -460,6 +460,176 @@ fn dynamic_pst_answers_survive_crash_recovery() {
                 .collect()
         },
     );
+}
+
+// ---------------------------------------------------------------------------
+// Versioned (MVCC) kill-point matrix: recovery exposes exactly the last
+// committed epoch, bit-identical under `as_of`
+// ---------------------------------------------------------------------------
+
+const V_FRAME: usize = PAGE + 8;
+const V_BATCHES: u64 = 5;
+
+fn version_wal_cfg() -> WalConfig {
+    // Small threshold so the matrix includes kills inside checkpoints of
+    // version-framed meta, not just inside epoch commits.
+    WalConfig { checkpoint_bytes: 6000 }
+}
+
+fn versioned_scan(pst: &DynamicPst, store: &PageStore) -> Vec<Point> {
+    let mut v = pst.query(store, TwoSided { x0: i64::MIN, y0: i64::MIN }).unwrap();
+    v.sort_unstable_by_key(|p| (p.x, p.y, p.id));
+    v
+}
+
+/// Deterministic versioned workload: build + durable epoch-0 commit, then
+/// `V_BATCHES` copy-on-write apply sessions, each installed as the next
+/// epoch (which is what group-commits it). Stops at the first error — the
+/// crash — and returns how many epochs were acked (`install_as` returned
+/// `Ok`), plus, when `record` is set, the full scan at every epoch.
+fn versioned_workload(store: &Arc<PageStore>, record: bool) -> (u64, Vec<Vec<Point>>) {
+    let mut states: Vec<Vec<Point>> = Vec::new();
+    let setup = (|| -> pc_pagestore::Result<DynamicPst> {
+        let pst = DynamicPst::build(store, &points(60))?;
+        store.commit_with(&pst.descriptor())?;
+        Ok(pst)
+    })();
+    let Ok(mut pst) = setup else { return (0, states) };
+    let vs =
+        VersionedStore::new(Arc::clone(store), VersionConfig { retain: 3 }, &pst.descriptor());
+    if record {
+        let snap = vs.snapshot();
+        let _g = snap.enter();
+        states.push(versioned_scan(&pst, store));
+    }
+    let mut acked = 0u64;
+    let initial = points(60);
+    for b in 0..V_BATCHES {
+        let session = vs.begin_apply();
+        let step = (|| -> pc_pagestore::Result<()> {
+            for i in 0..6i64 {
+                pst.insert(
+                    store,
+                    Point {
+                        x: 500 + b as i64 * 10 + i,
+                        y: (b as i64 * 31 + i * 7) % 97,
+                        id: 9000 + b * 10 + i as u64,
+                    },
+                )?;
+            }
+            pst.delete(store, initial[b as usize])?;
+            Ok(())
+        })();
+        let installed = match step {
+            Ok(()) => session.install_as(b + 1, &pst.descriptor()),
+            Err(e) => Err(e), // dropping the session aborts the batch
+        };
+        match installed {
+            Ok(_) => {
+                acked += 1;
+                if record {
+                    // Scans must run under the just-installed epoch's
+                    // snapshot: an untranslated read sees the frozen
+                    // name-lease slots, not the copy-on-write heads.
+                    let snap = vs.snapshot();
+                    let _g = snap.enter();
+                    states.push(versioned_scan(&pst, store));
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    (acked, states)
+}
+
+#[test]
+fn versioned_kill_point_matrix_recovers_last_committed_epoch() {
+    let seed = 0xE70C_4B1Du64;
+
+    // Counting/reference pass: never killed; records the state per epoch.
+    let ctrl = CrashController::new(CrashPlan::count_only(seed));
+    let backend = Arc::new(CrashBackend::new(V_FRAME, ctrl.clone()));
+    let log = Arc::new(CrashLog::new(ctrl.clone()));
+    let (store, _) = PageStore::new_durable(
+        durable_cfg(),
+        Box::new(Arc::clone(&backend)),
+        Box::new(Arc::clone(&log)),
+        version_wal_cfg(),
+    )
+    .unwrap();
+    let store = Arc::new(store);
+    let (acked, states) = versioned_workload(&store, true);
+    assert_eq!(acked, V_BATCHES, "reference run must complete");
+    assert_eq!(states.len() as u64, V_BATCHES + 1);
+    let total = ctrl.ops();
+    assert!(total > 40, "matrix too small to be interesting: {total} ops");
+    drop(store);
+
+    // Sample the matrix coarsely (every op would be minutes of rebuilds;
+    // the stride still lands inside builds, epoch commits and checkpoints)
+    // plus the first/last few ops exactly.
+    let kill_points: Vec<u64> =
+        (1..=total).filter(|k| *k <= 4 || *k + 4 > total || *k % 7 == 0).collect();
+    for kill_at in kill_points {
+        let ctrl = CrashController::new(CrashPlan::kill_at(seed, kill_at));
+        let backend = Arc::new(CrashBackend::new(V_FRAME, ctrl.clone()));
+        let log = Arc::new(CrashLog::new(ctrl.clone()));
+        let acked = match PageStore::new_durable(
+            durable_cfg(),
+            Box::new(Arc::clone(&backend)),
+            Box::new(Arc::clone(&log)),
+            version_wal_cfg(),
+        ) {
+            Ok((store, _)) => versioned_workload(&Arc::new(store), false).0,
+            Err(_) => 0,
+        };
+        assert!(ctrl.crashed(), "seed {seed:#x} kill_at {kill_at}: the store must die");
+
+        let (recovered, report) = PageStore::new_durable(
+            durable_cfg(),
+            Box::new(backend.surviving_backend()),
+            Box::new(log.surviving_log()),
+            WalConfig::default(),
+        )
+        .unwrap_or_else(|e| {
+            panic!("seed {seed:#x} kill_at {kill_at}: recovery must never fail: {e}")
+        });
+        let recovered = Arc::new(recovered);
+        let Some(meta) = recovered.last_commit_meta() else {
+            // Killed before the epoch-0 commit became durable: recovery
+            // must have erased the whole uncommitted build.
+            assert_eq!(acked, 0, "kill_at {kill_at}: acked an epoch with no durable meta");
+            assert!(
+                recovered.allocated_pages().is_empty(),
+                "kill_at {kill_at}: uncommitted build survived (report: {report:?})"
+            );
+            continue;
+        };
+
+        // Reopen the epoch manager from the recovered commit meta, exactly
+        // as `Server::spawn` does on restart.
+        let vs =
+            VersionedStore::open(Arc::clone(&recovered), Some(&meta), VersionConfig { retain: 3 });
+        let s = vs.current_seq();
+        assert!(
+            s >= acked && s <= acked + 1,
+            "kill_at {kill_at}: {acked} epochs acked but recovery exposes seq {s}"
+        );
+        // Exactly one epoch — the last committed one — is visible.
+        assert_eq!(vs.retained_range(), (s, s), "kill_at {kill_at}");
+        let snap = vs.snapshot_at(s).unwrap();
+        let got = {
+            let _g = snap.enter();
+            let pst = DynamicPst::open(&recovered, snap.user_meta()).unwrap_or_else(|e| {
+                panic!("kill_at {kill_at}: epoch {s} descriptor unusable: {e}")
+            });
+            versioned_scan(&pst, &recovered)
+        };
+        assert_eq!(
+            got, states[s as usize],
+            "seed {seed:#x} kill_at {kill_at}: as_of({s}) diverged after recovery"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,166 @@
+//! Bounded-journal regression for the shard fabric.
+//!
+//! The router's per-shard journal of acked updates is what replays a dead
+//! replica back into sync — but before truncation it grew for the router's
+//! whole lifetime. This suite pins the bound:
+//!
+//! 1. with every replica healthy, each acked update is reclaimed as soon as
+//!    the fan-out settles — the retained journal stays at **zero** no matter
+//!    how many updates flow (`pc_shard_journal_truncated` counts them);
+//! 2. a dead replica pins the journal at exactly its lag — retained growth
+//!    tracks the slowest cursor, not uptime;
+//! 3. journal replay still works *after* truncation: the retained tail sits
+//!    above a non-zero base offset, the revived replica replays only the
+//!    entries it actually misses, and once it is caught up the journal
+//!    drains back to zero;
+//! 4. every replica answers the full scan bit-identically afterwards, and a
+//!    below-base replay cursor is clamped into the journal's live window
+//!    instead of addressing reclaimed entries.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pc_pagestore::{PageStore, Point};
+use pc_pst::DynamicPst;
+use pc_serve::wire::{Body, Op};
+use pc_serve::{
+    canonicalize, Client, DynamicPstTarget, Registry, Router, RouterConfig, Server, ServerConfig,
+    ServerHandle, Service,
+};
+use pc_workloads::{gen_points, PointDist, DOMAIN};
+
+const PAGE: usize = 512;
+const SEED: u64 = 0x10C4_13D2;
+
+fn spawn_node(points: &[Point]) -> ServerHandle {
+    let store = Arc::new(PageStore::in_memory(PAGE));
+    let target = DynamicPstTarget::new(DynamicPst::build(&store, points).unwrap());
+    let mut registry = Registry::new();
+    registry.register("dyn", Box::new(target));
+    let cfg = ServerConfig { workers: 2, ..ServerConfig::default() };
+    Server::spawn(Service { store, registry }, cfg).unwrap()
+}
+
+/// Sums one `pc_shard_*` family across shards from the stat pairs.
+fn stat(router: &Router, family: &str) -> u64 {
+    let prefix = format!("{family}{{");
+    router.stat_pairs().iter().filter(|(k, _)| k.starts_with(&prefix)).map(|&(_, v)| v).sum()
+}
+
+fn acked_insert(router: &Router, p: Point) {
+    match router.update(0, 0, &Op::Insert(p)) {
+        Ok(Body::Ack { .. }) => {}
+        other => panic!("insert not acked: {other:?}"),
+    }
+}
+
+fn full_scan(addr: SocketAddr) -> Body {
+    let mut c = Client::connect(addr, Duration::from_secs(5)).unwrap();
+    let resp = c.call(0, 0, Op::TwoSided { x0: i64::MIN, y0: i64::MIN }).unwrap();
+    canonicalize(resp.body)
+}
+
+fn wait_all_healthy(router: &Router, what: &str) {
+    let t0 = Instant::now();
+    while !router.replica_health().iter().flatten().all(|&h| h) {
+        assert!(t0.elapsed() < Duration::from_secs(15), "{what}: fabric never healed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn journal_stays_bounded_and_replay_survives_truncation() {
+    let initial: Vec<Point> = gen_points(200, PointDist::Uniform, SEED)
+        .iter()
+        .map(|&(x, y, id)| Point { x, y, id })
+        .collect();
+    let node_a = spawn_node(&initial);
+    let node_b = spawn_node(&initial);
+    let router = Router::connect(
+        &[vec![node_a.addr(), node_b.addr()]],
+        Vec::new(),
+        RouterConfig { health_interval: Duration::from_millis(25), seed: SEED, ..RouterConfig::default() },
+    )
+    .unwrap();
+
+    let point = |i: u64| Point {
+        x: (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (DOMAIN as u64 + 1)) as i64,
+        y: (i.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) % (DOMAIN as u64 + 1)) as i64,
+        id: 20_000_000 + i,
+    };
+    let mut applied = initial.clone();
+
+    // Phase 1: whole group healthy. Every ack is followed (inside the same
+    // journal-lock hold) by truncation of the entry itself, so the retained
+    // journal never leaves zero — this is the bound regression would break.
+    for i in 0..120 {
+        let p = point(i);
+        acked_insert(&router, p);
+        applied.push(p);
+        assert_eq!(
+            stat(&router, "pc_shard_journal_len"),
+            0,
+            "retained journal grew with every replica caught up (after {} acks)",
+            i + 1
+        );
+    }
+    assert_eq!(stat(&router, "pc_shard_journal_truncated"), 120);
+
+    // Phase 2: kill one replica. Its cursor freezes, so the journal retains
+    // exactly the entries the dead node is missing — lag, not lifetime.
+    node_b.kill();
+    node_b.join();
+    for i in 120..160 {
+        let p = point(i);
+        acked_insert(&router, p);
+        applied.push(p);
+    }
+    assert_eq!(
+        stat(&router, "pc_shard_journal_len"),
+        40,
+        "retained journal must equal the dead replica's lag"
+    );
+    assert_eq!(stat(&router, "pc_shard_journal_truncated"), 120);
+
+    // Phase 3: a replacement node holding the state as of the kill (the
+    // initial build plus the 120 truncated inserts) re-admits at cursor 120.
+    // The replay tail now lives above base offset 120 — the part plain
+    // Vec indexing would have gotten wrong after truncation.
+    let replacement = spawn_node(&applied[..initial.len() + 120]);
+    router.set_replica_caught_up(0, 1, 120);
+    router.set_replica_addr(0, 1, replacement.addr());
+    wait_all_healthy(&router, "post-replacement");
+
+    let t0 = Instant::now();
+    while stat(&router, "pc_shard_journal_len") != 0 {
+        assert!(t0.elapsed() < Duration::from_secs(15), "journal never drained after catch-up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        stat(&router, "pc_shard_replayed_updates_total"),
+        40,
+        "replay must cover exactly the lag"
+    );
+    assert_eq!(stat(&router, "pc_shard_journal_truncated"), 160);
+
+    // Both replicas hold the identical acked state.
+    let mut want = applied.clone();
+    want.sort_unstable_by_key(|p| (p.x, p.y, p.id));
+    let want = Body::Points(want);
+    assert_eq!(full_scan(node_a.addr()), want, "surviving replica diverged");
+    assert_eq!(full_scan(replacement.addr()), want, "replayed replica diverged");
+
+    // A cursor below the truncation base addresses reclaimed entries; the
+    // router clamps it into the live window, so the fabric keeps serving
+    // acked updates instead of attempting an impossible replay.
+    router.set_replica_caught_up(0, 1, 0);
+    let p = point(160);
+    acked_insert(&router, p);
+    assert_eq!(stat(&router, "pc_shard_journal_len"), 0, "clamped cursor must not pin the journal");
+    assert_eq!(stat(&router, "pc_shard_journal_truncated"), 161);
+
+    router.shutdown();
+    node_a.join();
+    replacement.join();
+}

@@ -1,0 +1,445 @@
+//! Snapshot-isolation semantics of the versioned serve path.
+//!
+//! The MVCC contract this suite pins, end to end:
+//!
+//! 1. **Pinned snapshots are immutable and lock-free**: a reader that pins
+//!    a [`Snapshot`] keeps getting bit-identical answers while concurrent
+//!    update batches install new epochs — and its query path takes *zero*
+//!    exclusive lock acquisitions, measured with the `pc-sync` probe (the
+//!    lock-freedom analogue of the zero-alloc counting test).
+//! 2. **`as_of(v)` equals single-threaded replay**: querying any retained
+//!    epoch over the wire matches an in-memory reference that replayed the
+//!    same acked ops up to `v`, bit for bit.
+//! 3. **GC never reclaims a pinned epoch**: retention can evict an epoch
+//!    from the `as_of` window while a pin holds it alive, and the pinned
+//!    reader stays bit-identical even as CoW-retired pages of *unpinned*
+//!    epochs are reclaimed underneath it.
+//! 4. **Seeded interleavings**: a pc-rng-driven mix of installs, pins,
+//!    drops, pinned reads and `as_of` reads upholds all of the above;
+//!    `PC_SNAPSHOT_SEED` reseeds the run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pc_pagestore::{PageStore, Point, Snapshot, StoreError};
+use pc_pst::{DynamicPst, TwoSided};
+use pc_rng::Rng;
+use pc_serve::wire::{Body, ErrorCode, Op};
+use pc_serve::{
+    canonicalize, decode_commit_meta, Client, DynamicPstTarget, Registry, Server, ServerConfig,
+    ServerHandle, Service,
+};
+use pc_workloads::{gen_points, PointDist, DOMAIN};
+
+const PAGE: usize = 512;
+
+fn seed() -> u64 {
+    std::env::var("PC_SNAPSHOT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0x5EED_5A07)
+}
+
+/// Spawns a versioned single-target server over an in-memory store,
+/// returning the handle and the shared store (for frozen-view reads).
+fn spawn(points: &[Point], retain: usize) -> (ServerHandle, Arc<PageStore>) {
+    let store = Arc::new(PageStore::in_memory(PAGE));
+    let target = DynamicPstTarget::new(DynamicPst::build(&store, points).unwrap());
+    let mut registry = Registry::new();
+    registry.register("dyn", Box::new(target));
+    let cfg = ServerConfig { workers: 2, version_retain: retain, ..ServerConfig::default() };
+    let handle = Server::spawn(Service { store: Arc::clone(&store), registry }, cfg).unwrap();
+    (handle, store)
+}
+
+/// Opens the frozen view of target 0 as of `snap` — the library-level
+/// equivalent of what a worker does for an `as_of` request.
+fn open_frozen(snap: &Snapshot, store: &PageStore) -> DynamicPst {
+    let desc = decode_commit_meta(snap.user_meta())
+        .and_then(|(_, descs)| descs.into_iter().next().flatten())
+        .expect("versioned epoch carries the target descriptor");
+    let _g = snap.enter();
+    DynamicPst::open(store, &desc).unwrap()
+}
+
+/// Full scan of a frozen view under its snapshot, canonically sorted.
+fn frozen_scan(snap: &Snapshot, frozen: &DynamicPst, store: &PageStore) -> Vec<Point> {
+    let _g = snap.enter();
+    let mut v = frozen.query(store, TwoSided { x0: i64::MIN, y0: i64::MIN }).unwrap();
+    v.sort_unstable_by_key(|p| (p.x, p.y, p.id));
+    v
+}
+
+fn acked(resp: Result<pc_serve::wire::Response, pc_serve::ClientError>) -> Body {
+    match resp {
+        Ok(r) => match r.body {
+            b @ Body::Ack { .. } => b,
+            other => panic!("update not acked: {other:?}"),
+        },
+        Err(e) => panic!("update failed: {e}"),
+    }
+}
+
+fn initial_points(n: usize, seed: u64) -> Vec<Point> {
+    gen_points(n, PointDist::Uniform, seed).iter().map(|&(x, y, id)| Point { x, y, id }).collect()
+}
+
+/// Acceptance pin: a reader holds one snapshot across many concurrent
+/// batch installs; every probed read round is bit-identical to the answers
+/// recorded before the first install, and takes zero exclusive locks.
+#[test]
+fn pinned_snapshot_is_lock_free_and_bit_identical_across_installs() {
+    let seed = seed();
+    let initial = initial_points(300, seed);
+    let (handle, store) = spawn(&initial, 8);
+    let versions = Arc::clone(handle.versions());
+
+    let snap = versions.snapshot();
+    let pinned_seq = snap.seq();
+    let frozen = open_frozen(&snap, &store);
+
+    // Seeded query set; the warm-up round both records the expected
+    // answers and faults every page/path the queries will ever touch, so
+    // the probed rounds measure the steady-state read path.
+    let mut rng = Rng::seed_from_u64(seed ^ 0xF00D);
+    let queries: Vec<TwoSided> = (0..12)
+        .map(|_| TwoSided { x0: rng.gen_range(0..=DOMAIN), y0: rng.gen_range(0..=DOMAIN / 2) })
+        .chain([TwoSided { x0: i64::MIN, y0: i64::MIN }])
+        .collect();
+    let expected: Vec<Vec<Point>> = queries
+        .iter()
+        .map(|&q| {
+            let _g = snap.enter();
+            frozen.query(&store, q).unwrap()
+        })
+        .collect();
+
+    // Writer: 32 acked single-op batches — each ack proves an epoch
+    // installed (install happens before the ack leaves the batcher).
+    let done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let done = Arc::clone(&done);
+        let addr = handle.addr();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr, Duration::from_secs(5)).unwrap();
+            let mut rng = Rng::seed_from_u64(seed ^ 0xBEEF);
+            for i in 0..32u64 {
+                let p = Point {
+                    x: rng.gen_range(0..=DOMAIN),
+                    y: rng.gen_range(0..=DOMAIN),
+                    id: 30_000_000 + i,
+                };
+                acked(client.call(0, 0, Op::Insert(p)));
+            }
+            done.store(true, Ordering::Release);
+        })
+    };
+
+    // Reader: probed rounds run *while* the writer installs. Each round
+    // asserts bit-identical answers and a zero exclusive-lock delta on
+    // this thread.
+    let mut rounds = 0u64;
+    loop {
+        let finished = done.load(Ordering::Acquire);
+        let locks_before = pc_sync::exclusive_acquisitions();
+        for (q, want) in queries.iter().zip(&expected) {
+            let got = {
+                let _g = snap.enter();
+                frozen.query(&store, *q).unwrap()
+            };
+            assert_eq!(&got, want, "pinned snapshot diverged at {q:?} (round {rounds})");
+        }
+        assert_eq!(
+            pc_sync::exclusive_acquisitions(),
+            locks_before,
+            "pinned-snapshot query path acquired an exclusive lock (round {rounds})"
+        );
+        rounds += 1;
+        if finished {
+            break;
+        }
+    }
+    writer.join().unwrap();
+
+    // The pin really did span concurrent installs.
+    assert!(
+        versions.current_seq() >= pinned_seq + 2,
+        "expected >= 2 epoch installs while pinned, got {} -> {}",
+        pinned_seq,
+        versions.current_seq()
+    );
+    // And the live head moved on while the snapshot did not.
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(5)).unwrap();
+    let live = client.call(0, 0, Op::TwoSided { x0: i64::MIN, y0: i64::MIN }).unwrap();
+    let Body::Points(live) = canonicalize(live.body) else { panic!("full scan body") };
+    assert_eq!(live.len(), initial.len() + 32, "live head must see every acked insert");
+    assert_eq!(
+        frozen_scan(&snap, &frozen, &store).len(),
+        initial.len(),
+        "pinned snapshot must not see post-pin inserts"
+    );
+    eprintln!("pinned at seq {pinned_seq}, {rounds} probed rounds, head at {}", versions.current_seq());
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// `as_of(v)` over the wire equals a single-threaded replay of the same
+/// acked ops up to `v` — for every retained `v`; below the window it is a
+/// clean typed error.
+#[test]
+fn as_of_matches_single_threaded_replay() {
+    let seed = seed();
+    let initial = initial_points(250, seed ^ 1);
+    let (handle, _store) = spawn(&initial, 12);
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(5)).unwrap();
+
+    // Reference: an independent replica replaying the identical op stream.
+    let ref_store = PageStore::in_memory(PAGE);
+    let mut reference = DynamicPst::build(&ref_store, &initial).unwrap();
+    let full = TwoSided { x0: i64::MIN, y0: i64::MIN };
+    let scan = |r: &DynamicPst| {
+        let mut v = r.query(&ref_store, full).unwrap();
+        v.sort_unstable_by_key(|p| (p.x, p.y, p.id));
+        v
+    };
+
+    let mut rng = Rng::seed_from_u64(seed ^ 0xA50F);
+    let mut live = initial.clone();
+    let mut states: Vec<(u64, Vec<Point>)> = Vec::new();
+    for i in 0..24u64 {
+        let op = if !live.is_empty() && rng.gen_bool(0.3) {
+            Op::Delete(live.swap_remove(rng.gen_range(0..live.len())))
+        } else {
+            let p = Point {
+                x: rng.gen_range(0..=DOMAIN),
+                y: rng.gen_range(0..=DOMAIN),
+                id: 40_000_000 + i,
+            };
+            live.push(p);
+            Op::Insert(p)
+        };
+        acked(client.call(0, 0, op.clone()));
+        match &op {
+            Op::Insert(p) => reference.insert(&ref_store, *p).unwrap(),
+            Op::Delete(p) => reference.delete(&ref_store, *p).unwrap(),
+            _ => unreachable!(),
+        }
+        let Body::Versions { current, .. } = client.versions().unwrap().body else {
+            panic!("Versions body")
+        };
+        states.push((current, scan(&reference)));
+    }
+
+    let Body::Versions { current, oldest, installed, .. } = client.versions().unwrap().body else {
+        panic!("Versions body")
+    };
+    assert_eq!(current, 24, "one epoch per acked single-op batch");
+    assert!(installed >= 24);
+
+    let mut checked = 0;
+    for (v, want) in &states {
+        if *v < oldest {
+            continue;
+        }
+        let resp = client.call_as_of(0, 0, *v, full_scan_op()).unwrap();
+        let Body::Points(got) = canonicalize(resp.body) else { panic!("as_of body") };
+        assert_eq!(&got, want, "as_of({v}) diverged from single-threaded replay");
+        checked += 1;
+    }
+    assert!(checked >= 12, "retention must keep a real as_of window (checked {checked})");
+
+    // Below the retained window: typed rejection, not silence.
+    let evicted = oldest.checked_sub(1).expect("window moved past epoch 0");
+    let resp = client.call_as_of(0, 0, evicted, full_scan_op()).unwrap();
+    match resp.body {
+        Body::Error { code: ErrorCode::BadRequest, message } => {
+            assert!(message.contains("not retained"), "unexpected message: {message}")
+        }
+        other => panic!("evicted as_of answered {other:?}"),
+    }
+    // And an as_of on a target with no version history is Unsupported by
+    // admission — updates likewise must address the head.
+    match client.call_as_of(0, 0, 3, Op::Insert(Point { x: 1, y: 1, id: 99 })).unwrap().body {
+        Body::Error { code: ErrorCode::BadRequest, .. } => {}
+        other => panic!("versioned update answered {other:?}"),
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+fn full_scan_op() -> Op {
+    Op::TwoSided { x0: i64::MIN, y0: i64::MIN }
+}
+
+/// A pin at the front of the window *blocks* trimming — the pinned epoch
+/// stays addressable and none of its pages are reclaimed, however far the
+/// head churns past the retention target. Releasing the pin (plus one
+/// `collect`) lets the whole deferred backlog go at once.
+#[test]
+fn gc_never_reclaims_pinned_epochs() {
+    let seed = seed();
+    let initial = initial_points(300, seed ^ 2);
+    let (handle, store) = spawn(&initial, 2);
+    let versions = Arc::clone(handle.versions());
+
+    let snap = versions.snapshot();
+    let pinned_seq = snap.seq();
+    let frozen = open_frozen(&snap, &store);
+    let before = frozen_scan(&snap, &frozen, &store);
+
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(5)).unwrap();
+    let mut rng = Rng::seed_from_u64(seed ^ 0x6C);
+    for i in 0..10u64 {
+        let p = Point {
+            x: rng.gen_range(0..=DOMAIN),
+            y: rng.gen_range(0..=DOMAIN),
+            id: 50_000_000 + i,
+        };
+        acked(client.call(0, 0, Op::Insert(p)));
+    }
+
+    // The pin held the retention window open far past `retain = 2`: the
+    // pinned epoch is still addressable and nothing below it was freed.
+    let m = versions.metrics();
+    assert_eq!(m.oldest_seq, pinned_seq, "pinned front epoch must anchor the window");
+    assert!(m.retained > 2, "pin must block trimming: {m:?}");
+    assert_eq!(m.pinned, 1);
+    assert_eq!(
+        m.reclaimed_pages, 0,
+        "no page may be reclaimed while the oldest epoch is pinned: {m:?}"
+    );
+    versions.snapshot_at(pinned_seq).expect("pinned epoch stays addressable");
+    // ...and the pin still answers bit-identically under the churn.
+    assert_eq!(frozen_scan(&snap, &frozen, &store), before, "pinned epoch was reclaimed");
+
+    // Releasing the pin lets the deferred reclamation go.
+    drop(snap);
+    let freed = versions.collect().unwrap();
+    assert!(freed > 0, "releasing the pin must reclaim the CoW backlog");
+    let m = versions.metrics();
+    assert_eq!(m.pinned, 0);
+    assert_eq!(m.retained, 2, "window trims to the retention target once unpinned");
+    assert!(m.oldest_seq > pinned_seq);
+    match versions.snapshot_at(pinned_seq) {
+        Err(StoreError::VersionNotRetained { requested, oldest, .. }) => {
+            assert_eq!(requested, pinned_seq);
+            assert!(oldest > pinned_seq);
+        }
+        Ok(_) => panic!("released epoch {pinned_seq} must leave the window"),
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Seeded interleavings of installs, pins, drops, pinned reads and `as_of`
+/// reads — the property form of the three pinned contracts above.
+#[test]
+fn seeded_interleavings_preserve_snapshot_isolation() {
+    let base_seed = seed();
+    for round in 0..3u64 {
+        let seed = base_seed ^ (round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let initial = initial_points(150, seed ^ 3);
+        let (handle, store) = spawn(&initial, 8);
+        let versions = Arc::clone(handle.versions());
+        let mut client = Client::connect(handle.addr(), Duration::from_secs(5)).unwrap();
+
+        let ref_store = PageStore::in_memory(PAGE);
+        let mut reference = DynamicPst::build(&ref_store, &initial).unwrap();
+        let scan_ref = |r: &DynamicPst| {
+            let mut v = r.query(&ref_store, TwoSided { x0: i64::MIN, y0: i64::MIN }).unwrap();
+            v.sort_unstable_by_key(|p| (p.x, p.y, p.id));
+            v
+        };
+
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut live = initial.clone();
+        let mut next_id = 60_000_000u64;
+        // Reference state per installed epoch (index = seq).
+        let mut states: Vec<Vec<Point>> = vec![scan_ref(&reference)];
+        // (snapshot, its frozen view, the state it must keep answering).
+        let mut pins: Vec<(Snapshot, DynamicPst, Vec<Point>)> = Vec::new();
+
+        for step in 0..60 {
+            match rng.gen_range(0..6u64) {
+                // Install one more epoch (insert or delete, acked).
+                0 | 1 => {
+                    let op = if !live.is_empty() && rng.gen_bool(0.35) {
+                        Op::Delete(live.swap_remove(rng.gen_range(0..live.len())))
+                    } else {
+                        next_id += 1;
+                        let p = Point {
+                            x: rng.gen_range(0..=DOMAIN),
+                            y: rng.gen_range(0..=DOMAIN),
+                            id: next_id,
+                        };
+                        live.push(p);
+                        Op::Insert(p)
+                    };
+                    acked(client.call(0, 0, op.clone()));
+                    match &op {
+                        Op::Insert(p) => reference.insert(&ref_store, *p).unwrap(),
+                        Op::Delete(p) => reference.delete(&ref_store, *p).unwrap(),
+                        _ => unreachable!(),
+                    }
+                    states.push(scan_ref(&reference));
+                    assert_eq!(versions.current_seq() as usize + 1, states.len());
+                }
+                // Pin the head.
+                2 => {
+                    if pins.len() < 4 {
+                        let snap = versions.snapshot();
+                        let frozen = open_frozen(&snap, &store);
+                        let want = states[snap.seq() as usize].clone();
+                        pins.push((snap, frozen, want));
+                    }
+                }
+                // Drop a pin.
+                3 => {
+                    if !pins.is_empty() {
+                        pins.swap_remove(rng.gen_range(0..pins.len()));
+                    }
+                }
+                // Read a pinned snapshot: bit-identical to its pin state.
+                4 => {
+                    if !pins.is_empty() {
+                        let (snap, frozen, want) = &pins[rng.gen_range(0..pins.len())];
+                        assert_eq!(
+                            &frozen_scan(snap, frozen, &store),
+                            want,
+                            "round {round} step {step}: pinned seq {} diverged",
+                            snap.seq()
+                        );
+                    }
+                }
+                // Read a retained epoch over the wire. `as_of = 0` is the
+                // wire's "current head" sentinel, so epoch 0 itself is only
+                // addressable until the first install; sample above it.
+                _ => {
+                    let (oldest, current) = versions.retained_range();
+                    if current == 0 {
+                        continue;
+                    }
+                    let v = rng.gen_range(oldest.max(1)..=current);
+                    let resp = client.call_as_of(0, 0, v, full_scan_op()).unwrap();
+                    let Body::Points(got) = canonicalize(resp.body) else {
+                        panic!("as_of body")
+                    };
+                    assert_eq!(
+                        got, states[v as usize],
+                        "round {round} step {step}: as_of({v}) diverged"
+                    );
+                }
+            }
+        }
+
+        // Every surviving pin is still intact at the end.
+        for (snap, frozen, want) in &pins {
+            assert_eq!(&frozen_scan(snap, frozen, &store), want, "round {round}: final pin check");
+        }
+        drop(pins);
+        handle.shutdown();
+    handle.join();
+    }
+}
